@@ -1,0 +1,99 @@
+/// \file ablation_scan_rate.cpp
+/// Ablation A1 -- the Section II-C claim that the electrochemical cell only
+/// answers faithfully up to ~20 mV/s: sweeping the dual-target CYP2B4 film
+/// faster shifts the quasi-reversible peaks away from their Table II
+/// signatures and eventually merges them.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bio/library.hpp"
+#include "dsp/peaks.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace idp;
+
+struct RateResult {
+  double e_benz = 0.0;
+  double e_amino = 0.0;
+  int peaks_found = 0;
+};
+
+RateResult sweep_at(double scan_rate) {
+  const bio::TargetId ids[] = {bio::TargetId::kBenzphetamine,
+                               bio::TargetId::kAminopyrine};
+  bio::ProbePtr probe = bio::make_cyp_probe(ids);
+  probe->set_bulk_concentration("benzphetamine", 0.7);
+  probe->set_bulk_concentration("aminopyrine", 4.4);
+
+  sim::MeasurementEngine engine = bench::quiet_engine();
+  afe::AnalogFrontEnd fe = bench::lab_frontend();
+  sim::CyclicVoltammetryProtocol p;
+  p.e_start = 0.1;
+  p.e_vertex = -0.75;
+  p.scan_rate = scan_rate;
+  p.sample_rate = std::max(10.0, 200.0 * scan_rate / 0.02);
+  const sim::CvCurve curve =
+      engine.run_cyclic_voltammetry(sim::Channel{probe.get(), nullptr}, p, fe);
+
+  dsp::PeakOptions opt;
+  opt.min_prominence = 0.5e-9;
+  opt.min_separation = 10;
+  RateResult out;
+  for (const auto& peak : dsp::find_reduction_peaks(curve, opt)) {
+    if (std::fabs(peak.position - (-0.25)) < 0.08) {
+      out.e_benz = peak.position;
+      ++out.peaks_found;
+    } else if (std::fabs(peak.position - (-0.40)) < 0.08) {
+      out.e_amino = peak.position;
+      ++out.peaks_found;
+    }
+  }
+  return out;
+}
+
+void print_ablation() {
+  bench::banner("A1 -- scan-rate ablation on the dual-target CYP2B4 film "
+                "(paper signatures: -250 mV and -400 mV)");
+  util::ConsoleTable table({"scan rate (mV/s)", "Ep benz (mV)",
+                            "Ep amino (mV)", "separation (mV)",
+                            "both resolved"});
+  for (double rate_mV : {5.0, 10.0, 20.0, 50.0, 100.0, 200.0}) {
+    const RateResult r = sweep_at(rate_mV * 1e-3);
+    const bool both = r.peaks_found >= 2;
+    table.add_row(
+        {util::format_fixed(rate_mV, 0),
+         both || r.e_benz != 0.0
+             ? util::format_fixed(util::potential_to_mV(r.e_benz), 0)
+             : "lost",
+         both || r.e_amino != 0.0
+             ? util::format_fixed(util::potential_to_mV(r.e_amino), 0)
+             : "lost",
+         both ? util::format_fixed(
+                    util::potential_to_mV(r.e_benz - r.e_amino), 0)
+              : "--",
+         both ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nAt <= 20 mV/s the two signatures sit at their Table II "
+               "potentials; faster sweeps shift the quasi-reversible waves "
+               "cathodically and degrade target identification -- the "
+               "paper's rationale for the 20 mV/s limit.\n";
+}
+
+void bm_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const RateResult r = sweep_at(0.02);
+    benchmark::DoNotOptimize(r.peaks_found);
+  }
+}
+BENCHMARK(bm_sweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  return idp::bench::run_benchmarks(argc, argv);
+}

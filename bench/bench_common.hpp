@@ -1,0 +1,49 @@
+/// \file bench_common.hpp
+/// Shared helpers for the reproduction benches: each bench binary first
+/// prints the paper-shaped table/series it regenerates, then runs its
+/// google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "afe/frontend.hpp"
+#include "sim/engine.hpp"
+
+namespace idp::bench {
+
+/// Lab-grade acquisition chain (pA-class bench instrument): used whenever a
+/// bench reproduces *literature* characterisation numbers (Table III was
+/// measured on lab potentiostats, not the integrated AFE).
+inline afe::AnalogFrontEnd lab_frontend(std::uint64_t seed = 7) {
+  afe::AfeConfig c;
+  c.tia = afe::lab_grade_tia();
+  c.adc = afe::AdcSpec{.bits = 16, .v_low = -10.0, .v_high = 10.0,
+                       .sample_rate = 10.0};
+  c.seed = seed;
+  return afe::AnalogFrontEnd(c);
+}
+
+/// Noise-free engine for deterministic shape benches.
+inline sim::MeasurementEngine quiet_engine() {
+  sim::EngineConfig cfg;
+  cfg.sensor_noise = false;
+  return sim::MeasurementEngine(cfg);
+}
+
+/// Standard bench epilogue: run the registered google-benchmark timings.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace idp::bench

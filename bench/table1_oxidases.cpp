@@ -1,0 +1,93 @@
+/// \file table1_oxidases.cpp
+/// Reproduces Table I: the four oxidase biosensors and their applied
+/// potentials. For each row we build the calibrated probe, verify that the
+/// H2O2-mediated current switches on at the recommended potential (signal
+/// at E_applied >> signal a quarter volt below it, where the H2O2
+/// oxidation kinetics shut off) and is near its plateau (further
+/// overpotential gains < 15%).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bio/library.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace idp;
+using namespace idp::util::literals;
+
+/// Steady chronoamperometric current at 1 mM via the quiet engine.
+double steady_current(bio::Probe& probe, const std::string& target,
+                      double potential) {
+  sim::MeasurementEngine engine = bench::quiet_engine();
+  afe::AnalogFrontEnd fe = bench::lab_frontend();
+  probe.set_bulk_concentration(target, 1.0);
+  sim::ChronoamperometryProtocol p;
+  p.potential = potential;
+  p.duration = 60.0;
+  const sim::Trace t =
+      engine.run_chronoamperometry(sim::Channel{&probe, nullptr}, p, fe);
+  return t.mean_in_window(50.0, 60.0) - probe.blank_current();
+}
+
+void print_table1() {
+  bench::banner("Table I -- oxidases used to develop biosensors");
+  util::ConsoleTable table({"Oxidase species", "Target", "Applied (paper)",
+                            "i @ E_app (nA)", "i @ E-250mV (nA)",
+                            "i @ E+100mV (nA)", "onset OK", "plateau OK"});
+  for (const auto& row : bio::table1_oxidases()) {
+    bio::ProbePtr probe = bio::make_table1_probe(row);
+    const std::string target = bio::to_string(row.target);
+    const double i_on = steady_current(*probe, target, row.applied_potential);
+    const double i_low =
+        steady_current(*probe, target, row.applied_potential - 0.25);
+    const double i_high =
+        steady_current(*probe, target, row.applied_potential + 0.10);
+    const bool onset_ok = i_on > 5.0 * std::max(i_low, 1e-12);
+    const bool plateau_ok = i_high < 1.15 * i_on;
+    table.add_row({row.oxidase, target,
+                   util::format_fixed(util::potential_to_mV(
+                                          row.applied_potential), 0) + " mV",
+                   util::format_fixed(util::current_to_nA(i_on), 1),
+                   util::format_fixed(util::current_to_nA(i_low), 1),
+                   util::format_fixed(util::current_to_nA(i_high), 1),
+                   onset_ok ? "yes" : "NO", plateau_ok ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: every oxidase turns on at its Table I "
+               "potential and sits on the H2O2 oxidation plateau there.\n";
+}
+
+void bm_glucose_chronoamperometry(benchmark::State& state) {
+  bio::ProbePtr probe = bio::make_probe(bio::TargetId::kGlucose);
+  probe->set_bulk_concentration("glucose", 2.0);
+  sim::MeasurementEngine engine = bench::quiet_engine();
+  afe::AnalogFrontEnd fe = bench::lab_frontend();
+  sim::ChronoamperometryProtocol p;
+  p.potential = 550_mV;
+  p.duration = 60.0;
+  for (auto _ : state) {
+    const sim::Trace t =
+        engine.run_chronoamperometry(sim::Channel{probe.get(), nullptr}, p, fe);
+    benchmark::DoNotOptimize(t.value().back());
+  }
+  state.SetLabel("60 s chronoamperometry, 5 ms physics step");
+}
+BENCHMARK(bm_glucose_chronoamperometry)->Unit(benchmark::kMillisecond);
+
+void bm_probe_construction(benchmark::State& state) {
+  for (auto _ : state) {
+    bio::ProbePtr probe = bio::make_probe(bio::TargetId::kGlucose);
+    benchmark::DoNotOptimize(probe.get());
+  }
+  state.SetLabel("includes secant auto-calibration of vmax");
+}
+BENCHMARK(bm_probe_construction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  return idp::bench::run_benchmarks(argc, argv);
+}

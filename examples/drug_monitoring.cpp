@@ -1,0 +1,76 @@
+/// \file drug_monitoring.cpp
+/// Therapeutic drug monitoring with cytochrome P450 voltammetry: the
+/// paper's Section I-A motivation (patients metabolise the same dose very
+/// differently, so measuring the circulating level lets the doctor tune
+/// the therapy). One CYP2B4 electrode resolves two co-administered drugs
+/// by their reduction potentials.
+#include <iostream>
+#include <vector>
+
+#include "afe/frontend.hpp"
+#include "bio/library.hpp"
+#include "dsp/peaks.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace idp;
+  using namespace idp::util::literals;
+
+  std::cout << "IDP example: dual-drug monitoring on one CYP2B4 film\n\n";
+
+  const std::vector<bio::TargetId> drugs{bio::TargetId::kBenzphetamine,
+                                         bio::TargetId::kAminopyrine};
+  bio::ProbePtr probe = bio::make_cyp_probe(drugs, 0.23_mm2, /*gain=*/50.0);
+
+  afe::AfeConfig fe_config;
+  fe_config.tia = afe::oxidase_class_tia();  // small catalytic currents
+  fe_config.adc = afe::AdcSpec{.bits = 12, .v_low = -1.0, .v_high = 1.0,
+                               .sample_rate = 10.0};
+  afe::AnalogFrontEnd frontend(fe_config);
+  sim::MeasurementEngine engine;
+
+  sim::CyclicVoltammetryProtocol protocol;
+  protocol.e_start = 100_mV;
+  protocol.e_vertex = -700_mV;
+  protocol.scan_rate = 20_mV_per_s;  // the cell-faithful limit
+
+  auto read_panel = [&](double benz_mM, double amino_mM) {
+    probe->set_bulk_concentration("benzphetamine", benz_mM);
+    probe->set_bulk_concentration("aminopyrine", amino_mM);
+    return engine.run_cyclic_voltammetry(sim::Channel{probe.get(), nullptr},
+                                         protocol, frontend);
+  };
+
+  // Calibrate each drug's response at its reduction potential.
+  const sim::CvCurve blank = read_panel(0.0, 0.0);
+  const double b_benz = dsp::reduction_response_at(blank, -250_mV);
+  const double b_amino = dsp::reduction_response_at(blank, -400_mV);
+  const sim::CvCurve cal = read_panel(1.0, 4.0);
+  const double s_benz =
+      (dsp::reduction_response_at(cal, -250_mV) - b_benz) / 1.0;
+  const double s_amino =
+      (dsp::reduction_response_at(cal, -400_mV) - b_amino) / 4.0;
+
+  util::ConsoleTable table({"sample", "benz true (mM)", "benz est (mM)",
+                            "amino true (mM)", "amino est (mM)"});
+  const double samples[][2] = {{0.4, 2.0}, {0.8, 6.0}, {1.2, 1.0}};
+  for (const auto& s : samples) {
+    const sim::CvCurve cv = read_panel(s[0], s[1]);
+    const double benz_est =
+        (dsp::reduction_response_at(cv, -250_mV) - b_benz) / s_benz;
+    const double amino_est =
+        (dsp::reduction_response_at(cv, -400_mV) - b_amino) / s_amino;
+    table.add_row({"-", util::format_fixed(s[0], 2),
+                   util::format_fixed(benz_est, 2),
+                   util::format_fixed(s[1], 2),
+                   util::format_fixed(amino_est, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nBoth drugs are quantified from ONE voltammogram: peak "
+               "position identifies the molecule (-250 vs -400 mV, Table "
+               "II), peak height its concentration -- the paper's "
+               "single-probe multi-target scheme.\n";
+  return 0;
+}

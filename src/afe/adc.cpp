@@ -1,0 +1,33 @@
+#include "afe/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::afe {
+
+SarAdc::SarAdc(AdcSpec spec) : spec_(spec) {
+  util::require(spec_.bits >= 4 && spec_.bits <= 24, "bits out of range");
+  util::require(spec_.v_high > spec_.v_low, "bad input range");
+  util::require(spec_.sample_rate > 0.0, "sample rate must be positive");
+}
+
+double SarAdc::lsb() const {
+  return (spec_.v_high - spec_.v_low) / static_cast<double>(code_count());
+}
+
+std::uint32_t SarAdc::convert(double v) const {
+  const double clipped = std::clamp(v, spec_.v_low, spec_.v_high);
+  const auto code = static_cast<std::int64_t>(
+      std::floor((clipped - spec_.v_low) / lsb()));
+  const std::int64_t max_code = static_cast<std::int64_t>(code_count()) - 1;
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(code, 0, max_code));
+}
+
+double SarAdc::voltage_of(std::uint32_t code) const {
+  const std::uint32_t c = std::min(code, code_count() - 1);
+  return spec_.v_low + (static_cast<double>(c) + 0.5) * lsb();
+}
+
+}  // namespace idp::afe

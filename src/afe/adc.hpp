@@ -1,0 +1,43 @@
+/// \file adc.hpp
+/// Successive-approximation ADC model: quantisation, clipping and sample
+/// rate. Combined with the TIA gain it realises the paper's 10 nA / 100 nA
+/// current resolution requirements.
+#pragma once
+
+#include <cstdint>
+
+namespace idp::afe {
+
+/// SAR ADC parameters.
+struct AdcSpec {
+  int bits = 12;
+  double v_low = -1.0;   ///< input range low [V]
+  double v_high = +1.0;  ///< input range high [V]
+  double sample_rate = 10.0;  ///< [Hz]; biosensing signals are slow
+};
+
+/// Ideal-linearity SAR ADC.
+class SarAdc {
+ public:
+  explicit SarAdc(AdcSpec spec);
+
+  /// Digitise a voltage: returns the code (0 .. 2^bits - 1), clipped.
+  std::uint32_t convert(double v) const;
+
+  /// Voltage corresponding to a code (code centre).
+  double voltage_of(std::uint32_t code) const;
+
+  /// Convenience: quantise a voltage through convert + voltage_of.
+  double quantize(double v) const { return voltage_of(convert(v)); }
+
+  /// One least-significant-bit step [V].
+  double lsb() const;
+
+  std::uint32_t code_count() const { return 1u << spec_.bits; }
+  const AdcSpec& spec() const { return spec_; }
+
+ private:
+  AdcSpec spec_;
+};
+
+}  // namespace idp::afe

@@ -1,0 +1,77 @@
+/// \file frontend.hpp
+/// The assembled acquisition chain of Fig. 2: TIA + ADC + optional flicker
+/// countermeasures (chopper modulation, correlated double sampling with a
+/// blank working electrode).
+///
+/// The front end operates sample-by-sample at the ADC rate; the measurement
+/// engine feeds it the "true" electrode currents (already carrying the
+/// electrochemical noise of the sensor) and receives digitised current
+/// estimates back.
+#pragma once
+
+#include <cstdint>
+
+#include "afe/adc.hpp"
+#include "afe/tia.hpp"
+#include "util/random.hpp"
+
+namespace idp::afe {
+
+/// Flicker-noise countermeasures (Section II-C).
+struct NoiseReduction {
+  bool chopper = false;  ///< modulate above the 1/f corner before amplifying
+  bool cds = false;      ///< subtract a blank working electrode
+
+  /// Residual fraction of amplifier flicker that survives chopping.
+  double chopper_residual = 0.05;
+  /// White-noise penalty of chopping (ripple folding).
+  double chopper_white_penalty = 1.1;
+  /// Residual fraction of amplifier flicker after CDS (the two samples are
+  /// taken close in time through the same amplifier).
+  double cds_residual = 0.2;
+};
+
+/// Complete front-end configuration.
+struct AfeConfig {
+  TiaSpec tia;
+  AdcSpec adc;
+  NoiseReduction reduction;
+  std::uint64_t seed = 42;  ///< noise generator seed (deterministic)
+};
+
+/// One digitising channel of the platform's readout.
+class AnalogFrontEnd {
+ public:
+  explicit AnalogFrontEnd(AfeConfig config);
+
+  /// Digitise one sample.
+  /// \param i_signal  current of the active working electrode [A]
+  /// \param i_blank   current of the blank working electrode [A]; used only
+  ///                  when CDS is enabled (pass 0 otherwise)
+  /// \return digitised current estimate [A]
+  double sample(double i_signal, double i_blank = 0.0);
+
+  /// RMS of the electronic noise added per sample [A] (white part).
+  double white_noise_rms() const { return white_rms_; }
+
+  /// Effective amplifier flicker RMS after the enabled countermeasures [A].
+  double effective_flicker_rms() const;
+
+  /// ADC least-significant bit expressed in input current [A].
+  double lsb_current() const;
+
+  /// Full-scale input current [A].
+  double full_scale_current() const { return tia_.full_scale_current(); }
+
+  const AfeConfig& config() const { return config_; }
+
+ private:
+  AfeConfig config_;
+  Tia tia_;
+  SarAdc adc_;
+  util::Rng rng_;
+  util::PinkNoise flicker_;
+  double white_rms_ = 0.0;
+};
+
+}  // namespace idp::afe

@@ -1,0 +1,37 @@
+#include "afe/i2f.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::afe {
+
+CurrentToFrequency::CurrentToFrequency(I2fSpec spec) : spec_(spec) {
+  util::require(spec_.c_int > 0.0 && spec_.v_threshold > 0.0 &&
+                    spec_.max_frequency > 0.0,
+                "invalid I2F parameters");
+}
+
+double CurrentToFrequency::frequency(double i_in) const {
+  const double f = std::fabs(i_in) / (spec_.c_int * spec_.v_threshold);
+  return std::min(f, spec_.max_frequency);
+}
+
+std::uint64_t CurrentToFrequency::count(double i_in, double gate_time) const {
+  util::require(gate_time > 0.0, "gate time must be positive");
+  return static_cast<std::uint64_t>(std::floor(frequency(i_in) * gate_time));
+}
+
+double CurrentToFrequency::current_from_count(std::uint64_t n,
+                                              double gate_time) const {
+  util::require(gate_time > 0.0, "gate time must be positive");
+  return static_cast<double>(n) / gate_time * spec_.c_int * spec_.v_threshold;
+}
+
+double CurrentToFrequency::resolution(double gate_time) const {
+  util::require(gate_time > 0.0, "gate time must be positive");
+  return spec_.c_int * spec_.v_threshold / gate_time;
+}
+
+}  // namespace idp::afe

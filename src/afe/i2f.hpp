@@ -1,0 +1,44 @@
+/// \file i2f.hpp
+/// Current-to-frequency converter: the alternative readout Section II-C
+/// cites ([26], [27]) -- the input current charges an integration capacitor
+/// to a threshold, emitting one pulse per charge packet; counting pulses
+/// over a gate time digitises the current without a linear ADC.
+#pragma once
+
+#include <cstdint>
+
+namespace idp::afe {
+
+/// I-to-F design parameters.
+struct I2fSpec {
+  double c_int = 10.0e-12;     ///< integration capacitor [F]
+  double v_threshold = 1.0;    ///< comparator threshold [V]
+  double max_frequency = 1.0e6;  ///< comparator/reset speed limit [Hz]
+};
+
+/// Behavioral current-to-frequency converter.
+class CurrentToFrequency {
+ public:
+  explicit CurrentToFrequency(I2fSpec spec);
+
+  /// Output frequency for a constant input current [Hz]: i / (C * Vth),
+  /// clipped at the comparator limit.
+  double frequency(double i_in) const;
+
+  /// Count pulses over `gate_time` seconds for a constant current,
+  /// including the fractional-count quantisation (floor).
+  std::uint64_t count(double i_in, double gate_time) const;
+
+  /// Estimate the current back from a pulse count.
+  double current_from_count(std::uint64_t n, double gate_time) const;
+
+  /// Current quantisation step for a given gate time [A]: one count.
+  double resolution(double gate_time) const;
+
+  const I2fSpec& spec() const { return spec_; }
+
+ private:
+  I2fSpec spec_;
+};
+
+}  // namespace idp::afe

@@ -1,0 +1,39 @@
+#include "afe/mux.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::afe {
+
+AnalogMux::AnalogMux(MuxSpec spec) : spec_(spec) {
+  util::require(spec_.channels >= 1, "mux needs at least one channel");
+  util::require(spec_.r_on > 0.0 && spec_.settle_time > 0.0 &&
+                    spec_.injection_tau > 0.0,
+                "invalid mux parameters");
+  util::require(spec_.crosstalk >= 0.0 && spec_.crosstalk < 1.0,
+                "crosstalk fraction out of range");
+}
+
+void AnalogMux::select(std::size_t channel, double now) {
+  util::require(channel < spec_.channels, "mux channel out of range");
+  if (channel != selected_) {
+    selected_ = channel;
+    last_switch_ = now;
+  }
+}
+
+bool AnalogMux::settled(double now) const {
+  return now - last_switch_ >= spec_.settle_time;
+}
+
+double AnalogMux::artifact_current(double now) const {
+  const double dt = now - last_switch_;
+  if (dt < 0.0) return 0.0;
+  // Exponentially decaying charge-injection spike: integral equals the
+  // injected charge.
+  return spec_.charge_injection / spec_.injection_tau *
+         std::exp(-dt / spec_.injection_tau);
+}
+
+}  // namespace idp::afe

@@ -1,0 +1,49 @@
+/// \file mux.hpp
+/// Analog multiplexer for sharing one readout chain among several working
+/// electrodes (Section II-A / Fig. 2 / De Venuto et al. [23]).
+#pragma once
+
+#include <cstddef>
+
+namespace idp::afe {
+
+/// Mux design parameters.
+struct MuxSpec {
+  std::size_t channels = 8;
+  double r_on = 100.0;             ///< on-resistance [ohm]
+  double settle_time = 5.0e-3;     ///< time to wait after switching [s]
+  double charge_injection = 1.0e-12;  ///< injected charge per switch [C]
+  double injection_tau = 1.0e-3;   ///< decay constant of the spike [s]
+  double crosstalk = 1.0e-4;       ///< off-channel current leakage fraction
+};
+
+/// Behavioral analog mux. Switching to a channel starts a charge-injection
+/// transient; `artifact_current(t)` reports the spurious current it adds to
+/// the readout t seconds after the switch.
+class AnalogMux {
+ public:
+  explicit AnalogMux(MuxSpec spec);
+
+  /// Select a channel (index < channels); records the switch time.
+  void select(std::size_t channel, double now);
+
+  std::size_t selected() const { return selected_; }
+
+  /// True once the post-switch settling window has elapsed.
+  bool settled(double now) const;
+
+  /// Spurious current injected by the switch transition [A] at time `now`.
+  double artifact_current(double now) const;
+
+  /// Current leaking in from one off channel carrying i_off [A].
+  double crosstalk_current(double i_off) const { return spec_.crosstalk * i_off; }
+
+  const MuxSpec& spec() const { return spec_; }
+
+ private:
+  MuxSpec spec_;
+  std::size_t selected_ = 0;
+  double last_switch_ = -1.0e18;
+};
+
+}  // namespace idp::afe

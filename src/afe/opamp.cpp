@@ -1,0 +1,29 @@
+#include "afe/opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace idp::afe {
+
+OpAmp::OpAmp(OpAmpParams params) : params_(params) {
+  util::require(params_.dc_gain > 1.0, "dc gain must exceed unity");
+  util::require(params_.gbw_hz > 0.0, "GBW must be positive");
+  util::require(params_.rail_high_v > params_.rail_low_v, "bad rails");
+}
+
+double OpAmp::step(double v_plus, double v_minus, double dt) {
+  util::require(dt > 0.0, "dt must be positive");
+  // One-pole model: vout tracks A0*(vd + offset) with pole at gbw/A0.
+  const double v_target =
+      params_.dc_gain * (v_plus - v_minus + params_.offset_v);
+  const double pole_hz = params_.gbw_hz / params_.dc_gain;
+  const double alpha = 1.0 - std::exp(-2.0 * std::numbers::pi * pole_hz * dt);
+  v_out_ += alpha * (v_target - v_out_);
+  v_out_ = std::clamp(v_out_, params_.rail_low_v, params_.rail_high_v);
+  return v_out_;
+}
+
+}  // namespace idp::afe

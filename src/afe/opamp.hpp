@@ -1,0 +1,39 @@
+/// \file opamp.hpp
+/// Behavioral operational-amplifier model used by the potentiostat control
+/// loop and the transimpedance stage (Fig. 1 of the paper).
+#pragma once
+
+namespace idp::afe {
+
+/// Small-signal + noise parameters of an op-amp.
+struct OpAmpParams {
+  double dc_gain = 1.0e5;          ///< open-loop DC gain [V/V]
+  double gbw_hz = 1.0e6;           ///< gain-bandwidth product [Hz]
+  double offset_v = 0.5e-3;        ///< input-referred offset [V]
+  double noise_nv_rthz = 20.0;     ///< white input voltage noise [nV/sqrt(Hz)]
+  double flicker_corner_hz = 100.0;///< 1/f corner of the voltage noise [Hz]
+  double current_noise_fa_rthz = 100.0;  ///< input current noise [fA/sqrt(Hz)]
+  double rail_low_v = -1.5;
+  double rail_high_v = +1.5;
+};
+
+/// One-pole time-domain op-amp: dominant pole at gbw/dc_gain, output clipped
+/// to the rails. Adequate for loop-settling studies at the microsecond
+/// scale; the measurement engine treats the amplifier quasi-statically.
+class OpAmp {
+ public:
+  explicit OpAmp(OpAmpParams params);
+
+  /// Advance by dt with inputs (v_plus, v_minus); returns the new output.
+  double step(double v_plus, double v_minus, double dt);
+
+  double output() const { return v_out_; }
+  void reset(double v_out = 0.0) { v_out_ = v_out; }
+  const OpAmpParams& params() const { return params_; }
+
+ private:
+  OpAmpParams params_;
+  double v_out_ = 0.0;
+};
+
+}  // namespace idp::afe

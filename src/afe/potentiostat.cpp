@@ -1,0 +1,69 @@
+#include "afe/potentiostat.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::afe {
+
+Potentiostat::Potentiostat(PotentiostatSpec spec) : spec_(spec) {
+  util::require(spec_.uncompensated_fraction >= 0.0 &&
+                    spec_.uncompensated_fraction <= 1.0,
+                "uncompensated fraction must be in [0,1]");
+}
+
+double Potentiostat::applied_potential(double setpoint, double cell_current,
+                                       const chem::CellImpedance& z) const {
+  const double a0 = spec_.control_amp.dc_gain;
+  const double closed_loop = setpoint * a0 / (1.0 + a0);
+  const double r_u = spec_.uncompensated_fraction * z.r_solution;
+  return closed_loop + spec_.control_amp.offset_v - cell_current * r_u;
+}
+
+double Potentiostat::static_error(double setpoint) const {
+  const double a0 = spec_.control_amp.dc_gain;
+  return std::fabs(setpoint / (1.0 + a0)) +
+         std::fabs(spec_.control_amp.offset_v);
+}
+
+Potentiostat::Transient Potentiostat::step_response(
+    double step_v, const chem::CellImpedance& z, double c_dl, double duration,
+    double dt) const {
+  util::require(duration > 0.0 && dt > 0.0 && dt < duration, "bad timing");
+  util::require(c_dl > 0.0, "double-layer capacitance must be positive");
+
+  // Loop: control amp output drives CE; the cell is Rce in series with the
+  // solution resistance and the WE double-layer capacitance to (virtual)
+  // ground. The RE taps the node between Rce and Rs.
+  OpAmp amp(spec_.control_amp);
+  Transient out;
+  double v_cdl = 0.0;  // voltage on the double-layer capacitance
+  const double r_total = z.r_counter + z.r_solution;
+  const auto n_steps = static_cast<std::size_t>(duration / dt);
+  out.t.reserve(n_steps);
+  out.e_re.reserve(n_steps);
+
+  const double tol = 0.01 * std::fabs(step_v);
+  double last_outside = 0.0;
+  for (std::size_t k = 0; k < n_steps; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    // Cell current from amp output through Rce+Rs into Cdl.
+    const double v_ce = amp.output();
+    const double i_cell = (v_ce - v_cdl) / r_total;
+    v_cdl += i_cell / c_dl * dt;
+    // RE potential: node between Rce and Rs.
+    const double e_re = v_ce - i_cell * z.r_counter;
+    // Feedback: non-inverting input holds the setpoint, inverting input
+    // senses the RE (classic adder-free Fig. 1 topology).
+    amp.step(step_v, e_re, dt);
+    out.t.push_back(t);
+    out.e_re.push_back(e_re);
+    if (std::fabs(e_re - step_v) > tol) last_outside = t;
+  }
+  out.settling_time = last_outside;
+  out.settled =
+      !out.e_re.empty() && std::fabs(out.e_re.back() - step_v) <= tol;
+  return out;
+}
+
+}  // namespace idp::afe

@@ -1,0 +1,65 @@
+/// \file potentiostat.hpp
+/// Potentiostat model (Fig. 1): a control amplifier drives the counter
+/// electrode so that the reference electrode tracks the programmed
+/// potential while the working electrode sits at the virtual ground of the
+/// transimpedance stage.
+///
+/// Two views are provided:
+///   * a quasi-static view (regulation error, uncompensated-resistance
+///     drop) used by the measurement engine, where electrochemical time
+///     scales (seconds) dwarf electrical ones (microseconds); and
+///   * a microsecond-scale transient simulation used by the Fig. 1 bench to
+///     characterise loop settling.
+#pragma once
+
+#include <vector>
+
+#include "afe/opamp.hpp"
+#include "chem/cell.hpp"
+
+namespace idp::afe {
+
+/// Potentiostat design parameters.
+struct PotentiostatSpec {
+  OpAmpParams control_amp;
+  /// Fraction of the solution resistance between RE and WE that the loop
+  /// cannot compensate (RE placement); multiplies the cell current into a
+  /// potential error.
+  double uncompensated_fraction = 0.1;
+};
+
+/// Fig. 1 potentiostat.
+class Potentiostat {
+ public:
+  explicit Potentiostat(PotentiostatSpec spec);
+
+  /// Quasi-static potential actually applied across WE/RE when the loop is
+  /// asked for `setpoint` while `cell_current` flows [V]:
+  ///   E = setpoint * A/(1+A) + offset - i * Ru.
+  double applied_potential(double setpoint, double cell_current,
+                           const chem::CellImpedance& z) const;
+
+  /// Static regulation error |applied - setpoint| at zero current [V].
+  double static_error(double setpoint) const;
+
+  /// Result of a small-signal loop transient.
+  struct Transient {
+    std::vector<double> t;     ///< time [s]
+    std::vector<double> e_re;  ///< reference-electrode potential [V]
+    double settling_time = 0.0;  ///< time to stay within 1% of the step [s]
+    bool settled = false;
+  };
+
+  /// Simulate the loop answering a potential step of `step_v` into a cell
+  /// with the given impedance and working-electrode double-layer
+  /// capacitance. dt should be well below 1/gbw (e.g. 10 ns).
+  Transient step_response(double step_v, const chem::CellImpedance& z,
+                          double c_dl, double duration, double dt) const;
+
+  const PotentiostatSpec& spec() const { return spec_; }
+
+ private:
+  PotentiostatSpec spec_;
+};
+
+}  // namespace idp::afe

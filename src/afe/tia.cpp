@@ -1,0 +1,93 @@
+#include "afe/tia.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace idp::afe {
+
+Tia::Tia(TiaSpec spec) : spec_(spec) {
+  util::require(spec_.feedback_resistance > 0.0, "Rf must be positive");
+  util::require(spec_.feedback_capacitance > 0.0, "Cf must be positive");
+  util::require(spec_.opamp.rail_high_v > 0.0 && spec_.opamp.rail_low_v < 0.0,
+                "TIA rails must straddle zero");
+}
+
+double Tia::output_voltage(double i_in) const {
+  const double v = -spec_.feedback_resistance * i_in;
+  return std::clamp(v, spec_.opamp.rail_low_v, spec_.opamp.rail_high_v);
+}
+
+double Tia::current_from_voltage(double v_out) const {
+  return -v_out / spec_.feedback_resistance;
+}
+
+double Tia::full_scale_current() const {
+  return spec_.opamp.rail_high_v / spec_.feedback_resistance;
+}
+
+double Tia::bandwidth() const {
+  return 1.0 / (2.0 * std::numbers::pi * spec_.feedback_resistance *
+                spec_.feedback_capacitance);
+}
+
+double Tia::settle(double i_in, double dt) {
+  const double target = output_voltage(i_in);
+  const double tau =
+      spec_.feedback_resistance * spec_.feedback_capacitance;
+  const double alpha = 1.0 - std::exp(-dt / tau);
+  v_out_ += alpha * (target - v_out_);
+  return v_out_;
+}
+
+double Tia::input_noise_density() const {
+  const double thermal =
+      4.0 * util::kBoltzmann * util::kStandardTemperatureK /
+      spec_.feedback_resistance;  // A^2/Hz
+  const double en = spec_.opamp.noise_nv_rthz * 1e-9;
+  const double from_voltage = en / spec_.feedback_resistance;
+  const double in = spec_.opamp.current_noise_fa_rthz * 1e-15;
+  return std::sqrt(thermal + from_voltage * from_voltage + in * in);
+}
+
+double Tia::flicker_corner() const { return spec_.opamp.flicker_corner_hz; }
+
+TiaSpec oxidase_class_tia() {
+  TiaSpec s;
+  s.feedback_resistance = 1.0e5;  // 1 V rail / 100 kohm = 10 uA full scale
+  s.feedback_capacitance = 3.2e-9;  // ~500 Hz bandwidth
+  s.opamp.rail_high_v = 1.0;
+  s.opamp.rail_low_v = -1.0;
+  s.target_resolution = 10.0e-9;  // Section II-C requirement
+  s.flicker_current_rms = 4.0e-9;
+  return s;
+}
+
+TiaSpec cyp_class_tia() {
+  TiaSpec s;
+  s.feedback_resistance = 1.0e4;  // 1 V rail / 10 kohm = 100 uA full scale
+  s.feedback_capacitance = 3.2e-8;
+  s.opamp.rail_high_v = 1.0;
+  s.opamp.rail_low_v = -1.0;
+  s.target_resolution = 100.0e-9;
+  s.flicker_current_rms = 40.0e-9;
+  return s;
+}
+
+TiaSpec lab_grade_tia() {
+  TiaSpec s;
+  s.feedback_resistance = 1.0e7;  // 100 nA full scale per volt
+  s.feedback_capacitance = 1.6e-9;
+  s.opamp.rail_high_v = 10.0;
+  s.opamp.rail_low_v = -10.0;
+  s.opamp.noise_nv_rthz = 5.0;
+  s.opamp.flicker_corner_hz = 1.0;
+  s.target_resolution = 10.0e-12;
+  s.flicker_current_rms = 1.0e-12;
+  return s;
+}
+
+}  // namespace idp::afe

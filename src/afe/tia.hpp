@@ -1,0 +1,79 @@
+/// \file tia.hpp
+/// Transimpedance amplifier: converts the working-electrode current into a
+/// voltage (Fig. 1, right half). Two design classes match the paper's
+/// Section II-C requirements:
+///   * oxidase class: +/-10 uA full scale, 10 nA resolution;
+///   * CYP class:    +/-100 uA full scale, 100 nA resolution.
+#pragma once
+
+#include "afe/opamp.hpp"
+
+namespace idp::afe {
+
+/// TIA design parameters. The output is v = -Rf * i, clipped at the rails;
+/// full-scale current = rail / Rf.
+struct TiaSpec {
+  double feedback_resistance = 1.0e5;   ///< Rf [ohm]
+  double feedback_capacitance = 1.6e-9; ///< Cf [F]; bandwidth = 1/(2 pi Rf Cf)
+  OpAmpParams opamp;
+  /// Design-target resolvable current step [nA-scale]; realised by the ADC
+  /// quantisation, recorded here for catalog/reporting purposes.
+  double target_resolution = 10.0e-9;
+  /// Input-referred 1/f (flicker) noise of the integrated CMOS stage,
+  /// expressed as an RMS current over the 0.01..5 Hz biosensing band [A].
+  /// This is the component chopping suppresses (Section II-C); lab-grade
+  /// instruments make it negligible.
+  double flicker_current_rms = 4.0e-9;
+};
+
+/// Behavioral transimpedance stage.
+class Tia {
+ public:
+  explicit Tia(TiaSpec spec);
+
+  /// Ideal (settled, noiseless) output voltage for input current i [A].
+  double output_voltage(double i_in) const;
+
+  /// Inverse transfer: current implied by an output voltage.
+  double current_from_voltage(double v_out) const;
+
+  /// Full-scale input current [A] (output at the rail).
+  double full_scale_current() const;
+
+  /// -3 dB bandwidth [Hz] = 1/(2 pi Rf Cf).
+  double bandwidth() const;
+
+  /// First-order settling toward the ideal output; returns the new output.
+  double settle(double i_in, double dt);
+  double output() const { return v_out_; }
+  void reset() { v_out_ = 0.0; }
+
+  /// White input-referred current-noise density [A/sqrt(Hz)]:
+  /// thermal of Rf plus op-amp voltage noise divided by Rf plus op-amp
+  /// current noise.
+  double input_noise_density() const;
+
+  /// 1/f corner of the input-referred current noise [Hz] (inherited from
+  /// the op-amp voltage noise).
+  double flicker_corner() const;
+
+  const TiaSpec& spec() const { return spec_; }
+
+ private:
+  TiaSpec spec_;
+  double v_out_ = 0.0;
+};
+
+/// Catalog preset: oxidase-grade readout (+/-10 uA FS, 10 nA resolution).
+TiaSpec oxidase_class_tia();
+
+/// Catalog preset: CYP-grade readout (+/-100 uA FS, 100 nA resolution).
+TiaSpec cyp_class_tia();
+
+/// Catalog preset: bench-top laboratory potentiostat readout (pA-grade),
+/// used to reproduce the *literature* characterisation of Table III, which
+/// the paper's authors measured on lab instruments rather than the
+/// integrated AFE.
+TiaSpec lab_grade_tia();
+
+}  // namespace idp::afe

@@ -1,0 +1,71 @@
+#include "afe/waveform.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::afe {
+
+ConstantWaveform::ConstantWaveform(double level, double duration)
+    : level_(level), duration_(duration) {
+  util::require(duration > 0.0, "duration must be positive");
+}
+
+TriangleWaveform::TriangleWaveform(double e_start, double e_vertex,
+                                   double scan_rate, int cycles)
+    : e_start_(e_start),
+      e_vertex_(e_vertex),
+      scan_rate_(scan_rate),
+      cycles_(cycles) {
+  util::require(scan_rate > 0.0, "scan rate must be positive");
+  util::require(cycles >= 1, "need at least one cycle");
+  util::require(e_vertex != e_start, "degenerate sweep window");
+}
+
+double TriangleWaveform::half_period() const {
+  return std::fabs(e_vertex_ - e_start_) / scan_rate_;
+}
+
+double TriangleWaveform::duration() const {
+  return 2.0 * half_period() * static_cast<double>(cycles_);
+}
+
+double TriangleWaveform::value(double t) const {
+  if (t <= 0.0) return e_start_;
+  const double hp = half_period();
+  const double total = duration();
+  const double tc = std::min(t, total);
+  const double phase = std::fmod(tc, 2.0 * hp);
+  const double sign = (e_vertex_ > e_start_) ? 1.0 : -1.0;
+  if (t >= total) return e_start_;
+  if (phase <= hp) return e_start_ + sign * scan_rate_ * phase;
+  return e_vertex_ - sign * scan_rate_ * (phase - hp);
+}
+
+int TriangleWaveform::direction(double t) const {
+  if (t < 0.0 || t >= duration()) return 0;
+  const double hp = half_period();
+  const double phase = std::fmod(t, 2.0 * hp);
+  const bool first_half = phase < hp;
+  const bool rising_first = e_vertex_ > e_start_;
+  return (first_half == rising_first) ? +1 : -1;
+}
+
+StaircaseWaveform::StaircaseWaveform(std::vector<double> levels, double dwell)
+    : levels_(std::move(levels)), dwell_(dwell) {
+  util::require(!levels_.empty(), "staircase needs at least one level");
+  util::require(dwell > 0.0, "dwell must be positive");
+}
+
+double StaircaseWaveform::value(double t) const {
+  if (t <= 0.0) return levels_.front();
+  const auto idx = static_cast<std::size_t>(t / dwell_);
+  if (idx >= levels_.size()) return levels_.back();
+  return levels_[idx];
+}
+
+double StaircaseWaveform::duration() const {
+  return dwell_ * static_cast<double>(levels_.size());
+}
+
+}  // namespace idp::afe

@@ -1,0 +1,78 @@
+/// \file waveform.hpp
+/// Voltage-generator waveforms (Section II-C): a fixed potential for
+/// chronoamperometry, a slow triangular sweep for cyclic voltammetry, and a
+/// staircase for multi-level protocols.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace idp::afe {
+
+/// A potential-vs-time program fed to the potentiostat.
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  /// Potential at time t [V]; t beyond duration() holds the final value.
+  virtual double value(double t) const = 0;
+  /// Total programmed duration [s].
+  virtual double duration() const = 0;
+  /// Sweep direction at time t: +1 rising, -1 falling, 0 constant.
+  virtual int direction(double t) const = 0;
+};
+
+using WaveformPtr = std::unique_ptr<Waveform>;
+
+/// Fixed potential for `duration` seconds (chronoamperometry).
+class ConstantWaveform final : public Waveform {
+ public:
+  ConstantWaveform(double level, double duration);
+  double value(double) const override { return level_; }
+  double duration() const override { return duration_; }
+  int direction(double) const override { return 0; }
+
+ private:
+  double level_;
+  double duration_;
+};
+
+/// Symmetric triangular sweep between e_start and e_vertex at `scan_rate`
+/// V/s, repeated for `cycles` cycles (cyclic voltammetry). The paper's cells
+/// only respond faithfully up to ~20 mV/s -- enforcing that is the platform
+/// layer's job; the waveform itself accepts any positive rate.
+class TriangleWaveform final : public Waveform {
+ public:
+  TriangleWaveform(double e_start, double e_vertex, double scan_rate,
+                   int cycles = 1);
+  double value(double t) const override;
+  double duration() const override;
+  int direction(double t) const override;
+
+  double scan_rate() const { return scan_rate_; }
+  double e_start() const { return e_start_; }
+  double e_vertex() const { return e_vertex_; }
+  int cycles() const { return cycles_; }
+  /// Time of one half-sweep [s].
+  double half_period() const;
+
+ private:
+  double e_start_;
+  double e_vertex_;
+  double scan_rate_;
+  int cycles_;
+};
+
+/// Piecewise-constant staircase: level[i] held for dwell seconds each.
+class StaircaseWaveform final : public Waveform {
+ public:
+  StaircaseWaveform(std::vector<double> levels, double dwell);
+  double value(double t) const override;
+  double duration() const override;
+  int direction(double) const override { return 0; }
+
+ private:
+  std::vector<double> levels_;
+  double dwell_;
+};
+
+}  // namespace idp::afe

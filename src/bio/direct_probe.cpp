@@ -1,0 +1,47 @@
+#include "bio/direct_probe.hpp"
+
+#include "util/error.hpp"
+
+namespace idp::bio {
+
+namespace {
+chem::SolutionRedoxConfig system_config(const DirectProbeParams& p) {
+  chem::SolutionRedoxConfig c;
+  c.couple = p.couple;
+  c.area = p.area;
+  c.d_red = p.d_target;
+  c.d_ox = p.d_target;
+  c.c_red_bulk = 0.0;  // target injected later
+  c.c_ox_bulk = 0.0;
+  c.grid_h0 = 1.0e-6;
+  c.grid_beta = 1.15;
+  c.domain_length = p.nernst_layer;
+  return c;
+}
+}  // namespace
+
+DirectProbe::DirectProbe(DirectProbeParams params)
+    : params_(std::move(params)), system_(system_config(params_)) {
+  util::require(params_.area > 0.0, "area must be positive");
+}
+
+void DirectProbe::set_bulk_concentration(const std::string& target, double c) {
+  util::require(target == params_.target,
+                "unknown target '" + target + "' for probe " + params_.name);
+  util::require(c >= 0.0, "negative concentration");
+  bulk_ = c;
+  system_.set_bulk_red(c);
+}
+
+double DirectProbe::step(double e, double dt) {
+  return system_.step(e, dt) + params_.background_current;
+}
+
+void DirectProbe::reset() {
+  // Pre-equilibrated start: the diffusion layer holds the bulk value and a
+  // Cottrell-like depletion transient develops during the run.
+  system_.set_bulk_red(bulk_);
+  system_.reset();
+}
+
+}  // namespace idp::bio

@@ -1,0 +1,35 @@
+/// \file enzyme.hpp
+/// Michaelis-Menten enzyme kinetics -- the rate law behind both probe
+/// families (oxidases in Eq. 1-2 of the paper, CYP turnover in Eq. 4).
+#pragma once
+
+namespace idp::bio {
+
+/// Michaelis-Menten rate law v = vmax * c / (km + c).
+///
+/// For oxidase membranes vmax is volumetric [mol m^-3 s^-1]; for CYP films
+/// the same law is used with a surface-normalised vmax. The apparent km sets
+/// where the calibration curve departs from linearity, i.e. the upper end of
+/// the paper's "linear range" column in Table III.
+struct MichaelisMenten {
+  double vmax = 0.0;  ///< saturating rate
+  double km = 1.0;    ///< half-saturation concentration [mol/m^3]
+
+  /// Reaction rate at concentration c (>= 0; c is clamped at 0).
+  double rate(double c) const {
+    const double cc = c > 0.0 ? c : 0.0;
+    return vmax * cc / (km + cc);
+  }
+
+  /// Low-concentration (first-order) rate constant vmax/km [1/s].
+  double first_order_rate() const { return vmax / km; }
+
+  /// Relative deviation from the first-order line at concentration c:
+  /// 1 - rate(c)/(first_order * c); grows as c approaches km.
+  double nonlinearity(double c) const {
+    if (c <= 0.0) return 0.0;
+    return 1.0 - rate(c) / (first_order_rate() * c);
+  }
+};
+
+}  // namespace idp::bio

@@ -1,0 +1,30 @@
+#include "bio/interference.hpp"
+
+#include "bio/library.hpp"
+
+namespace idp::bio {
+
+bool directly_electroactive(TargetId id) {
+  return id == TargetId::kDopamine || id == TargetId::kEtoposide;
+}
+
+bool cds_blank_effective(TargetId id) { return !directly_electroactive(id); }
+
+bool can_share_chamber(TargetId a, TargetId b) {
+  // A direct oxidizer adds faradaic current on *any* positively polarised
+  // electrode in the chamber, corrupting chronoamperometric (oxidase)
+  // readings; CV probes discriminate by potential, so they tolerate it.
+  auto positive_potential_ca = [](TargetId id) {
+    const TargetSpec& s = spec(id);
+    const bool amperometric = s.family == ProbeFamily::kOxidase ||
+                              s.family == ProbeFamily::kDirectOxidation;
+    return amperometric && s.operating_potential > 0.0;
+  };
+  if (directly_electroactive(a) && positive_potential_ca(b)) return false;
+  if (directly_electroactive(b) && positive_potential_ca(a)) return false;
+  // Oxidase products (H2O2) diffuse too slowly for cross-talk (Section II-A),
+  // and CYP films respond only near their reduction potentials.
+  return true;
+}
+
+}  // namespace idp::bio

@@ -1,0 +1,28 @@
+/// \file interference.hpp
+/// Cross-talk and interference rules (Sections II-A and II-C of the paper):
+///   * H2O2 diffuses slowly, so co-located oxidase electrodes are assumed
+///     cross-talk free -- the basis for single-chamber multi-target sensing;
+///   * some molecules (dopamine, etoposide) oxidise directly on a bare
+///     electrode, so a blank working electrode is NOT a valid CDS reference
+///     for them and co-chamber chronoamperometry sees them as interferents.
+#pragma once
+
+#include "bio/library_ids.hpp"
+
+namespace idp::bio {
+
+/// True if the molecule oxidises at a polarised bare electrode without any
+/// enzyme (the paper names dopamine and etoposide).
+bool directly_electroactive(TargetId id);
+
+/// True if a blank working electrode is a valid correlated-double-sampling
+/// reference when measuring this target (false for direct oxidizers -- the
+/// blank would subtract signal, the paper's Section II-C caveat).
+bool cds_blank_effective(TargetId id);
+
+/// True if targets a and b can share a measurement chamber. Oxidase pairs
+/// share (slow H2O2 diffusion); a direct oxidizer poisons any co-chamber
+/// chronoamperometric measurement held at a positive potential.
+bool can_share_chamber(TargetId a, TargetId b);
+
+}  // namespace idp::bio

@@ -1,0 +1,42 @@
+/// \file library_ids.hpp
+/// Identifiers for every target molecule the paper discusses (endogenous
+/// metabolites of Table I and exogenous drug compounds of Table II, plus the
+/// two direct oxidizers named in Section II-C).
+#pragma once
+
+#include <string>
+
+namespace idp::bio {
+
+/// Target molecules known to the probe library.
+enum class TargetId {
+  // endogenous metabolites (oxidase-sensed, Table I)
+  kGlucose,
+  kLactate,
+  kGlutamate,
+  kCholesterol,  // sensed by CYP11A1 in the paper's platform (Table III)
+  // exogenous drug compounds (CYP-sensed, Table II)
+  kBenzphetamine,
+  kAminopyrine,
+  kClozapine,
+  kErythromycin,
+  kIndinavir,
+  kBupropion,
+  kLidocaine,
+  kTorsemide,
+  kDiclofenac,
+  kPNitrophenol,
+  // directly electroactive molecules (Section II-C caveat)
+  kDopamine,
+  kEtoposide,
+};
+
+/// Number of distinct targets (for iteration in tests/benches).
+inline constexpr int kTargetCount = 16;
+
+std::string to_string(TargetId id);
+
+/// Inverse of to_string; throws std::invalid_argument for unknown names.
+TargetId target_from_string(const std::string& name);
+
+}  // namespace idp::bio

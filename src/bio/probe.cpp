@@ -1,0 +1,13 @@
+#include "bio/probe.hpp"
+
+namespace idp::bio {
+
+std::string to_string(Technique t) {
+  switch (t) {
+    case Technique::kChronoamperometry: return "chronoamperometry";
+    case Technique::kCyclicVoltammetry: return "cyclic voltammetry";
+  }
+  return "?";
+}
+
+}  // namespace idp::bio

@@ -1,0 +1,59 @@
+#include "chem/cell.hpp"
+
+#include "util/error.hpp"
+
+namespace idp::chem {
+
+ThreeElectrodeCell::ThreeElectrodeCell(std::vector<Electrode> working,
+                                       Electrode reference, Electrode counter,
+                                       CellImpedance impedance)
+    : working_(std::move(working)),
+      reference_(reference),
+      counter_(counter),
+      impedance_(impedance) {
+  util::require(!working_.empty(), "cell needs at least one working electrode");
+  for (const auto& we : working_) {
+    util::require(we.role() == ElectrodeRole::kWorking,
+                  "non-WE electrode in working list");
+  }
+  util::require(reference_.role() == ElectrodeRole::kReference,
+                "reference electrode has wrong role");
+  util::require(counter_.role() == ElectrodeRole::kCounter,
+                "counter electrode has wrong role");
+  util::require(impedance_.r_solution > 0.0 && impedance_.r_counter > 0.0,
+                "cell resistances must be positive");
+}
+
+const Electrode& ThreeElectrodeCell::working(std::size_t i) const {
+  util::require(i < working_.size(), "working electrode index out of range");
+  return working_[i];
+}
+
+bool ThreeElectrodeCell::counter_adequate() const {
+  return counter_.area() >= total_working_area();
+}
+
+double ThreeElectrodeCell::total_working_area() const {
+  double a = 0.0;
+  for (const auto& we : working_) a += we.area();
+  return a;
+}
+
+ThreeElectrodeCell make_fig4_cell(std::size_t n_we) {
+  util::require(n_we >= 1, "need at least one working electrode");
+  constexpr double kPadArea = 0.23e-6;  // 0.23 mm^2, Section III
+  std::vector<Electrode> working;
+  working.reserve(n_we);
+  for (std::size_t i = 0; i < n_we; ++i) {
+    working.emplace_back(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                         ElectrodeGeometry{kPadArea});
+  }
+  const Electrode reference(ElectrodeRole::kReference,
+                            ElectrodeMaterial::kSilver,
+                            ElectrodeGeometry{kPadArea});
+  const Electrode counter(ElectrodeRole::kCounter, ElectrodeMaterial::kGold,
+                          ElectrodeGeometry{kPadArea * static_cast<double>(n_we)});
+  return ThreeElectrodeCell(std::move(working), reference, counter);
+}
+
+}  // namespace idp::chem

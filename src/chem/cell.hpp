@@ -1,0 +1,59 @@
+/// \file cell.hpp
+/// Three-electrode electrochemical cells and their physical layout
+/// (Section II of the paper: single sensor, n+2-electrode multi-WE sensor,
+/// 1-D / 2-D arrays, separate chambers).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chem/electrode.hpp"
+
+namespace idp::chem {
+
+/// Solution resistances seen by the potentiostat loop (used by the AFE model
+/// to compute regulation error and settling).
+struct CellImpedance {
+  double r_solution = 1.0e3;   ///< RE-to-WE electrolyte resistance [ohm]
+  double r_counter = 5.0e2;    ///< CE interface + spreading resistance [ohm]
+};
+
+/// A three-electrode cell: one or more working electrodes sharing one
+/// reference and one counter electrode -- the paper's "n + 2 electrodes for
+/// n targets" structure. Invariants: >= 1 WE, RE is Ag, CE present.
+class ThreeElectrodeCell {
+ public:
+  ThreeElectrodeCell(std::vector<Electrode> working, Electrode reference,
+                     Electrode counter,
+                     CellImpedance impedance = CellImpedance{});
+
+  std::size_t working_count() const { return working_.size(); }
+  const Electrode& working(std::size_t i) const;
+  const Electrode& reference() const { return reference_; }
+  const Electrode& counter() const { return counter_; }
+  const CellImpedance& impedance() const { return impedance_; }
+
+  /// Total electrode count = n WE + RE + CE (the paper's n+2).
+  std::size_t electrode_count() const { return working_.size() + 2; }
+
+  /// The counter electrode should carry the summed WE current without
+  /// becoming rate-limiting; flag when its area is below the summed WE area.
+  bool counter_adequate() const;
+
+  /// Sum of working-electrode geometric areas [m^2].
+  double total_working_area() const;
+
+ private:
+  std::vector<Electrode> working_;
+  Electrode reference_;
+  Electrode counter_;
+  CellImpedance impedance_;
+};
+
+/// Convenience factory for the paper's Fig. 4 biointerface: `n_we` gold
+/// working electrodes of 0.23 mm^2, a gold counter electrode sized to the
+/// summed WE area, and an Ag reference.
+ThreeElectrodeCell make_fig4_cell(std::size_t n_we);
+
+}  // namespace idp::chem

@@ -1,0 +1,94 @@
+/// \file diffusion.hpp
+/// Implicit (backward-Euler) finite-volume solver for 1-D diffusion with
+/// reaction sources -- the workhorse behind every simulated electrode.
+///
+/// The formulation is mass-conservative: with sealed boundaries the total
+/// amount of substance is preserved to solver precision, which the property
+/// tests check. The electrode boundary supports simultaneously
+///   * a first-order heterogeneous consumption (flux_out = k_het * c(0)),
+///     used for species oxidised/reduced at the electrode, and
+///   * an injection flux (mol m^-2 s^-1), used for species *produced* at the
+///     electrode (e.g. the reduced half of a redox couple).
+/// The far boundary is either a Dirichlet bulk reservoir or a no-flux wall.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "chem/grid.hpp"
+
+namespace idp::chem {
+
+/// Far-boundary condition of a diffusion field.
+enum class FarBoundary {
+  kBulkReservoir,  ///< Dirichlet: concentration pinned to bulk value
+  kSealed,         ///< no-flux wall (used by conservation tests / chambers)
+};
+
+/// Concentration field of one species on a 1-D grid, advanced implicitly.
+class DiffusionField {
+ public:
+  /// \param grid          spatial grid (node 0 = electrode surface)
+  /// \param diffusivity   per-node diffusivity [m^2/s]; must match grid size.
+  ///                      Layered media (membrane vs bulk) use different
+  ///                      values per node; interface values use harmonic
+  ///                      means so flux continuity holds.
+  /// \param c_init        initial uniform concentration [mol/m^3]
+  DiffusionField(Grid1D grid, std::vector<double> diffusivity, double c_init);
+
+  /// Convenience: uniform diffusivity everywhere.
+  DiffusionField(Grid1D grid, double diffusivity, double c_init);
+
+  // --- boundary & source configuration (persist across steps) -------------
+  void set_far_boundary(FarBoundary fb) { far_ = fb; }
+  /// Bulk reservoir concentration (Dirichlet value). Also the value new
+  /// solution entering the domain carries.
+  void set_bulk_concentration(double c);
+  /// First-order heterogeneous rate constant at the electrode [m/s].
+  void set_electrode_rate(double k_het);
+  /// Production flux of this species at the electrode [mol m^-2 s^-1].
+  void set_electrode_injection(double flux);
+  /// Volumetric source for the *next* step [mol m^-3 s^-1] per node; cleared
+  /// automatically after each step.
+  void set_source(std::span<const double> source_per_node);
+
+  /// Reset the whole profile to a uniform concentration.
+  void fill(double c);
+
+  // --- time stepping -------------------------------------------------------
+  /// Advance by dt seconds; returns the electrode *consumption* flux
+  /// J = k_het * c(0, t+dt) in mol m^-2 s^-1 (>= 0).
+  double step(double dt);
+
+  // --- observers -----------------------------------------------------------
+  double at_electrode() const { return c_.front(); }
+  double at(std::size_t i) const { return c_[i]; }
+  std::size_t size() const { return c_.size(); }
+  const Grid1D& grid() const { return grid_; }
+  const std::vector<double>& concentrations() const { return c_; }
+  /// Integral of c over the domain [mol/m^2]; exact FV sum.
+  double total_per_area() const;
+
+ private:
+  Grid1D grid_;
+  std::vector<double> d_;        ///< per-node diffusivity
+  std::vector<double> d_face_;   ///< harmonic-mean interface diffusivity
+  std::vector<double> c_;
+  std::vector<double> source_;
+  bool source_set_ = false;
+
+  FarBoundary far_ = FarBoundary::kBulkReservoir;
+  double c_bulk_ = 0.0;
+  double k_het_ = 0.0;
+  double injection_ = 0.0;
+
+  // scratch buffers for the tridiagonal assembly
+  std::vector<double> lower_, diag_, upper_, rhs_;
+};
+
+/// Build a per-node diffusivity vector for a membrane+bulk grid: nodes inside
+/// the membrane get d_membrane, the rest d_bulk.
+std::vector<double> layered_diffusivity(const Grid1D& grid, double d_membrane,
+                                        double d_bulk);
+
+}  // namespace idp::chem

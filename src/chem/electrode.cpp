@@ -1,0 +1,96 @@
+#include "chem/electrode.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace idp::chem {
+
+std::string to_string(ElectrodeMaterial m) {
+  switch (m) {
+    case ElectrodeMaterial::kGold: return "Au";
+    case ElectrodeMaterial::kSilver: return "Ag";
+    case ElectrodeMaterial::kPlatinum: return "Pt";
+    case ElectrodeMaterial::kGlassyCarbon: return "glassy carbon";
+    case ElectrodeMaterial::kScreenPrintedCarbon: return "screen-printed C";
+    case ElectrodeMaterial::kRhodiumGraphite: return "Rh-graphite";
+  }
+  return "?";
+}
+
+std::string to_string(Nanostructure n) {
+  switch (n) {
+    case Nanostructure::kNone: return "bare";
+    case Nanostructure::kCarbonNanotube: return "MWCNT";
+    case Nanostructure::kCobaltOxide: return "CoOx-nano";
+    case Nanostructure::kColloidalClay: return "colloidal clay";
+    case Nanostructure::kZirconiaNano: return "ZrO2-nano";
+  }
+  return "?";
+}
+
+std::string to_string(ElectrodeRole r) {
+  switch (r) {
+    case ElectrodeRole::kWorking: return "WE";
+    case ElectrodeRole::kReference: return "RE";
+    case ElectrodeRole::kCounter: return "CE";
+  }
+  return "?";
+}
+
+double ElectrodeGeometry::characteristic_radius() const {
+  return std::sqrt(area / std::numbers::pi);
+}
+
+bool ElectrodeGeometry::is_microelectrode() const {
+  return characteristic_radius() < 25.0e-6;
+}
+
+Electrode::Electrode(ElectrodeRole role, ElectrodeMaterial material,
+                     ElectrodeGeometry geometry, Nanostructure nano)
+    : role_(role), material_(material), geometry_(geometry), nano_(nano) {
+  util::require(geometry_.area > 0.0, "electrode area must be positive");
+  if (role_ == ElectrodeRole::kReference) {
+    util::require(material_ == ElectrodeMaterial::kSilver,
+                  "reference electrode must be Ag/AgCl in this platform");
+    util::require(nano_ == Nanostructure::kNone,
+                  "reference electrodes are not nanostructured");
+  }
+}
+
+double Electrode::roughness_factor() const {
+  switch (nano_) {
+    case Nanostructure::kNone: return 1.0;
+    case Nanostructure::kCarbonNanotube: return 4.0;
+    case Nanostructure::kCobaltOxide: return 3.0;
+    case Nanostructure::kColloidalClay: return 1.8;
+    case Nanostructure::kZirconiaNano: return 2.2;
+  }
+  return 1.0;
+}
+
+namespace {
+/// Specific double-layer capacitance [F/m^2] (20..35 uF/cm^2 textbook range).
+double specific_capacitance(ElectrodeMaterial m) {
+  switch (m) {
+    case ElectrodeMaterial::kGold: return 0.20;
+    case ElectrodeMaterial::kSilver: return 0.22;
+    case ElectrodeMaterial::kPlatinum: return 0.25;
+    case ElectrodeMaterial::kGlassyCarbon: return 0.28;
+    case ElectrodeMaterial::kScreenPrintedCarbon: return 0.35;
+    case ElectrodeMaterial::kRhodiumGraphite: return 0.30;
+  }
+  return 0.25;
+}
+}  // namespace
+
+double Electrode::double_layer_capacitance() const {
+  return specific_capacitance(material_) * effective_area();
+}
+
+double Electrode::charging_current(double de_dt) const {
+  return double_layer_capacitance() * de_dt;
+}
+
+}  // namespace idp::chem

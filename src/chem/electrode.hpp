@@ -1,0 +1,91 @@
+/// \file electrode.hpp
+/// Electrode geometry, materials and nanostructuration (Section III of the
+/// paper: Au working/counter electrodes, Ag reference, 0.23 mm^2 area,
+/// carbon-nanotube / rhodium-graphite functionalisation).
+#pragma once
+
+#include <string>
+
+namespace idp::chem {
+
+/// Role of an electrode in a three-electrode cell.
+enum class ElectrodeRole { kWorking, kReference, kCounter };
+
+/// Electrode bulk material (determines double-layer capacitance and which
+/// roles it can credibly serve).
+enum class ElectrodeMaterial {
+  kGold,
+  kSilver,           ///< reference electrodes (Ag/AgCl)
+  kPlatinum,
+  kGlassyCarbon,
+  kScreenPrintedCarbon,
+  kRhodiumGraphite,  ///< used by Shumyantseva et al. for CYP2B4 [16]
+};
+
+/// Nanostructuration of the working electrode surface. The paper notes that
+/// nanostructures raise sensitivity (via effective area / electron transfer)
+/// at the price of a larger background.
+enum class Nanostructure {
+  kNone,
+  kCarbonNanotube,   ///< used for glucose/lactate/glutamate/cholesterol [8][15]
+  kCobaltOxide,      ///< cholesterol biosensor of Salimi et al. [11]
+  kColloidalClay,    ///< CYP2B4 films of Shumyantseva et al. [17]
+  kZirconiaNano,     ///< CYP2B6 films of Peng et al. [19]
+};
+
+/// Human-readable names (for reports).
+std::string to_string(ElectrodeMaterial m);
+std::string to_string(Nanostructure n);
+std::string to_string(ElectrodeRole r);
+
+/// Planar electrode geometry. The paper's platform uses 0.23 mm^2 pads;
+/// electrodes with a characteristic radius below ~25 um behave as
+/// microelectrodes (faster response, smaller background).
+struct ElectrodeGeometry {
+  double area = 0.23e-6;  ///< [m^2] == 0.23 mm^2, Fig. 4 default
+
+  /// Radius of the equivalent disc [m].
+  double characteristic_radius() const;
+  /// True if the equivalent disc radius is below the micro threshold (25 um).
+  bool is_microelectrode() const;
+};
+
+/// A physical electrode: role + material + geometry + nanostructure.
+/// Invariants: positive area; reference electrodes must be silver (Ag/AgCl
+/// in this platform); enforced at construction.
+class Electrode {
+ public:
+  Electrode(ElectrodeRole role, ElectrodeMaterial material,
+            ElectrodeGeometry geometry,
+            Nanostructure nano = Nanostructure::kNone);
+
+  ElectrodeRole role() const { return role_; }
+  ElectrodeMaterial material() const { return material_; }
+  Nanostructure nanostructure() const { return nano_; }
+  double area() const { return geometry_.area; }
+  const ElectrodeGeometry& geometry() const { return geometry_; }
+
+  /// Electroactive-surface multiplier contributed by the nanostructure
+  /// (>= 1; CNT forests expose several times the geometric area).
+  double roughness_factor() const;
+
+  /// Geometric area times roughness [m^2].
+  double effective_area() const { return area() * roughness_factor(); }
+
+  /// Double-layer capacitance [F]: specific capacitance of the material
+  /// times the *effective* area (nanostructures raise the background too,
+  /// which is exactly the trade-off Section III discusses).
+  double double_layer_capacitance() const;
+
+  /// Capacitive background current for a potential ramp dE/dt [A]:
+  /// i_dl = C_dl * dE/dt. This is the non-faradaic background of CV.
+  double charging_current(double de_dt) const;
+
+ private:
+  ElectrodeRole role_;
+  ElectrodeMaterial material_;
+  ElectrodeGeometry geometry_;
+  Nanostructure nano_;
+};
+
+}  // namespace idp::chem

@@ -1,0 +1,63 @@
+#include "chem/grid.hpp"
+
+#include "util/error.hpp"
+
+namespace idp::chem {
+
+Grid1D::Grid1D(std::vector<double> x, std::size_t membrane_nodes)
+    : x_(std::move(x)), membrane_nodes_(membrane_nodes) {
+  util::require(x_.size() >= 3, "grid needs at least three nodes");
+  h_.resize(x_.size() - 1);
+  for (std::size_t i = 0; i + 1 < x_.size(); ++i) {
+    h_[i] = x_[i + 1] - x_[i];
+    util::require(h_[i] > 0.0, "grid nodes must be strictly increasing");
+  }
+  cv_.resize(x_.size());
+  cv_.front() = h_.front() / 2.0;
+  cv_.back() = h_.back() / 2.0;
+  for (std::size_t i = 1; i + 1 < x_.size(); ++i) {
+    cv_[i] = (h_[i - 1] + h_[i]) / 2.0;
+  }
+}
+
+Grid1D Grid1D::uniform(double length, std::size_t n) {
+  util::require(length > 0.0, "length must be positive");
+  util::require(n >= 3, "need at least three nodes");
+  std::vector<double> x(n);
+  const double dx = length / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) x[i] = dx * static_cast<double>(i);
+  x.back() = length;
+  return Grid1D(std::move(x));
+}
+
+Grid1D Grid1D::expanding(double h0, double beta, double length) {
+  util::require(h0 > 0.0, "h0 must be positive");
+  util::require(beta >= 1.0 && beta <= 2.0, "beta must be in [1,2]");
+  util::require(length > h0, "length must exceed first spacing");
+  std::vector<double> x{0.0};
+  double h = h0;
+  while (x.back() < length) {
+    x.push_back(x.back() + h);
+    h *= beta;
+  }
+  return Grid1D(std::move(x));
+}
+
+Grid1D Grid1D::membrane_bulk(double membrane_thickness, std::size_t n_membrane,
+                             double beta, double bulk_length) {
+  util::require(membrane_thickness > 0.0, "membrane thickness must be positive");
+  util::require(n_membrane >= 3, "need at least three membrane nodes");
+  util::require(bulk_length > 0.0, "bulk length must be positive");
+  std::vector<double> x(n_membrane);
+  const double dx = membrane_thickness / static_cast<double>(n_membrane - 1);
+  for (std::size_t i = 0; i < n_membrane; ++i) x[i] = dx * static_cast<double>(i);
+  x[n_membrane - 1] = membrane_thickness;
+  double h = dx;
+  while (x.back() < membrane_thickness + bulk_length) {
+    h *= beta;
+    x.push_back(x.back() + h);
+  }
+  return Grid1D(std::move(x), n_membrane);
+}
+
+}  // namespace idp::chem

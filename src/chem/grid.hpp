@@ -1,0 +1,58 @@
+/// \file grid.hpp
+/// One-dimensional spatial grids for the diffusion solver.
+///
+/// Electrochemical diffusion layers are thin (micrometres) near the electrode
+/// and grow as sqrt(D t); an exponentially expanding grid (Feldberg) covers
+/// both scales with a few tens of nodes. Enzyme-membrane sensors additionally
+/// need a uniform fine region across the membrane.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace idp::chem {
+
+/// Immutable 1-D grid. Node 0 sits on the electrode surface (x = 0); the last
+/// node is the bulk boundary. Spacing h(i) separates nodes i and i+1; each
+/// node owns a finite-volume control cell of width cv(i) (half cells at the
+/// two boundaries), so that sum(cv) == domain length exactly.
+class Grid1D {
+ public:
+  /// Uniform grid with n nodes spanning [0, length].
+  static Grid1D uniform(double length, std::size_t n);
+
+  /// Expanding grid: first spacing h0, each next spacing multiplied by beta,
+  /// until `length` is covered. beta in [1, 1.5] keeps FD error acceptable.
+  static Grid1D expanding(double h0, double beta, double length);
+
+  /// Membrane + bulk grid: uniform fine region across [0, membrane_thickness]
+  /// with n_membrane nodes, then expanding spacings (factor beta) out to
+  /// membrane_thickness + bulk_length. The membrane/bulk interface falls
+  /// exactly on a node.
+  static Grid1D membrane_bulk(double membrane_thickness, std::size_t n_membrane,
+                              double beta, double bulk_length);
+
+  std::size_t size() const { return x_.size(); }
+  double x(std::size_t i) const { return x_[i]; }
+  /// Spacing between node i and i+1 (i < size()-1).
+  double h(std::size_t i) const { return h_[i]; }
+  /// Finite-volume cell width owned by node i.
+  double cv(std::size_t i) const { return cv_[i]; }
+  double length() const { return x_.back(); }
+
+  /// Number of leading nodes inside the membrane region (0 for plain grids);
+  /// the node at the interface counts as membrane.
+  std::size_t membrane_nodes() const { return membrane_nodes_; }
+
+  const std::vector<double>& nodes() const { return x_; }
+
+ private:
+  explicit Grid1D(std::vector<double> x, std::size_t membrane_nodes = 0);
+
+  std::vector<double> x_;   ///< node positions
+  std::vector<double> h_;   ///< spacings, size()-1 entries
+  std::vector<double> cv_;  ///< control-volume widths
+  std::size_t membrane_nodes_ = 0;
+};
+
+}  // namespace idp::chem

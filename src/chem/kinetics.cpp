@@ -1,0 +1,61 @@
+#include "chem/kinetics.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace idp::chem {
+
+double cottrell_current(int n, double area, double conc, double diffusivity,
+                        double t) {
+  util::require(t > 0.0, "Cottrell needs t > 0");
+  util::require(n >= 1 && area > 0.0 && conc >= 0.0 && diffusivity > 0.0,
+                "invalid Cottrell parameters");
+  return static_cast<double>(n) * util::kFaraday * area * conc *
+         std::sqrt(diffusivity / (std::numbers::pi * t));
+}
+
+double randles_sevcik_peak_current(int n, double area, double diffusivity,
+                                   double conc, double scan_rate) {
+  util::require(n >= 1 && area > 0.0 && conc >= 0.0 && diffusivity > 0.0 &&
+                    scan_rate > 0.0,
+                "invalid Randles-Sevcik parameters");
+  const double nn = static_cast<double>(n);
+  return 0.4463 * nn * util::kFaraday * area * conc *
+         std::sqrt(nn * util::kFaraday * scan_rate * diffusivity /
+                   (util::kGasConstant * util::kStandardTemperatureK));
+}
+
+double reversible_anodic_peak_potential(double e_half, int n) {
+  return e_half + 1.109 * util::kThermalVoltage / static_cast<double>(n);
+}
+
+double reversible_cathodic_peak_potential(double e_half, int n) {
+  return e_half - 1.109 * util::kThermalVoltage / static_cast<double>(n);
+}
+
+double laviron_surface_peak_current(int n, double area, double coverage,
+                                    double scan_rate) {
+  util::require(n >= 1 && area > 0.0 && coverage >= 0.0 && scan_rate > 0.0,
+                "invalid Laviron parameters");
+  const double nn = static_cast<double>(n);
+  return nn * nn * util::kFaraday * util::kFaraday * area * coverage *
+         scan_rate /
+         (4.0 * util::kGasConstant * util::kStandardTemperatureK);
+}
+
+double surface_wave_fwhm(int n) {
+  return 3.53 * util::kThermalVoltage / static_cast<double>(n);
+}
+
+double microdisc_limiting_current(int n, double diffusivity, double conc,
+                                  double radius) {
+  util::require(n >= 1 && diffusivity > 0.0 && conc >= 0.0 && radius > 0.0,
+                "invalid microdisc parameters");
+  return 4.0 * static_cast<double>(n) * util::kFaraday * diffusivity * conc *
+         radius;
+}
+
+}  // namespace idp::chem

@@ -1,0 +1,45 @@
+/// \file kinetics.hpp
+/// Closed-form electrochemical reference results used to validate the
+/// numerical solver (and handy for quick estimates in the platform explorer).
+#pragma once
+
+namespace idp::chem {
+
+/// Cottrell current of a diffusion-limited chronoamperometric step:
+///   i(t) = n F A C sqrt(D / (pi t)).
+/// \param n     electrons transferred
+/// \param area  electrode area [m^2]
+/// \param conc  bulk concentration [mol/m^3]
+/// \param diffusivity [m^2/s]
+/// \param t     time since the potential step [s], > 0
+double cottrell_current(int n, double area, double conc, double diffusivity,
+                        double t);
+
+/// Randles-Sevcik peak current of a reversible, diffusion-controlled CV:
+///   ip = 0.4463 n F A C sqrt(n F v D / (R T)).
+/// \param scan_rate [V/s]
+double randles_sevcik_peak_current(int n, double area, double diffusivity,
+                                   double conc, double scan_rate);
+
+/// Anodic peak potential of a reversible couple: Ep = E_half + 1.109 RT/(nF).
+double reversible_anodic_peak_potential(double e_half, int n);
+
+/// Cathodic peak potential of a reversible couple: Ep = E_half - 1.109 RT/(nF).
+double reversible_cathodic_peak_potential(double e_half, int n);
+
+/// Peak current of a reversible *surface-confined* couple (Laviron):
+///   ip = n^2 F^2 A Gamma v / (4 R T).
+/// \param coverage  surface coverage Gamma [mol/m^2]
+double laviron_surface_peak_current(int n, double area, double coverage,
+                                    double scan_rate);
+
+/// Full width at half maximum of a reversible surface wave: 3.53 RT/(nF)
+/// (the textbook 90.6/n mV at 25 C).
+double surface_wave_fwhm(int n);
+
+/// Steady-state limiting current of a microdisc electrode of radius r:
+///   i = 4 n F D C r.
+double microdisc_limiting_current(int n, double diffusivity, double conc,
+                                  double radius);
+
+}  // namespace idp::chem

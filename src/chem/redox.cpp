@@ -1,0 +1,44 @@
+#include "chem/redox.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace idp::chem {
+
+namespace {
+constexpr double kRateCap = 1.0e3;  // m/s or 1/s; effectively "infinitely fast"
+}
+
+BvRates butler_volmer_rates(const RedoxCouple& couple, double e) {
+  const double f = util::kFOverRT;
+  const double eta = e - couple.e0;
+  const double n = static_cast<double>(couple.n);
+  BvRates r;
+  r.kf = std::min(kRateCap,
+                  couple.k0 * std::exp((1.0 - couple.alpha) * n * f * eta));
+  r.kb = std::min(kRateCap, couple.k0 * std::exp(-couple.alpha * n * f * eta));
+  return r;
+}
+
+double nernst_potential(const RedoxCouple& couple, double c_ox, double c_red) {
+  util::require(c_ox > 0.0 && c_red > 0.0,
+                "Nernst requires positive concentrations");
+  const double n = static_cast<double>(couple.n);
+  return couple.e0 + util::kThermalVoltage / n * std::log(c_ox / c_red);
+}
+
+SurfaceRates laviron_rates(const RedoxCouple& couple, double ks, double e) {
+  util::require(ks > 0.0, "surface rate must be positive");
+  const double f = util::kFOverRT;
+  const double eta = e - couple.e0;
+  const double n = static_cast<double>(couple.n);
+  SurfaceRates r;
+  r.k_ox = std::min(kRateCap, ks * std::exp((1.0 - couple.alpha) * n * f * eta));
+  r.k_red = std::min(kRateCap, ks * std::exp(-couple.alpha * n * f * eta));
+  return r;
+}
+
+}  // namespace idp::chem

@@ -1,0 +1,48 @@
+/// \file redox.hpp
+/// Redox couples and Butler-Volmer / Nernst electrode kinetics.
+///
+/// Sign conventions (IUPAC): anodic (oxidation) current is positive.
+/// All potentials are vs. Ag/AgCl, matching the paper's Tables I and II.
+#pragma once
+
+#include <string>
+
+namespace idp::chem {
+
+/// A one-step redox couple  R  <->  O + n e-.
+struct RedoxCouple {
+  std::string name;
+  int n = 1;            ///< electrons transferred
+  double e0 = 0.0;      ///< formal potential vs Ag/AgCl [V]
+  double k0 = 1.0e-5;   ///< standard heterogeneous rate constant [m/s]
+  double alpha = 0.5;   ///< charge-transfer coefficient
+};
+
+/// Forward/backward heterogeneous rate constants at potential E [m/s].
+/// kf drives oxidation (R -> O), kb reduction (O -> R). Both are capped at
+/// 1e3 m/s -- far above any diffusion-limited rate -- to keep the implicit
+/// solver well-conditioned at extreme overpotentials.
+struct BvRates {
+  double kf = 0.0;
+  double kb = 0.0;
+};
+
+/// Butler-Volmer rates for `couple` at electrode potential `e` [V].
+BvRates butler_volmer_rates(const RedoxCouple& couple, double e);
+
+/// Equilibrium (Nernst) potential for the given surface concentrations.
+/// Requires c_ox > 0 and c_red > 0.
+double nernst_potential(const RedoxCouple& couple, double c_ox, double c_red);
+
+/// Dimensionless surface rates for a *surface-confined* couple (Laviron);
+/// same expressions as Butler-Volmer but with k0 in 1/s.
+struct SurfaceRates {
+  double k_ox = 0.0;  ///< red -> ox rate [1/s]
+  double k_red = 0.0; ///< ox -> red rate [1/s]
+};
+
+/// Laviron surface electron-transfer rates for an adsorbed couple with
+/// standard rate ks [1/s] at potential `e` [V].
+SurfaceRates laviron_rates(const RedoxCouple& couple, double ks, double e);
+
+}  // namespace idp::chem

@@ -1,0 +1,46 @@
+/// \file species.hpp
+/// Dissolved chemical species and their transport properties.
+///
+/// Concentrations are mol/m^3 (== mM) everywhere; diffusivities are m^2/s.
+#pragma once
+
+#include <string>
+
+namespace idp::chem {
+
+/// A dissolved species taking part in transport and reactions.
+struct Species {
+  std::string name;
+  double diffusivity = 1.0e-9;  ///< aqueous bulk diffusivity [m^2/s]
+  int charge = 0;               ///< signed elementary charge (informative)
+};
+
+/// Catalogue of species referenced by the paper. Diffusivities are standard
+/// aqueous values at 25 C (order 1e-9 m^2/s; H2O2 deliberately at the low
+/// end, which is what lets the paper assume negligible inter-electrode
+/// cross-talk in shared chambers).
+namespace species {
+
+inline const Species hydrogen_peroxide{"H2O2", 1.43e-9, 0};
+inline const Species oxygen{"O2", 2.10e-9, 0};
+inline const Species glucose{"glucose", 6.7e-10, 0};
+inline const Species lactate{"lactate", 1.03e-9, -1};
+inline const Species glutamate{"glutamate", 7.6e-10, -1};
+inline const Species cholesterol{"cholesterol", 2.5e-10, 0};
+inline const Species benzphetamine{"benzphetamine", 5.5e-10, 0};
+inline const Species aminopyrine{"aminopyrine", 6.0e-10, 0};
+inline const Species clozapine{"clozapine", 5.0e-10, 0};
+inline const Species erythromycin{"erythromycin", 4.0e-10, 0};
+inline const Species indinavir{"indinavir", 4.2e-10, 0};
+inline const Species bupropion{"bupropion", 5.8e-10, 0};
+inline const Species lidocaine{"lidocaine", 6.3e-10, 0};
+inline const Species torsemide{"torsemide", 4.8e-10, 0};
+inline const Species diclofenac{"diclofenac", 5.2e-10, 0};
+inline const Species p_nitrophenol{"p-nitrophenol", 8.0e-10, 0};
+inline const Species dopamine{"dopamine", 6.0e-10, 0};
+inline const Species etoposide{"etoposide", 4.5e-10, 0};
+inline const Species ferrocyanide{"Fe(CN)6^4-", 6.5e-10, -4};
+
+}  // namespace species
+
+}  // namespace idp::chem

@@ -1,0 +1,37 @@
+#include "chem/tridiag.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::chem {
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs) {
+  const std::size_t n = diag.size();
+  util::require(n >= 1, "empty system");
+  util::require(lower.size() == n && upper.size() == n && rhs.size() == n,
+                "band size mismatch");
+
+  std::vector<double> c_prime(n), d_prime(n);
+  double denom = diag[0];
+  util::ensure(std::fabs(denom) > 0.0, "singular tridiagonal system");
+  c_prime[0] = upper[0] / denom;
+  d_prime[0] = rhs[0] / denom;
+  for (std::size_t i = 1; i < n; ++i) {
+    denom = diag[i] - lower[i] * c_prime[i - 1];
+    util::ensure(std::fabs(denom) > 0.0, "singular tridiagonal system");
+    c_prime[i] = upper[i] / denom;
+    d_prime[i] = (rhs[i] - lower[i] * d_prime[i - 1]) / denom;
+  }
+  std::vector<double> x(n);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+  }
+  return x;
+}
+
+}  // namespace idp::chem

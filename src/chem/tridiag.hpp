@@ -1,0 +1,21 @@
+/// \file tridiag.hpp
+/// Thomas algorithm for tridiagonal systems -- the inner kernel of the
+/// implicit (backward-Euler) diffusion step.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace idp::chem {
+
+/// Solve the tridiagonal system
+///   lower[i]*x[i-1] + diag[i]*x[i] + upper[i]*x[i+1] = rhs[i]
+/// (lower[0] and upper[n-1] are ignored). All spans must have equal size
+/// >= 1; the matrix must be non-singular (diagonally dominant in our use).
+/// Returns the solution vector.
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs);
+
+}  // namespace idp::chem

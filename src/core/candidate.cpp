@@ -1,0 +1,58 @@
+#include "core/candidate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace idp::plat {
+
+std::string to_string(StructureKind s) {
+  switch (s) {
+    case StructureKind::kSingleChamberSharedRef:
+      return "single chamber, shared RE/CE";
+    case StructureKind::kChamberedArray:
+      return "chambered array";
+  }
+  return "?";
+}
+
+std::string to_string(ReadoutSharing s) {
+  switch (s) {
+    case ReadoutSharing::kDedicatedPerElectrode: return "dedicated";
+    case ReadoutSharing::kMuxedPerClass: return "muxed";
+  }
+  return "?";
+}
+
+std::size_t PlatformCandidate::chamber_count() const {
+  std::size_t n = 0;
+  for (const auto& e : electrodes) n = std::max(n, e.chamber + 1);
+  return n;
+}
+
+std::size_t PlatformCandidate::working_electrode_count() const {
+  return electrodes.size() + (cds ? chamber_count() : 0);
+}
+
+std::size_t PlatformCandidate::total_electrode_count() const {
+  return working_electrode_count() + 2 * chamber_count();
+}
+
+std::vector<ReadoutClass> PlatformCandidate::readout_classes() const {
+  std::set<ReadoutClass> classes;
+  for (const auto& e : electrodes) classes.insert(e.readout);
+  return {classes.begin(), classes.end()};
+}
+
+std::string PlatformCandidate::summary() const {
+  std::ostringstream ss;
+  ss << (structure == StructureKind::kSingleChamberSharedRef ? "1-chamber"
+                                                             : "chambered")
+     << "/" << electrodes.size() << "WE"
+     << "/" << to_string(sharing);
+  if (chopper) ss << "+chop";
+  if (cds) ss << "+cds";
+  return ss.str();
+}
+
+}  // namespace idp::plat

@@ -1,0 +1,65 @@
+/// \file candidate.hpp
+/// A point in the platform design space: sensor structure (Section II),
+/// probe-to-electrode assignment, readout sharing strategy and noise
+/// countermeasures. The explorer enumerates these; the constraint checker
+/// and cost model evaluate them; elaboration turns the chosen one into a
+/// runnable virtual platform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bio/library.hpp"
+#include "core/catalog.hpp"
+
+namespace idp::plat {
+
+/// Physical arrangement of the electrochemical cells (Section II).
+enum class StructureKind {
+  kSingleChamberSharedRef,  ///< n WEs + shared RE/CE in one chamber (Fig. 4)
+  kChamberedArray,          ///< one isolated 3-electrode cell per electrode
+};
+
+std::string to_string(StructureKind s);
+
+/// How readout hardware is allocated (Section II-A resource sharing).
+enum class ReadoutSharing {
+  kDedicatedPerElectrode,  ///< one readout per WE, parallel measurement
+  kMuxedPerClass,          ///< one readout per grade, WEs time-multiplexed
+};
+
+std::string to_string(ReadoutSharing s);
+
+/// One working electrode: which targets it senses (two for dual-target CYP
+/// films), with which technique, through which readout grade.
+struct WorkingElectrodePlan {
+  std::vector<bio::TargetId> targets;
+  bio::Technique technique = bio::Technique::kChronoamperometry;
+  ReadoutClass readout = ReadoutClass::kOxidaseGrade;
+  std::size_t chamber = 0;
+  /// Nanostructure the electrode surface (CNT): multiplies the sensitivity
+  /// of planar-baseline probes by the catalog's nanostructure gain.
+  bool nanostructured = false;
+};
+
+/// A complete platform design candidate.
+struct PlatformCandidate {
+  StructureKind structure = StructureKind::kSingleChamberSharedRef;
+  std::vector<WorkingElectrodePlan> electrodes;
+  ReadoutSharing sharing = ReadoutSharing::kMuxedPerClass;
+  bool chopper = false;
+  bool cds = false;  ///< adds one blank WE per chamber
+
+  std::size_t chamber_count() const;
+  /// Working electrodes including CDS blanks.
+  std::size_t working_electrode_count() const;
+  /// Total pads: WEs + blanks + (RE + CE) per chamber -- the paper's "n+2".
+  std::size_t total_electrode_count() const;
+  /// Distinct readout classes used.
+  std::vector<ReadoutClass> readout_classes() const;
+  /// Short human-readable identifier for reports.
+  std::string summary() const;
+};
+
+}  // namespace idp::plat

@@ -1,0 +1,108 @@
+#include "core/catalog.hpp"
+
+#include "util/error.hpp"
+
+namespace idp::plat {
+
+std::string to_string(ReadoutClass c) {
+  switch (c) {
+    case ReadoutClass::kOxidaseGrade: return "oxidase-grade (10uA/10nA)";
+    case ReadoutClass::kCypGrade: return "CYP-grade (100uA/100nA)";
+    case ReadoutClass::kLabGrade: return "lab-grade (pA)";
+  }
+  return "?";
+}
+
+ComponentCatalog ComponentCatalog::standard() {
+  ComponentCatalog cat;
+
+  {
+    ReadoutSpec r;
+    r.cls = ReadoutClass::kOxidaseGrade;
+    r.name = "TIA-OX";
+    r.full_scale_a = 10e-6;
+    r.resolution_a = 10e-9;  // Section II-C requirement
+    r.area_mm2 = 0.05;
+    r.power_uw = 40.0;
+    r.tia = afe::oxidase_class_tia();
+    r.adc = afe::AdcSpec{.bits = 12, .v_low = -1.0, .v_high = 1.0,
+                         .sample_rate = 10.0};
+    cat.readouts_.push_back(r);
+  }
+  {
+    ReadoutSpec r;
+    r.cls = ReadoutClass::kCypGrade;
+    r.name = "TIA-CYP";
+    r.full_scale_a = 100e-6;
+    r.resolution_a = 100e-9;
+    r.area_mm2 = 0.04;
+    r.power_uw = 60.0;
+    r.tia = afe::cyp_class_tia();
+    r.adc = afe::AdcSpec{.bits = 12, .v_low = -1.0, .v_high = 1.0,
+                         .sample_rate = 10.0};
+    cat.readouts_.push_back(r);
+  }
+  {
+    ReadoutSpec r;
+    r.cls = ReadoutClass::kLabGrade;
+    r.name = "LAB";
+    r.full_scale_a = 1e-6;
+    r.resolution_a = 10e-12;
+    r.area_mm2 = 0.0;  // bench instrument, not on chip
+    r.power_uw = 0.0;
+    r.tia = afe::lab_grade_tia();
+    r.adc = afe::AdcSpec{.bits = 16, .v_low = -10.0, .v_high = 10.0,
+                         .sample_rate = 10.0};
+    cat.readouts_.push_back(r);
+  }
+
+  cat.fixed_dac_ = VoltageGeneratorSpec{.sweep_capable = false,
+                                        .min_v = -1.0,
+                                        .max_v = +1.0,
+                                        .max_scan_rate = 0.0,
+                                        .area_mm2 = 0.02,
+                                        .power_uw = 15.0};
+  cat.sweep_gen_ = VoltageGeneratorSpec{.sweep_capable = true,
+                                        .min_v = -1.0,
+                                        .max_v = +1.0,
+                                        .max_scan_rate = 0.5,
+                                        .area_mm2 = 0.06,
+                                        .power_uw = 35.0};
+
+  for (std::size_t n : {4u, 8u, 16u}) {
+    MuxCatalogEntry m;
+    m.channels = n;
+    m.area_mm2 = 0.005 * static_cast<double>(n);
+    m.power_uw = 2.0 * static_cast<double>(n);
+    m.model = afe::MuxSpec{.channels = n,
+                           .r_on = 100.0,
+                           .settle_time = 5.0e-3,
+                           .charge_injection = 1.0e-12,
+                           .injection_tau = 1.0e-3,
+                           .crosstalk = 1.0e-4};
+    cat.muxes_.push_back(m);
+  }
+  return cat;
+}
+
+const ReadoutSpec& ComponentCatalog::readout(ReadoutClass cls) const {
+  for (const auto& r : readouts_) {
+    if (r.cls == cls) return r;
+  }
+  throw util::Error("readout class not in catalog");
+}
+
+const MuxCatalogEntry& ComponentCatalog::mux_for(std::size_t channels) const {
+  for (const auto& m : muxes_) {
+    if (m.channels >= channels) return m;
+  }
+  throw util::Error("no mux with " + std::to_string(channels) + " channels");
+}
+
+std::size_t ComponentCatalog::max_mux_channels() const {
+  std::size_t best = 0;
+  for (const auto& m : muxes_) best = std::max(best, m.channels);
+  return best;
+}
+
+}  // namespace idp::plat

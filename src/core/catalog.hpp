@@ -1,0 +1,116 @@
+/// \file catalog.hpp
+/// The parametrized component catalog -- the heart of the paper's platform
+/// idea: "a restriction of the design space to the use of a small number of
+/// parametrized components" (Section I).
+///
+/// Area/power figures are behavioral estimates representative of a 0.35 um
+/// mixed-signal CMOS implementation; they exist so the explorer can rank
+/// candidates, and their *relative* ordering (a sweep generator costs more
+/// than a DAC, a mux channel costs less than a readout, ...) is what the
+/// trade-off benches exercise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "afe/adc.hpp"
+#include "afe/mux.hpp"
+#include "afe/tia.hpp"
+
+namespace idp::plat {
+
+/// Current-readout grades from Section II-C.
+enum class ReadoutClass {
+  kOxidaseGrade,  ///< +/-10 uA full scale, 10 nA resolution
+  kCypGrade,      ///< +/-100 uA full scale, 100 nA resolution
+  kLabGrade,      ///< bench instrument (pA); not integrable, reference only
+};
+
+std::string to_string(ReadoutClass c);
+
+/// A readout channel entry: electrical model plus implementation cost.
+struct ReadoutSpec {
+  ReadoutClass cls = ReadoutClass::kOxidaseGrade;
+  std::string name;
+  double full_scale_a = 10e-6;
+  double resolution_a = 10e-9;
+  double area_mm2 = 0.05;
+  double power_uw = 40.0;
+  afe::TiaSpec tia;
+  afe::AdcSpec adc;
+};
+
+/// Voltage generator entry (fixed DAC or sweep generator, Section II-C).
+struct VoltageGeneratorSpec {
+  bool sweep_capable = false;
+  double min_v = -1.0;
+  double max_v = +1.0;
+  double max_scan_rate = 0.1;  ///< electrical capability [V/s]
+  double area_mm2 = 0.02;
+  double power_uw = 15.0;
+};
+
+/// Analog multiplexer entry.
+struct MuxCatalogEntry {
+  std::size_t channels = 8;
+  double area_mm2 = 0.04;
+  double power_uw = 16.0;
+  afe::MuxSpec model;
+};
+
+/// Overhead of a flicker countermeasure.
+struct NoiseOptionCost {
+  double area_mm2 = 0.0;
+  double power_uw = 0.0;
+};
+
+/// The standard catalog used throughout the benches and examples.
+class ComponentCatalog {
+ public:
+  /// Build the paper-grade catalog (Section II-C numbers).
+  static ComponentCatalog standard();
+
+  const ReadoutSpec& readout(ReadoutClass cls) const;
+  std::span<const ReadoutSpec> readouts() const { return readouts_; }
+
+  const VoltageGeneratorSpec& fixed_dac() const { return fixed_dac_; }
+  const VoltageGeneratorSpec& sweep_generator() const { return sweep_gen_; }
+
+  /// Smallest mux covering `channels` (throws idp::util::Error if none).
+  const MuxCatalogEntry& mux_for(std::size_t channels) const;
+  std::size_t max_mux_channels() const;
+
+  /// Shared SAR ADC block cost.
+  double adc_area_mm2() const { return adc_area_mm2_; }
+  double adc_power_uw() const { return adc_power_uw_; }
+
+  const NoiseOptionCost& chopper_cost() const { return chopper_cost_; }
+  const NoiseOptionCost& cds_cost() const { return cds_cost_; }
+
+  /// Electrode pad geometric area [mm^2] (Fig. 4: 0.23 mm^2).
+  double electrode_pad_area_mm2() const { return 0.23; }
+  /// Layout factor for wiring/passivation around each pad.
+  double layout_overhead() const { return 1.6; }
+
+  /// Maximum scan rate the electrochemical cell answers faithfully
+  /// (Section II-C: ~20 mV/s).
+  double cell_scan_rate_limit() const { return 0.020; }
+
+  /// Sensitivity multiplier of nanostructuring a planar-baseline electrode
+  /// (CNT functionalisation, Section III: "much larger signals").
+  double nanostructure_gain() const { return 50.0; }
+
+ private:
+  std::vector<ReadoutSpec> readouts_;
+  VoltageGeneratorSpec fixed_dac_;
+  VoltageGeneratorSpec sweep_gen_;
+  std::vector<MuxCatalogEntry> muxes_;
+  double adc_area_mm2_ = 0.08;
+  double adc_power_uw_ = 50.0;
+  NoiseOptionCost chopper_cost_{0.010, 8.0};
+  NoiseOptionCost cds_cost_{0.012, 6.0};
+};
+
+}  // namespace idp::plat

@@ -1,0 +1,241 @@
+#include "core/constraints.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "bio/interference.hpp"
+#include "util/units.hpp"
+
+namespace idp::plat {
+
+std::string to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kEmptyElectrode: return "empty electrode";
+    case ViolationKind::kMixedTechnique: return "mixed technique on electrode";
+    case ViolationKind::kIsoformMismatch: return "probe isoform mismatch";
+    case ViolationKind::kTechniqueMismatch: return "technique mismatch";
+    case ViolationKind::kReadoutRange: return "readout range exceeded";
+    case ViolationKind::kReadoutResolution: return "readout resolution insufficient";
+    case ViolationKind::kSweepWindow: return "sweep window out of range";
+    case ViolationKind::kScanRateLimit: return "scan rate beyond cell limit";
+    case ViolationKind::kChamberInterference: return "chamber interference";
+    case ViolationKind::kCdsIneffective: return "CDS blank ineffective";
+    case ViolationKind::kMuxCapacity: return "mux capacity exceeded";
+    case ViolationKind::kMissingTarget: return "panel target unassigned";
+    case ViolationKind::kAreaBudget: return "area budget exceeded";
+    case ViolationKind::kPowerBudget: return "power budget exceeded";
+    case ViolationKind::kTimeBudget: return "panel time budget exceeded";
+  }
+  return "?";
+}
+
+SweepWindow sweep_window_for(const WorkingElectrodePlan& plan) {
+  SweepWindow w;
+  double min_e0 = 0.0;
+  for (bio::TargetId t : plan.targets) {
+    min_e0 = std::min(min_e0, bio::spec(t).operating_potential);
+  }
+  w.e_start = 0.1;
+  w.e_vertex = min_e0 - 0.25;
+  return w;
+}
+
+double expected_current(bio::TargetId id, double c, double area) {
+  const double s_si = util::sensitivity_from_uA_per_mM_cm2(
+      bio::spec(id).sensitivity_uA_mM_cm2);
+  return s_si * area * c;
+}
+
+double plan_sensitivity_gain(const WorkingElectrodePlan& plan,
+                             bio::TargetId id,
+                             const ComponentCatalog& catalog) {
+  if (plan.nanostructured && !bio::spec(id).nanostructured_baseline) {
+    return catalog.nanostructure_gain();
+  }
+  return 1.0;
+}
+
+namespace {
+
+bio::Technique technique_of(bio::TargetId id) {
+  switch (bio::spec(id).family) {
+    case bio::ProbeFamily::kCytochromeP450:
+      return bio::Technique::kCyclicVoltammetry;
+    case bio::ProbeFamily::kOxidase:
+    case bio::ProbeFamily::kDirectOxidation:
+      return bio::Technique::kChronoamperometry;
+  }
+  return bio::Technique::kChronoamperometry;
+}
+
+const TargetRequirement* find_requirement(const PanelSpec& panel,
+                                          bio::TargetId id) {
+  for (const auto& r : panel.targets) {
+    if (r.target == id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Violation> check_candidate(const PlatformCandidate& candidate,
+                                       const PanelSpec& panel,
+                                       const ComponentCatalog& catalog) {
+  std::vector<Violation> violations;
+  auto add = [&](ViolationKind kind, const std::string& msg) {
+    violations.push_back(Violation{kind, msg});
+  };
+
+  const double pad_area = catalog.electrode_pad_area_mm2() * 1e-6;  // m^2
+
+  // --- per-electrode rules ---------------------------------------------------
+  std::set<bio::TargetId> assigned;
+  for (std::size_t i = 0; i < candidate.electrodes.size(); ++i) {
+    const auto& e = candidate.electrodes[i];
+    const std::string tag = "WE" + std::to_string(i);
+    if (e.targets.empty()) {
+      add(ViolationKind::kEmptyElectrode, tag + " senses nothing");
+      continue;
+    }
+
+    const std::string& probe0 = bio::spec(e.targets.front()).probe_name;
+    for (bio::TargetId t : e.targets) {
+      assigned.insert(t);
+      if (technique_of(t) != e.technique) {
+        add(ViolationKind::kTechniqueMismatch,
+            tag + ": " + bio::to_string(t) + " needs " +
+                bio::to_string(technique_of(t)));
+      }
+      if (bio::spec(t).probe_name != probe0) {
+        add(ViolationKind::kIsoformMismatch,
+            tag + ": " + bio::to_string(t) + " needs probe " +
+                bio::spec(t).probe_name + ", electrode carries " + probe0);
+      }
+    }
+    {
+      std::set<bio::Technique> techs;
+      for (bio::TargetId t : e.targets) techs.insert(technique_of(t));
+      if (techs.size() > 1) {
+        add(ViolationKind::kMixedTechnique,
+            tag + " mixes chronoamperometry and CV targets");
+      }
+    }
+
+    // Readout range / resolution against the library signal levels.
+    // The range must fit below full scale, be quantised meaningfully
+    // (>= 2 LSB at the top of the range) and, when an LOD is required,
+    // the LOD-level current must not vanish under one LSB.
+    const ReadoutSpec& readout = catalog.readout(e.readout);
+    for (bio::TargetId t : e.targets) {
+      const TargetRequirement* req = find_requirement(panel, t);
+      const double gain = plan_sensitivity_gain(e, t, catalog);
+      const double hi_mM =
+          req ? req->effective_hi_mM() : bio::spec(t).linear_hi_mM;
+      const double lod_uM = req ? req->effective_lod_uM()
+                                : bio::spec(t).lod_uM;
+      const double i_max = gain * expected_current(t, hi_mM, pad_area);
+      if (i_max > 0.9 * readout.full_scale_a) {
+        std::ostringstream ss;
+        ss << tag << ": " << bio::to_string(t) << " needs "
+           << util::current_to_uA(i_max) << " uA, full scale "
+           << util::current_to_uA(readout.full_scale_a) << " uA";
+        add(ViolationKind::kReadoutRange, ss.str());
+      }
+      if (i_max < 2.0 * readout.resolution_a) {
+        std::ostringstream ss;
+        ss << tag << ": " << bio::to_string(t) << " full-range current "
+           << util::current_to_nA(i_max) << " nA below 2x resolution "
+           << util::current_to_nA(readout.resolution_a) << " nA ("
+           << readout.name << ")";
+        add(ViolationKind::kReadoutResolution, ss.str());
+      } else if (lod_uM > 0.0 && std::isfinite(lod_uM)) {
+        const double i_lod =
+            gain * expected_current(t, lod_uM * 1e-3, pad_area);
+        if (i_lod < 0.5 * readout.resolution_a) {
+          std::ostringstream ss;
+          ss << tag << ": " << bio::to_string(t) << " LOD current "
+             << util::current_to_nA(i_lod) << " nA below half the resolution "
+             << util::current_to_nA(readout.resolution_a) << " nA ("
+             << readout.name << ")";
+          add(ViolationKind::kReadoutResolution, ss.str());
+        }
+      }
+    }
+
+    // Sweep-generator coverage for CV electrodes.
+    if (e.technique == bio::Technique::kCyclicVoltammetry) {
+      const SweepWindow w = sweep_window_for(e);
+      const VoltageGeneratorSpec& gen = catalog.sweep_generator();
+      if (w.e_vertex < gen.min_v || w.e_start > gen.max_v) {
+        std::ostringstream ss;
+        ss << tag << ": window [" << w.e_vertex << ", " << w.e_start
+           << "] V outside generator [" << gen.min_v << ", " << gen.max_v
+           << "] V";
+        add(ViolationKind::kSweepWindow, ss.str());
+      }
+      if (catalog.cell_scan_rate_limit() >
+          catalog.sweep_generator().max_scan_rate) {
+        add(ViolationKind::kScanRateLimit,
+            tag + ": generator slower than the cell limit");
+      }
+    }
+  }
+
+  // --- panel coverage ----------------------------------------------------------
+  for (const auto& r : panel.targets) {
+    if (!assigned.contains(r.target)) {
+      add(ViolationKind::kMissingTarget,
+          bio::to_string(r.target) + " is not assigned to any electrode");
+    }
+  }
+
+  // --- chamber sharing rules (Section II-A) -----------------------------------
+  if (candidate.structure == StructureKind::kSingleChamberSharedRef) {
+    std::vector<bio::TargetId> occupants;
+    for (const auto& e : candidate.electrodes) {
+      occupants.insert(occupants.end(), e.targets.begin(), e.targets.end());
+    }
+    occupants.insert(occupants.end(), panel.matrix_interferents.begin(),
+                     panel.matrix_interferents.end());
+    for (std::size_t a = 0; a < occupants.size(); ++a) {
+      for (std::size_t b = a + 1; b < occupants.size(); ++b) {
+        if (!bio::can_share_chamber(occupants[a], occupants[b])) {
+          add(ViolationKind::kChamberInterference,
+              bio::to_string(occupants[a]) + " and " +
+                  bio::to_string(occupants[b]) +
+                  " cannot share one chamber");
+        }
+      }
+    }
+  }
+
+  // --- CDS caveat (Section II-C) -----------------------------------------------
+  if (candidate.cds) {
+    for (const auto& e : candidate.electrodes) {
+      for (bio::TargetId t : e.targets) {
+        if (!bio::cds_blank_effective(t)) {
+          add(ViolationKind::kCdsIneffective,
+              bio::to_string(t) +
+                  " oxidises on the blank electrode too; CDS cannot "
+                  "reference it");
+        }
+      }
+    }
+  }
+
+  // --- mux capacity --------------------------------------------------------------
+  if (candidate.sharing == ReadoutSharing::kMuxedPerClass) {
+    if (candidate.working_electrode_count() > catalog.max_mux_channels()) {
+      add(ViolationKind::kMuxCapacity,
+          std::to_string(candidate.working_electrode_count()) +
+              " channels exceed the largest catalog mux (" +
+              std::to_string(catalog.max_mux_channels()) + ")");
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace idp::plat

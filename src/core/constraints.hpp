@@ -1,0 +1,68 @@
+/// \file constraints.hpp
+/// Design-rule checking for platform candidates: every rule encodes a
+/// statement the paper makes about what does or does not work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "core/panel.hpp"
+
+namespace idp::plat {
+
+/// Design-rule classes.
+enum class ViolationKind {
+  kEmptyElectrode,         ///< an electrode plan without targets
+  kMixedTechnique,         ///< CA and CV targets on one electrode
+  kIsoformMismatch,        ///< two targets needing different probes on one WE
+  kTechniqueMismatch,      ///< plan technique != probe family technique
+  kReadoutRange,           ///< expected max current exceeds full scale
+  kReadoutResolution,      ///< LOD-level current below the resolvable step
+  kSweepWindow,            ///< CV window outside the generator range
+  kScanRateLimit,          ///< required scan rate beyond the cell limit
+  kChamberInterference,    ///< incompatible species share a chamber
+  kCdsIneffective,         ///< CDS enabled for a directly oxidisable target
+  kMuxCapacity,            ///< more channels than any catalog mux offers
+  kMissingTarget,          ///< panel target not assigned to any electrode
+  kAreaBudget,             ///< estimated area exceeds the panel budget
+  kPowerBudget,            ///< estimated power exceeds the panel budget
+  kTimeBudget,             ///< panel read time exceeds the budget
+};
+
+std::string to_string(ViolationKind kind);
+
+/// One violated design rule with a human-readable explanation.
+struct Violation {
+  ViolationKind kind;
+  std::string message;
+};
+
+/// Check a candidate against a panel with the given catalog. Returns the
+/// complete list of violations (empty == feasible at the structural level;
+/// budget feasibility is the explorer's job because it needs the cost
+/// model).
+std::vector<Violation> check_candidate(const PlatformCandidate& candidate,
+                                       const PanelSpec& panel,
+                                       const ComponentCatalog& catalog);
+
+/// CV sweep window used by this platform for a CV electrode: from +0.1 V
+/// down to (most negative target potential - 0.25 V).
+struct SweepWindow {
+  double e_start = 0.1;
+  double e_vertex = -0.9;
+};
+SweepWindow sweep_window_for(const WorkingElectrodePlan& plan);
+
+/// Expected steady signal current for a target at concentration c [mol/m^3]
+/// on pad area `area` [m^2], from the library sensitivity.
+double expected_current(bio::TargetId id, double c, double area);
+
+/// Sensitivity gain an electrode plan applies to one of its targets
+/// (catalog nanostructure gain when the plan is nanostructured and the
+/// library baseline is planar; 1 otherwise).
+double plan_sensitivity_gain(const WorkingElectrodePlan& plan,
+                             bio::TargetId id,
+                             const ComponentCatalog& catalog);
+
+}  // namespace idp::plat

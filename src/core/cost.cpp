@@ -1,0 +1,168 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/constraints.hpp"
+#include "util/error.hpp"
+
+namespace idp::plat {
+
+double CostEstimate::weighted(double w_area, double w_power, double w_time,
+                              double norm_area, double norm_power,
+                              double norm_time) const {
+  util::require(norm_area > 0.0 && norm_power > 0.0 && norm_time > 0.0,
+                "normalisations must be positive");
+  return w_area * area_mm2 / norm_area + w_power * power_uw / norm_power +
+         w_time * panel_time_s / norm_time;
+}
+
+bool dominates(const CostEstimate& a, const CostEstimate& b) {
+  const bool le = a.area_mm2 <= b.area_mm2 && a.power_uw <= b.power_uw &&
+                  a.panel_time_s <= b.panel_time_s;
+  const bool lt = a.area_mm2 < b.area_mm2 || a.power_uw < b.power_uw ||
+                  a.panel_time_s < b.panel_time_s;
+  return le && lt;
+}
+
+double measurement_duration(const WorkingElectrodePlan& plan,
+                            const ComponentCatalog& catalog) {
+  if (plan.technique == bio::Technique::kChronoamperometry) {
+    return 60.0;  // ~2x the Fig. 3 t90, reaching the steady plateau
+  }
+  const SweepWindow w = sweep_window_for(plan);
+  return 2.0 * std::fabs(w.e_start - w.e_vertex) /
+         catalog.cell_scan_rate_limit();
+}
+
+CostEstimate estimate_cost(const PlatformCandidate& candidate,
+                           const PanelSpec& panel,
+                           const ComponentCatalog& catalog) {
+  (void)panel;  // budgets are checked by the explorer; cost is panel-free
+  CostEstimate cost;
+
+  // --- electrodes ------------------------------------------------------------
+  const double pad = catalog.electrode_pad_area_mm2() * catalog.layout_overhead();
+  const std::size_t n_we = candidate.working_electrode_count();
+  const std::size_t n_chambers = candidate.chamber_count();
+  // Each chamber carries one RE pad and one CE sized to its summed WE area.
+  double electrode_area = static_cast<double>(n_we) * pad;
+  for (std::size_t c = 0; c < n_chambers; ++c) {
+    std::size_t we_in_chamber = candidate.cds ? 1 : 0;
+    for (const auto& e : candidate.electrodes) {
+      if (e.chamber == c) ++we_in_chamber;
+    }
+    electrode_area += pad;                                     // RE
+    electrode_area += pad * static_cast<double>(we_in_chamber);  // CE
+  }
+  // Chamber walls / fluidic separation overhead.
+  if (candidate.structure == StructureKind::kChamberedArray) {
+    electrode_area *= 1.35;
+  }
+  cost.area_mm2 += electrode_area;
+  cost.component_count += static_cast<int>(candidate.total_electrode_count());
+
+  // --- readout channels --------------------------------------------------------
+  const bool muxed = candidate.sharing == ReadoutSharing::kMuxedPerClass;
+  std::size_t n_readouts = 0;
+  if (muxed) {
+    for (ReadoutClass cls : candidate.readout_classes()) {
+      const ReadoutSpec& r = catalog.readout(cls);
+      cost.area_mm2 += r.area_mm2;
+      cost.power_uw += r.power_uw;
+      ++n_readouts;
+    }
+    const auto& mux = catalog.mux_for(candidate.working_electrode_count());
+    cost.area_mm2 += mux.area_mm2;
+    cost.power_uw += mux.power_uw;
+    ++cost.component_count;
+  } else {
+    for (const auto& e : candidate.electrodes) {
+      const ReadoutSpec& r = catalog.readout(e.readout);
+      cost.area_mm2 += r.area_mm2;
+      cost.power_uw += r.power_uw;
+      ++n_readouts;
+    }
+    if (candidate.cds) {
+      // Blank electrodes need their own dedicated channel too.
+      for (std::size_t c = 0; c < n_chambers; ++c) {
+        const ReadoutSpec& r = catalog.readout(ReadoutClass::kOxidaseGrade);
+        cost.area_mm2 += r.area_mm2;
+        cost.power_uw += r.power_uw;
+        ++n_readouts;
+      }
+    }
+  }
+  cost.component_count += static_cast<int>(n_readouts);
+
+  // --- noise countermeasures -----------------------------------------------------
+  if (candidate.chopper) {
+    cost.area_mm2 += catalog.chopper_cost().area_mm2 * static_cast<double>(n_readouts);
+    cost.power_uw += catalog.chopper_cost().power_uw * static_cast<double>(n_readouts);
+  }
+  if (candidate.cds) {
+    cost.area_mm2 += catalog.cds_cost().area_mm2 * static_cast<double>(n_chambers);
+    cost.power_uw += catalog.cds_cost().power_uw * static_cast<double>(n_chambers);
+  }
+
+  // --- voltage generation ----------------------------------------------------------
+  bool any_ca = false, any_cv = false;
+  std::size_t ca_we = 0, cv_we = 0;
+  for (const auto& e : candidate.electrodes) {
+    if (e.technique == bio::Technique::kChronoamperometry) {
+      any_ca = true;
+      ++ca_we;
+    } else {
+      any_cv = true;
+      ++cv_we;
+    }
+  }
+  if (muxed) {
+    if (any_ca) {
+      cost.area_mm2 += catalog.fixed_dac().area_mm2;
+      cost.power_uw += catalog.fixed_dac().power_uw;
+      ++cost.component_count;
+    }
+    if (any_cv) {
+      cost.area_mm2 += catalog.sweep_generator().area_mm2;
+      cost.power_uw += catalog.sweep_generator().power_uw;
+      ++cost.component_count;
+    }
+  } else {
+    cost.area_mm2 += catalog.fixed_dac().area_mm2 * static_cast<double>(ca_we);
+    cost.power_uw += catalog.fixed_dac().power_uw * static_cast<double>(ca_we);
+    cost.area_mm2 += catalog.sweep_generator().area_mm2 * static_cast<double>(cv_we);
+    cost.power_uw += catalog.sweep_generator().power_uw * static_cast<double>(cv_we);
+    cost.component_count += static_cast<int>(ca_we + cv_we);
+  }
+
+  // --- shared ADC --------------------------------------------------------------------
+  cost.area_mm2 += catalog.adc_area_mm2();
+  cost.power_uw += catalog.adc_power_uw();
+  ++cost.component_count;
+
+  // --- panel time ----------------------------------------------------------------------
+  if (muxed) {
+    double t = 0.0;
+    for (const auto& e : candidate.electrodes) {
+      t += measurement_duration(e, catalog);
+      t += catalog.mux_for(candidate.working_electrode_count())
+               .model.settle_time;
+    }
+    if (candidate.cds && candidate.sharing == ReadoutSharing::kMuxedPerClass) {
+      // blank electrodes read sequentially too
+      t += 60.0 * static_cast<double>(n_chambers);
+    }
+    cost.panel_time_s = t;
+  } else {
+    double t = 0.0;
+    for (const auto& e : candidate.electrodes) {
+      t = std::max(t, measurement_duration(e, catalog));
+    }
+    cost.panel_time_s = t;
+  }
+
+  return cost;
+}
+
+}  // namespace idp::plat

@@ -1,0 +1,39 @@
+/// \file cost.hpp
+/// Cost model for platform candidates: silicon area, power, panel
+/// measurement time and component count -- the "most cost-effective
+/// solution (small, low energy consumption, low-cost)" axes of Section I.
+#pragma once
+
+#include "core/candidate.hpp"
+#include "core/panel.hpp"
+
+namespace idp::plat {
+
+/// Aggregate cost of one candidate.
+struct CostEstimate {
+  double area_mm2 = 0.0;
+  double power_uw = 0.0;
+  double panel_time_s = 0.0;  ///< wall-clock to read the whole panel once
+  int component_count = 0;    ///< electronic blocks + electrodes
+
+  /// Weighted scalar score (used for ranking after Pareto filtering);
+  /// each axis is divided by the provided normalisation before weighting.
+  double weighted(double w_area, double w_power, double w_time,
+                  double norm_area, double norm_power, double norm_time) const;
+};
+
+/// True if a dominates b (<= on all axes, < on at least one).
+bool dominates(const CostEstimate& a, const CostEstimate& b);
+
+/// Measurement duration of one working electrode's protocol [s]:
+/// chronoamperometry runs a fixed 60 s window (~2x the Fig. 3 t90);
+/// CV takes 2 * window / scan-rate at the cell-limited 20 mV/s.
+double measurement_duration(const WorkingElectrodePlan& plan,
+                            const ComponentCatalog& catalog);
+
+/// Estimate the full cost of a candidate.
+CostEstimate estimate_cost(const PlatformCandidate& candidate,
+                           const PanelSpec& panel,
+                           const ComponentCatalog& catalog);
+
+}  // namespace idp::plat

@@ -1,0 +1,270 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace idp::plat {
+
+namespace {
+
+bio::Technique technique_for(bio::TargetId id) {
+  return bio::spec(id).family == bio::ProbeFamily::kCytochromeP450
+             ? bio::Technique::kCyclicVoltammetry
+             : bio::Technique::kChronoamperometry;
+}
+
+ReadoutClass family_readout(bio::TargetId id) {
+  switch (bio::spec(id).family) {
+    case bio::ProbeFamily::kCytochromeP450: return ReadoutClass::kCypGrade;
+    case bio::ProbeFamily::kOxidase:
+    case bio::ProbeFamily::kDirectOxidation:
+      return ReadoutClass::kOxidaseGrade;
+  }
+  return ReadoutClass::kOxidaseGrade;
+}
+
+/// Grouping of panel targets onto electrodes.
+using Grouping = std::vector<std::vector<bio::TargetId>>;
+
+/// Merged grouping: targets sharing a probe isoform live on one electrode.
+Grouping merged_grouping(const PanelSpec& panel) {
+  Grouping groups;
+  std::map<std::string, std::size_t> by_probe;
+  for (const auto& r : panel.targets) {
+    const std::string& probe = bio::spec(r.target).probe_name;
+    const auto it = by_probe.find(probe);
+    if (it == by_probe.end()) {
+      by_probe.emplace(probe, groups.size());
+      groups.push_back({r.target});
+    } else {
+      groups[it->second].push_back(r.target);
+    }
+  }
+  return groups;
+}
+
+/// Split grouping: one electrode per target.
+Grouping split_grouping(const PanelSpec& panel) {
+  Grouping groups;
+  for (const auto& r : panel.targets) groups.push_back({r.target});
+  return groups;
+}
+
+/// Readout policy when building plans.
+enum class ReadoutPolicy { kByFamily, kBestFit };
+
+/// Pick the readout class for a plan under a policy: kBestFit prefers the
+/// finest-resolution integrated grade whose full scale still covers the
+/// expected maximum current.
+ReadoutClass pick_readout(const std::vector<bio::TargetId>& targets,
+                          bool nanostructured, ReadoutPolicy policy,
+                          const PanelSpec& panel,
+                          const ComponentCatalog& catalog) {
+  if (policy == ReadoutPolicy::kByFamily) return family_readout(targets.front());
+
+  const double pad = catalog.electrode_pad_area_mm2() * 1e-6;
+  double i_max = 0.0;
+  for (bio::TargetId t : targets) {
+    double hi = bio::spec(t).linear_hi_mM;
+    for (const auto& r : panel.targets) {
+      if (r.target == t) hi = r.effective_hi_mM();
+    }
+    double gain = 1.0;
+    if (nanostructured && !bio::spec(t).nanostructured_baseline) {
+      gain = catalog.nanostructure_gain();
+    }
+    i_max = std::max(i_max, gain * expected_current(t, hi, pad));
+  }
+  for (ReadoutClass cls :
+       {ReadoutClass::kOxidaseGrade, ReadoutClass::kCypGrade}) {
+    if (i_max <= 0.9 * catalog.readout(cls).full_scale_a) return cls;
+  }
+  return ReadoutClass::kCypGrade;
+}
+
+/// Key for structural de-duplication of candidates.
+std::string candidate_key(const PlatformCandidate& c) {
+  std::ostringstream ss;
+  ss << static_cast<int>(c.structure) << '|' << static_cast<int>(c.sharing)
+     << '|' << c.chopper << c.cds;
+  for (const auto& e : c.electrodes) {
+    ss << '[';
+    for (bio::TargetId t : e.targets) ss << static_cast<int>(t) << ',';
+    ss << static_cast<int>(e.readout) << ';' << e.nanostructured << ';'
+       << e.chamber << ']';
+  }
+  return ss.str();
+}
+
+}  // namespace
+
+std::size_t ExplorationResult::feasible_count() const {
+  std::size_t n = 0;
+  for (const auto& e : evaluations) {
+    if (e.feasible()) ++n;
+  }
+  return n;
+}
+
+ExplorationResult explore(const PanelSpec& panel,
+                          const ComponentCatalog& catalog,
+                          const ExplorerOptions& options) {
+  util::require(!panel.targets.empty(), "panel has no targets");
+
+  std::vector<Grouping> groupings{split_grouping(panel)};
+  if (options.allow_merged_films) {
+    Grouping merged = merged_grouping(panel);
+    if (merged.size() != groupings.front().size()) {
+      groupings.push_back(std::move(merged));
+    }
+  }
+
+  const std::vector<bool> bool_space{false, true};
+  ExplorationResult result;
+  std::set<std::string> seen;
+
+  for (const auto& grouping : groupings) {
+    for (StructureKind structure : {StructureKind::kSingleChamberSharedRef,
+                                    StructureKind::kChamberedArray}) {
+      for (ReadoutSharing sharing : {ReadoutSharing::kMuxedPerClass,
+                                     ReadoutSharing::kDedicatedPerElectrode}) {
+        for (ReadoutPolicy policy :
+             {ReadoutPolicy::kByFamily, ReadoutPolicy::kBestFit}) {
+          for (bool nano : bool_space) {
+            if (nano && !options.allow_nanostructuring) continue;
+            for (bool chop : bool_space) {
+              if (chop && !options.allow_chopper) continue;
+              for (bool cds : bool_space) {
+                if (cds && !options.allow_cds) continue;
+
+                PlatformCandidate cand;
+                cand.structure = structure;
+                cand.sharing = sharing;
+                cand.chopper = chop;
+                cand.cds = cds;
+                for (std::size_t g = 0; g < grouping.size(); ++g) {
+                  WorkingElectrodePlan plan;
+                  plan.targets = grouping[g];
+                  plan.technique = technique_for(grouping[g].front());
+                  bool planar_baseline = false;
+                  for (bio::TargetId t : grouping[g]) {
+                    planar_baseline |= !bio::spec(t).nanostructured_baseline;
+                  }
+                  plan.nanostructured = nano && planar_baseline;
+                  plan.readout = pick_readout(grouping[g], plan.nanostructured,
+                                              policy, panel, catalog);
+                  plan.chamber =
+                      structure == StructureKind::kChamberedArray ? g : 0;
+                  cand.electrodes.push_back(std::move(plan));
+                }
+
+                if (!seen.insert(candidate_key(cand)).second) continue;
+
+                CandidateEvaluation eval;
+                eval.violations = check_candidate(cand, panel, catalog);
+                eval.cost = estimate_cost(cand, panel, catalog);
+                if (eval.cost.area_mm2 > panel.max_area_mm2) {
+                  eval.violations.push_back(
+                      {ViolationKind::kAreaBudget,
+                       "area " + std::to_string(eval.cost.area_mm2) +
+                           " mm^2 over budget"});
+                }
+                if (eval.cost.power_uw > panel.max_power_uw) {
+                  eval.violations.push_back(
+                      {ViolationKind::kPowerBudget,
+                       "power " + std::to_string(eval.cost.power_uw) +
+                           " uW over budget"});
+                }
+                if (eval.cost.panel_time_s > panel.max_panel_time_s) {
+                  eval.violations.push_back(
+                      {ViolationKind::kTimeBudget,
+                       "panel time " +
+                           std::to_string(eval.cost.panel_time_s) +
+                           " s over budget"});
+                }
+                eval.candidate = std::move(cand);
+                result.evaluations.push_back(std::move(eval));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Pareto front over (area, power, time) among feasible candidates.
+  for (std::size_t i = 0; i < result.evaluations.size(); ++i) {
+    if (!result.evaluations[i].feasible()) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < result.evaluations.size(); ++j) {
+      if (i == j || !result.evaluations[j].feasible()) continue;
+      if (dominates(result.evaluations[j].cost, result.evaluations[i].cost)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.pareto.push_back(i);
+  }
+
+  // Weighted ranking over the Pareto front, normalised by the front minima.
+  if (!result.pareto.empty()) {
+    double min_area = 1e300, min_power = 1e300, min_time = 1e300;
+    for (std::size_t idx : result.pareto) {
+      min_area = std::min(min_area, result.evaluations[idx].cost.area_mm2);
+      min_power = std::min(min_power, result.evaluations[idx].cost.power_uw);
+      min_time = std::min(min_time, result.evaluations[idx].cost.panel_time_s);
+    }
+    double best_score = 1e300;
+    for (std::size_t idx : result.pareto) {
+      const double s = result.evaluations[idx].cost.weighted(
+          options.weight_area, options.weight_power, options.weight_time,
+          std::max(min_area, 1e-9), std::max(min_power, 1e-9),
+          std::max(min_time, 1e-9));
+      if (s < best_score) {
+        best_score = s;
+        result.best = idx;
+      }
+    }
+  }
+  return result;
+}
+
+PlatformCandidate make_fig4_candidate(const ComponentCatalog& catalog) {
+  (void)catalog;
+  PlatformCandidate cand;
+  cand.structure = StructureKind::kSingleChamberSharedRef;
+  cand.sharing = ReadoutSharing::kMuxedPerClass;
+
+  auto ca = [](bio::TargetId t) {
+    WorkingElectrodePlan p;
+    p.targets = {t};
+    p.technique = bio::Technique::kChronoamperometry;
+    p.readout = ReadoutClass::kOxidaseGrade;
+    return p;
+  };
+  cand.electrodes.push_back(ca(bio::TargetId::kGlucose));
+  cand.electrodes.push_back(ca(bio::TargetId::kLactate));
+  cand.electrodes.push_back(ca(bio::TargetId::kGlutamate));
+
+  WorkingElectrodePlan cyp2b4;
+  cyp2b4.targets = {bio::TargetId::kBenzphetamine, bio::TargetId::kAminopyrine};
+  cyp2b4.technique = bio::Technique::kCyclicVoltammetry;
+  cyp2b4.readout = ReadoutClass::kOxidaseGrade;  // small catalytic currents
+  cyp2b4.nanostructured = true;                  // Section III enhancement
+  cand.electrodes.push_back(cyp2b4);
+
+  WorkingElectrodePlan cyp11a1;
+  cyp11a1.targets = {bio::TargetId::kCholesterol};
+  cyp11a1.technique = bio::Technique::kCyclicVoltammetry;
+  cyp11a1.readout = ReadoutClass::kOxidaseGrade;
+  cand.electrodes.push_back(cyp11a1);
+
+  return cand;
+}
+
+}  // namespace idp::plat

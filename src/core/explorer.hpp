@@ -1,0 +1,57 @@
+/// \file explorer.hpp
+/// Design-space exploration: enumerate platform candidates for a panel,
+/// check the design rules, estimate costs, and return the Pareto-optimal
+/// feasible set -- the paper's "systematic design space exploration, in the
+/// search of the most cost-effective solution" (Section I).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "core/constraints.hpp"
+#include "core/cost.hpp"
+#include "core/panel.hpp"
+
+namespace idp::plat {
+
+/// Knobs bounding the enumeration.
+struct ExplorerOptions {
+  bool allow_chopper = true;
+  bool allow_cds = true;
+  bool allow_nanostructuring = true;
+  /// Allow multi-target films (the dual-target CYP2B4 electrode).
+  bool allow_merged_films = true;
+  /// Weights of the scalar ranking score (applied after Pareto filtering).
+  double weight_area = 1.0;
+  double weight_power = 1.0;
+  double weight_time = 1.0;
+};
+
+/// One evaluated candidate.
+struct CandidateEvaluation {
+  PlatformCandidate candidate;
+  CostEstimate cost;
+  std::vector<Violation> violations;
+  bool feasible() const { return violations.empty(); }
+};
+
+/// Full exploration output.
+struct ExplorationResult {
+  std::vector<CandidateEvaluation> evaluations;  ///< every distinct candidate
+  std::vector<std::size_t> pareto;  ///< indices of the feasible Pareto front
+  std::optional<std::size_t> best;  ///< weighted-best feasible candidate
+  std::size_t feasible_count() const;
+};
+
+/// Enumerate and evaluate the design space for `panel`.
+ExplorationResult explore(const PanelSpec& panel,
+                          const ComponentCatalog& catalog,
+                          const ExplorerOptions& options = {});
+
+/// Deterministically build the Fig. 4 candidate: single chamber, five
+/// working electrodes (three oxidases, dual-target CYP2B4, CYP11A1), muxed
+/// readout, nanostructured CYP films.
+PlatformCandidate make_fig4_candidate(const ComponentCatalog& catalog);
+
+}  // namespace idp::plat

@@ -1,0 +1,36 @@
+#include "core/panel.hpp"
+
+namespace idp::plat {
+
+double TargetRequirement::effective_lo_mM() const {
+  if (range_lo_mM > 0.0 || range_hi_mM > 0.0) return range_lo_mM;
+  return bio::spec(target).linear_lo_mM;
+}
+
+double TargetRequirement::effective_hi_mM() const {
+  if (range_lo_mM > 0.0 || range_hi_mM > 0.0) return range_hi_mM;
+  return bio::spec(target).linear_hi_mM;
+}
+
+double TargetRequirement::effective_lod_uM() const {
+  if (max_lod_uM < std::numeric_limits<double>::infinity()) return max_lod_uM;
+  const double paper_lod = bio::spec(target).lod_uM;
+  return paper_lod > 0.0 ? paper_lod
+                         : std::numeric_limits<double>::infinity();
+}
+
+PanelSpec fig4_panel() {
+  PanelSpec p;
+  p.name = "fig4-metabolic-panel";
+  p.targets = {
+      TargetRequirement{.target = bio::TargetId::kGlucose},
+      TargetRequirement{.target = bio::TargetId::kLactate},
+      TargetRequirement{.target = bio::TargetId::kGlutamate},
+      TargetRequirement{.target = bio::TargetId::kBenzphetamine},
+      TargetRequirement{.target = bio::TargetId::kAminopyrine},
+      TargetRequirement{.target = bio::TargetId::kCholesterol},
+  };
+  return p;
+}
+
+}  // namespace idp::plat

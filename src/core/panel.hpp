@@ -1,0 +1,49 @@
+/// \file panel.hpp
+/// Multi-target measurement panels: what the clinician wants measured, with
+/// what detection limit, over what concentration range (Section I-A's
+/// personalised-medicine motivation).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bio/library.hpp"
+
+namespace idp::plat {
+
+/// One target the panel must sense.
+struct TargetRequirement {
+  bio::TargetId target = bio::TargetId::kGlucose;
+  /// Required limit of detection [uM]; infinity = take what the probe gives.
+  double max_lod_uM = std::numeric_limits<double>::infinity();
+  /// Concentration range to cover [mM]; 0/0 = use the library linear range.
+  double range_lo_mM = 0.0;
+  double range_hi_mM = 0.0;
+
+  /// Effective range: requirement if set, library linear range otherwise.
+  double effective_lo_mM() const;
+  double effective_hi_mM() const;
+  /// Effective LOD requirement [uM]: the explicit requirement when finite,
+  /// otherwise the library (paper) LOD when reported, otherwise infinity.
+  double effective_lod_uM() const;
+};
+
+/// A full panel specification plus system-level budgets.
+struct PanelSpec {
+  std::string name = "panel";
+  std::vector<TargetRequirement> targets;
+  /// Molecules present in the sample matrix but not sensed (e.g. dopamine in
+  /// neural fluid): they constrain chamber sharing.
+  std::vector<bio::TargetId> matrix_interferents;
+  double max_area_mm2 = std::numeric_limits<double>::infinity();
+  double max_power_uw = std::numeric_limits<double>::infinity();
+  double max_panel_time_s = std::numeric_limits<double>::infinity();
+};
+
+/// The paper's Section III example panel: glucose, lactate, glutamate,
+/// benzphetamine + aminopyrine (one CYP2B4 electrode) and cholesterol --
+/// five working electrodes, six targets (Fig. 4).
+PanelSpec fig4_panel();
+
+}  // namespace idp::plat

@@ -1,0 +1,73 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace idp::plat {
+
+void print_exploration(std::ostream& os, const ExplorationResult& result) {
+  util::ConsoleTable table({"candidate", "structure", "WEs", "readout",
+                            "area mm^2", "power uW", "panel s", "feasible",
+                            "pareto"});
+  for (std::size_t i = 0; i < result.evaluations.size(); ++i) {
+    const auto& e = result.evaluations[i];
+    const bool on_front =
+        std::find(result.pareto.begin(), result.pareto.end(), i) !=
+        result.pareto.end();
+    std::string mark = on_front ? "*" : "";
+    if (result.best && *result.best == i) mark = "best";
+    table.add_row({e.candidate.summary(), to_string(e.candidate.structure),
+                   std::to_string(e.candidate.working_electrode_count()),
+                   to_string(e.candidate.sharing),
+                   util::format_fixed(e.cost.area_mm2, 2),
+                   util::format_fixed(e.cost.power_uw, 0),
+                   util::format_fixed(e.cost.panel_time_s, 0),
+                   e.feasible() ? "yes"
+                                : "no (" + std::to_string(e.violations.size()) +
+                                      ")",
+                   mark});
+  }
+  table.print(os);
+}
+
+void print_violations(std::ostream& os, const CandidateEvaluation& eval) {
+  os << eval.candidate.summary() << ":\n";
+  for (const auto& v : eval.violations) {
+    os << "  [" << to_string(v.kind) << "] " << v.message << "\n";
+  }
+}
+
+void print_validation(std::ostream& os, const ValidationReport& report) {
+  util::ConsoleTable table({"target", "S meas (uA/mM/cm^2)", "S paper",
+                            "LOD meas (uM)", "LOD paper", "linear range (mM)",
+                            "paper range", "pass"});
+  for (const auto& t : report.targets) {
+    const bio::TargetSpec& s = bio::spec(t.target);
+    const std::string paper_s =
+        s.performance_from_paper ? util::format_sig(s.sensitivity_uA_mM_cm2, 3)
+                                 : "n/a";
+    const std::string paper_lod =
+        s.performance_from_paper && s.lod_uM > 0.0
+            ? util::format_sig(s.lod_uM, 4)
+            : "--";
+    const std::string paper_range =
+        s.performance_from_paper
+            ? util::format_sig(s.linear_lo_mM, 2) + " - " +
+                  util::format_sig(s.linear_hi_mM, 2)
+            : "n/a";
+    const std::string meas_range =
+        t.linear_found ? util::format_sig(t.linear_lo_mM, 2) + " - " +
+                             util::format_sig(t.linear_hi_mM, 2)
+                       : "none";
+    table.add_row({bio::to_string(t.target),
+                   util::format_sig(t.sensitivity_uA_mM_cm2, 3), paper_s,
+                   util::format_sig(t.lod_uM, 4), paper_lod, meas_range,
+                   paper_range,
+                   (t.meets_lod && t.covers_range) ? "yes" : "no"});
+  }
+  table.print(os);
+}
+
+}  // namespace idp::plat

@@ -1,0 +1,23 @@
+/// \file report.hpp
+/// Console reporting of exploration and validation results, in the shape of
+/// the paper's tables.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/elaborate.hpp"
+#include "core/explorer.hpp"
+
+namespace idp::plat {
+
+/// Print every evaluated candidate with cost, feasibility and Pareto mark.
+void print_exploration(std::ostream& os, const ExplorationResult& result);
+
+/// Print only the violations of one evaluation (for diagnosing rejects).
+void print_violations(std::ostream& os, const CandidateEvaluation& eval);
+
+/// Print a validation report side by side with the paper's Table III rows
+/// where available.
+void print_validation(std::ostream& os, const ValidationReport& report);
+
+}  // namespace idp::plat

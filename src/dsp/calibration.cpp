@@ -1,0 +1,99 @@
+#include "dsp/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::dsp {
+
+void CalibrationCurve::add_point(double concentration, double response) {
+  util::require(concentration >= 0.0, "negative concentration");
+  const auto it = std::lower_bound(c_.begin(), c_.end(), concentration);
+  const auto idx = static_cast<std::size_t>(it - c_.begin());
+  c_.insert(it, concentration);
+  v_.insert(v_.begin() + static_cast<std::ptrdiff_t>(idx), response);
+}
+
+void CalibrationCurve::add_blank(double response) {
+  blanks_.push_back(response);
+}
+
+double CalibrationCurve::blank_mean() const {
+  util::require(!blanks_.empty(), "no blank measurements");
+  return util::mean(blanks_);
+}
+
+double CalibrationCurve::blank_sigma() const {
+  util::require(blanks_.size() >= 2, "need >= 2 blanks for sigma");
+  return util::stddev(blanks_);
+}
+
+double CalibrationCurve::lod_signal() const {
+  return blank_mean() + 3.0 * blank_sigma();
+}
+
+util::LinearFit CalibrationCurve::fit() const {
+  return util::linear_fit(c_, v_);
+}
+
+double CalibrationCurve::average_sensitivity() const {
+  util::require(c_.size() >= 2, "need >= 2 points");
+  const double dc = c_.back() - c_.front();
+  util::require(dc > 0.0, "degenerate concentration range");
+  return (v_.back() - v_.front()) / dc;
+}
+
+double CalibrationCurve::max_nonlinearity(std::size_t ref_index) const {
+  util::require(ref_index < c_.size(), "reference index out of range");
+  const double savg = average_sensitivity();
+  const double c0 = c_[ref_index];
+  const double v0 = v_[ref_index];
+  double nl = 0.0;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    nl = std::max(nl, std::fabs(v_[i] - v0 - savg * (c_[i] - c0)));
+  }
+  return nl;
+}
+
+double CalibrationCurve::lod_concentration(double linear_tolerance) const {
+  const double sigma3 = 3.0 * blank_sigma();
+  const LinearRange range = linear_range(linear_tolerance);
+  const double slope = range.found ? range.fit.slope : fit().slope;
+  util::require(std::fabs(slope) > 0.0, "zero sensitivity");
+  return sigma3 / std::fabs(slope);
+}
+
+LinearRange CalibrationCurve::linear_range(double tolerance) const {
+  LinearRange best;
+  const std::size_t n = c_.size();
+  if (n < 3) return best;
+  for (std::size_t first = 0; first + 2 < n; ++first) {
+    for (std::size_t last = first + 2; last < n; ++last) {
+      const std::size_t count = last - first + 1;
+      const std::span<const double> xs(c_.data() + first, count);
+      const std::span<const double> ys(v_.data() + first, count);
+      if (xs.back() <= xs.front()) continue;
+      const util::LinearFit f = util::linear_fit(xs, ys);
+      const double span =
+          *std::max_element(ys.begin(), ys.end()) -
+          *std::min_element(ys.begin(), ys.end());
+      if (span <= 0.0) continue;
+      if (f.max_abs_residual <= tolerance * span) {
+        const double width = xs.back() - xs.front();
+        const double best_width = best.found ? best.c_high - best.c_low : -1.0;
+        if (width > best_width) {
+          best.found = true;
+          best.c_low = xs.front();
+          best.c_high = xs.back();
+          best.first = first;
+          best.last = last;
+          best.fit = f;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace idp::dsp

@@ -1,0 +1,159 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "dsp/smoothing.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace idp::dsp {
+
+namespace {
+
+/// Topographic prominence of peak `p` in signal y: height above the highest
+/// of the two "cols" separating it from higher ground (or the boundaries).
+double prominence_of(std::span<const double> y, std::size_t p) {
+  const double hp = y[p];
+  double left_min = hp, right_min = hp;
+  for (std::size_t i = p; i-- > 0;) {
+    if (y[i] > hp) break;
+    left_min = std::min(left_min, y[i]);
+    if (i == 0) break;
+  }
+  for (std::size_t i = p + 1; i < y.size(); ++i) {
+    if (y[i] > hp) break;
+    right_min = std::min(right_min, y[i]);
+  }
+  return hp - std::max(left_min, right_min);
+}
+
+}  // namespace
+
+std::vector<Peak> find_peaks(std::span<const double> x,
+                             std::span<const double> y,
+                             const PeakOptions& options) {
+  util::require(x.size() == y.size(), "x/y size mismatch");
+  if (y.size() < 3) return {};
+
+  // Smooth, then subtract the straight baseline between the endpoints.
+  std::vector<double> smooth =
+      options.smooth_half_window > 0
+          ? savitzky_golay(y, options.smooth_half_window)
+          : std::vector<double>(y.begin(), y.end());
+  const double x0 = x.front(), x1 = x.back();
+  const double y0 = smooth.front(), y1 = smooth.back();
+  std::vector<double> corrected(smooth.size());
+  for (std::size_t i = 0; i < smooth.size(); ++i) {
+    const double base = y0 + (y1 - y0) * (x[i] - x0) / (x1 - x0);
+    corrected[i] = smooth[i] - base;
+  }
+
+  // Local maxima of the corrected signal. A floor proportional to the
+  // signal magnitude rejects floating-point ripples on flat or smooth data.
+  double magnitude = 0.0;
+  for (double v : smooth) magnitude = std::max(magnitude, std::fabs(v));
+  const double floor = std::max(options.min_prominence, 1e-9 * magnitude);
+  std::vector<Peak> candidates;
+  for (std::size_t i = 1; i + 1 < corrected.size(); ++i) {
+    if (corrected[i] >= corrected[i - 1] && corrected[i] > corrected[i + 1]) {
+      Peak p;
+      p.index = i;
+      p.position = x[i];
+      p.height = std::max(corrected[i], 0.0);
+      p.prominence = prominence_of(corrected, i);
+      if (p.prominence >= floor) candidates.push_back(p);
+    }
+  }
+
+  // Enforce minimum separation, keeping the most prominent peaks.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) {
+              return a.prominence > b.prominence;
+            });
+  std::vector<Peak> accepted;
+  for (const Peak& p : candidates) {
+    const bool clash = std::any_of(
+        accepted.begin(), accepted.end(), [&](const Peak& q) {
+          const std::size_t d =
+              p.index > q.index ? p.index - q.index : q.index - p.index;
+          return d < options.min_separation;
+        });
+    if (!clash) accepted.push_back(p);
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Peak& a, const Peak& b) { return a.position < b.position; });
+  return accepted;
+}
+
+namespace {
+
+/// Extract the first cathodic sweep as (increasing potential, negated
+/// current); returns false if none exists.
+bool cathodic_sweep(const sim::CvCurve& curve, std::vector<double>& xs,
+                    std::vector<double>& ys) {
+  for (const auto& seg : curve.segments()) {
+    if (seg.last - seg.first < 3) continue;
+    if (curve.potential()[seg.last - 1] >= curve.potential()[seg.first]) {
+      continue;
+    }
+    std::vector<double> x, y;
+    x.reserve(seg.last - seg.first);
+    y.reserve(seg.last - seg.first);
+    for (std::size_t i = seg.last; i-- > seg.first;) {
+      x.push_back(curve.potential()[i]);
+      y.push_back(-curve.current()[i]);
+    }
+    xs.clear();
+    ys.clear();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (xs.empty() || x[i] > xs.back()) {
+        xs.push_back(x[i]);
+        ys.push_back(y[i]);
+      }
+    }
+    return xs.size() >= 3;
+  }
+  return false;
+}
+
+}  // namespace
+
+double reduction_response_at(const sim::CvCurve& curve, double e0,
+                             double window, std::size_t smooth_half_window) {
+  std::vector<double> xs, ys;
+  if (!cathodic_sweep(curve, xs, ys)) return 0.0;
+  const std::vector<double> smooth =
+      smooth_half_window > 0 ? savitzky_golay(ys, smooth_half_window)
+                             : std::vector<double>(ys.begin(), ys.end());
+  // Pre-wave baseline: fit a line over the leading (most positive) 15% of
+  // the sweep -- before any reduction wave -- and extrapolate it. An
+  // endpoint-to-endpoint baseline would swallow sigmoidal catalytic waves
+  // whose plateau persists to the vertex.
+  const std::size_t n_base = std::max<std::size_t>(3, xs.size() * 15 / 100);
+  const std::size_t start = xs.size() - n_base;  // xs ascends; lead = top
+  const util::LinearFit base = util::linear_fit(
+      std::span<const double>(xs.data() + start, n_base),
+      std::span<const double>(smooth.data() + start, n_base));
+  // Average the corrected response over the window: a mean statistic stays
+  // unbiased on blank (noise-only) sweeps, which Eq. 5 relies on, whereas a
+  // max statistic would inflate sigma_b.
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (std::fabs(xs[i] - e0) > window) continue;
+    sum += smooth[i] - util::evaluate(base, xs[i]);
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::vector<Peak> find_reduction_peaks(const sim::CvCurve& curve,
+                                       const PeakOptions& options) {
+  std::vector<double> xs, ys;
+  if (!cathodic_sweep(curve, xs, ys)) return {};
+  return find_peaks(xs, ys, options);
+}
+
+}  // namespace idp::dsp

@@ -1,0 +1,52 @@
+/// \file peaks.hpp
+/// Voltammetric peak detection: the paper identifies targets by the
+/// *position* of CV current peaks and their concentration by the *height*
+/// (Section I-B). This module finds baseline-corrected peaks in a sweep.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace idp::dsp {
+
+/// One detected peak.
+struct Peak {
+  std::size_t index = 0;   ///< sample index within the analysed segment
+  double position = 0.0;   ///< abscissa (potential [V] for CV)
+  double height = 0.0;     ///< baseline-corrected magnitude (>= 0)
+  double prominence = 0.0; ///< topographic prominence in the raw signal
+};
+
+/// Peak search options.
+struct PeakOptions {
+  double min_prominence = 0.0;   ///< reject peaks shallower than this
+  std::size_t min_separation = 1;///< minimum index distance between peaks
+  std::size_t smooth_half_window = 3;  ///< Savitzky-Golay half-width (0 = off)
+};
+
+/// Find local maxima of y(x) with at least the requested prominence.
+/// x must be strictly monotonic (either direction); heights are measured
+/// from a straight baseline drawn between the segment endpoints.
+std::vector<Peak> find_peaks(std::span<const double> x,
+                             std::span<const double> y,
+                             const PeakOptions& options);
+
+/// Find the *reduction* (cathodic) peaks of a voltammogram: analyses the
+/// first cathodic sweep segment, negates the current (so reduction peaks
+/// become maxima) and reports peaks with potential positions -- directly
+/// comparable to Table II's reduction potentials.
+std::vector<Peak> find_reduction_peaks(const sim::CvCurve& curve,
+                                       const PeakOptions& options);
+
+/// Baseline-corrected cathodic response read at a fixed potential: the
+/// maximum of the negated, baseline-corrected current within +/- `window`
+/// volts of e0 on the cathodic sweep. Unlike peak detection this is well
+/// defined for blank runs (it returns the local noise excursion), which is
+/// what the calibration pipeline needs for Eq. 5 blanks.
+double reduction_response_at(const sim::CvCurve& curve, double e0,
+                             double window = 0.03,
+                             std::size_t smooth_half_window = 3);
+
+}  // namespace idp::dsp

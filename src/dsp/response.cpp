@@ -1,0 +1,85 @@
+#include "dsp/response.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/smoothing.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace idp::dsp {
+
+StepResponse analyze_step(const sim::Trace& trace, double event_time,
+                          double tail_window) {
+  util::require(!trace.empty(), "empty trace");
+  util::require(tail_window > 0.0, "tail window must be positive");
+  StepResponse r;
+
+  const double t_end = trace.time().back();
+  const auto pre = trace.window(0.0, event_time);
+  r.baseline = pre.empty() ? trace.value_at(0) : util::mean(pre);
+  r.steady_state = trace.mean_in_window(t_end - tail_window, t_end);
+
+  const double step = r.steady_state - r.baseline;
+  // A "step" at the level of floating-point residue is no step at all.
+  const double floor =
+      1e-9 * std::max({std::fabs(r.baseline), std::fabs(r.steady_state),
+                       1e-30});
+  if (std::fabs(step) <= floor) return r;
+  const double level90 = r.baseline + 0.9 * step;
+
+  // Smooth to keep sample noise from triggering the 90% crossing early;
+  // scale the window with the record length so second-scale noise averages
+  // out on minute-scale records.
+  const std::size_t half_window =
+      std::max<std::size_t>(4, trace.size() / 40);
+  const std::vector<double> smooth =
+      savitzky_golay(trace.value(), half_window);
+  const bool rising = step > 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace.time_at(i) <= event_time) continue;
+    const bool crossed =
+        rising ? smooth[i] >= level90 : smooth[i] <= level90;
+    if (crossed) {
+      r.t90 = trace.time_at(i) - event_time;
+      r.valid = true;
+      break;
+    }
+  }
+
+  // Transient response time: argmax |dV/dt| after the event.
+  const std::vector<double> dv = derivative(trace.time(), smooth);
+  double best = -1.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace.time_at(i) <= event_time) continue;
+    if (std::fabs(dv[i]) > best) {
+      best = std::fabs(dv[i]);
+      r.transient_time = trace.time_at(i) - event_time;
+    }
+  }
+  return r;
+}
+
+double recovery_time(const sim::Trace& trace, double removal_time,
+                     double baseline, double tolerance_fraction) {
+  util::require(tolerance_fraction > 0.0, "tolerance must be positive");
+  const std::vector<double> smooth = savitzky_golay(trace.value(), 4);
+  // Band around the baseline proportional to the excursion present at the
+  // removal instant.
+  const double v_removal = trace.interpolate(removal_time);
+  const double band = tolerance_fraction * std::fabs(v_removal - baseline);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace.time_at(i) <= removal_time) continue;
+    if (std::fabs(smooth[i] - baseline) <= band) {
+      return trace.time_at(i) - removal_time;
+    }
+  }
+  return -1.0;
+}
+
+double sample_throughput(double response_time, double recovery) {
+  util::require(response_time > 0.0 && recovery >= 0.0, "invalid times");
+  return 1.0 / (response_time + recovery);
+}
+
+}  // namespace idp::dsp

@@ -1,0 +1,35 @@
+/// \file response.hpp
+/// Time-response metrology (Section II-B): steady-state response time (t90),
+/// transient response time ((dV/dt)max), recovery time and sample
+/// throughput -- the quantities Fig. 3 illustrates for a glucose biosensor.
+#pragma once
+
+#include "sim/trace.hpp"
+
+namespace idp::dsp {
+
+/// Analysis of a step response following an analyte injection.
+struct StepResponse {
+  double baseline = 0.0;        ///< mean before the event
+  double steady_state = 0.0;    ///< mean over the tail window (Vss)
+  double t90 = 0.0;             ///< time from event to 90% of the step [s]
+  double transient_time = 0.0;  ///< time from event to max dV/dt [s]
+  bool valid = false;           ///< false if the trace never reaches 90%
+};
+
+/// Analyse a trace around an injection at `event_time`. The steady state is
+/// the mean of the last `tail_window` seconds; the baseline the mean of
+/// everything up to the event.
+StepResponse analyze_step(const sim::Trace& trace, double event_time,
+                          double tail_window);
+
+/// Time for the signal to return within `tolerance_fraction` of the
+/// baseline after a removal event at `removal_time`; returns a negative
+/// value if it never recovers within the trace.
+double recovery_time(const sim::Trace& trace, double removal_time,
+                     double baseline, double tolerance_fraction);
+
+/// Samples per unit time given response + recovery times (Section II-B).
+double sample_throughput(double response_time, double recovery);
+
+}  // namespace idp::dsp

@@ -1,0 +1,68 @@
+#include "dsp/smoothing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::dsp {
+
+std::vector<double> moving_average(std::span<const double> y,
+                                   std::size_t half_window) {
+  std::vector<double> out(y.size());
+  const auto n = static_cast<std::ptrdiff_t>(y.size());
+  const auto hw = static_cast<std::ptrdiff_t>(half_window);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - hw);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n - 1, i + hw);
+    double s = 0.0;
+    for (std::ptrdiff_t k = lo; k <= hi; ++k) s += y[static_cast<std::size_t>(k)];
+    out[static_cast<std::size_t>(i)] = s / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> savitzky_golay(std::span<const double> y, std::size_t m) {
+  util::require(m >= 1, "window half-width must be >= 1");
+  if (y.size() < 2 * m + 1) return moving_average(y, m);
+
+  // Quadratic SG weights on [-m, m]: w_k = A + B*k^2 where the closed form
+  // follows from the normal equations of the quadratic fit.
+  const double md = static_cast<double>(m);
+  const double w = 2.0 * md + 1.0;              // window size
+  const double s2 = md * (md + 1.0) * w / 3.0;  // sum k^2
+  double s4 = 0.0;                              // sum k^4
+  for (double k = -md; k <= md; ++k) s4 += k * k * k * k;
+  const double det = w * s4 - s2 * s2;
+  std::vector<double> weight(2 * m + 1);
+  for (std::size_t j = 0; j < weight.size(); ++j) {
+    const double k = static_cast<double>(j) - md;
+    weight[j] = (s4 - s2 * k * k) / det;
+  }
+
+  std::vector<double> out = moving_average(y, m);  // edge fallback
+  for (std::size_t i = m; i + m < y.size(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < weight.size(); ++j) {
+      s += weight[j] * y[i - m + j];
+    }
+    out[i] = s;
+  }
+  return out;
+}
+
+std::vector<double> derivative(std::span<const double> x,
+                               std::span<const double> y) {
+  util::require(x.size() == y.size(), "x/y size mismatch");
+  util::require(x.size() >= 2, "need at least two points");
+  const std::size_t n = x.size();
+  std::vector<double> d(n);
+  d[0] = (y[1] - y[0]) / (x[1] - x[0]);
+  d[n - 1] = (y[n - 1] - y[n - 2]) / (x[n - 1] - x[n - 2]);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    d[i] = (y[i + 1] - y[i - 1]) / (x[i + 1] - x[i - 1]);
+  }
+  return d;
+}
+
+}  // namespace idp::dsp

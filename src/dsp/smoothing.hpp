@@ -1,0 +1,28 @@
+/// \file smoothing.hpp
+/// Noise smoothing for slow biosensing signals: moving average and
+/// Savitzky-Golay (quadratic) filters. Applied before peak detection so the
+/// 10 nA-scale quantisation steps do not masquerade as peaks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace idp::dsp {
+
+/// Centred moving average with half-width `half_window` (window size
+/// 2*half_window+1); edges use the available samples.
+std::vector<double> moving_average(std::span<const double> y,
+                                   std::size_t half_window);
+
+/// Savitzky-Golay smoothing: least-squares quadratic fit over a centred
+/// window of half-width m (window 2m+1, m >= 1), evaluated at the centre.
+/// Edges fall back to the moving average. Preserves peak heights much
+/// better than plain averaging.
+std::vector<double> savitzky_golay(std::span<const double> y, std::size_t m);
+
+/// First derivative estimate dy/dx by central differences (one-sided at the
+/// boundaries). xs must be strictly increasing and match y in size.
+std::vector<double> derivative(std::span<const double> x,
+                               std::span<const double> y);
+
+}  // namespace idp::dsp

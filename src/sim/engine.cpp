@@ -1,0 +1,228 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "afe/waveform.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace idp::sim {
+
+namespace {
+constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+}
+
+/// Per-run noise generators: independent white noise for the signal and
+/// blank paths plus one *shared* drift process (same chamber, same solution)
+/// that correlated double sampling can cancel.
+struct MeasurementEngine::NoiseState {
+  util::Rng white_signal;
+  util::Rng white_blank;
+  util::DriftProcess drift;
+  double white_rms;
+  bool enabled;
+
+  NoiseState(const EngineConfig& cfg, const bio::Probe& probe,
+             std::uint64_t run_id)
+      : white_signal(cfg.seed + run_id * kSeedStride),
+        white_blank(cfg.seed + run_id * kSeedStride + 1),
+        drift(cfg.drift_scale * probe.blank_noise_rms(), cfg.drift_tau,
+              cfg.seed + run_id * kSeedStride + 2),
+        white_rms(probe.blank_noise_rms()),
+        enabled(cfg.sensor_noise) {}
+
+  /// Advance shared drift by one sample period.
+  double step_drift(double dt) { return enabled ? drift.step(dt) : 0.0; }
+
+  double signal_white() { return enabled ? white_signal.gaussian(white_rms) : 0.0; }
+  double blank_white() { return enabled ? white_blank.gaussian(white_rms) : 0.0; }
+};
+
+MeasurementEngine::MeasurementEngine(EngineConfig config) : config_(config) {
+  util::require(config_.chem_dt > 0.0, "chem_dt must be positive");
+  util::require(config_.drift_scale >= 0.0, "drift_scale must be >= 0");
+  util::require(config_.drift_tau > 0.0, "drift_tau must be positive");
+}
+
+namespace {
+
+struct SamplingClock {
+  double period;
+  double next;
+  explicit SamplingClock(double rate) : period(1.0 / rate), next(1.0 / rate) {}
+  bool due(double t) const { return t >= next; }
+  void advance() { next += period; }
+};
+
+}  // namespace
+
+Trace MeasurementEngine::run_chronoamperometry(
+    Channel channel, const ChronoamperometryProtocol& protocol,
+    afe::AnalogFrontEnd& fe, std::span<const InjectionEvent> injections) {
+  util::require(channel.probe != nullptr, "channel has no probe");
+  util::require(protocol.duration > 0.0 && protocol.sample_rate > 0.0,
+                "invalid protocol");
+  bio::Probe& probe = *channel.probe;
+  probe.reset();
+
+  NoiseState noise(config_, probe, ++run_counter_);
+  afe::Potentiostat pstat(config_.potentiostat);
+
+  std::vector<InjectionEvent> pending(injections.begin(), injections.end());
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const auto& a, const auto& b) { return a.time < b.time; });
+  std::size_t next_injection = 0;
+
+  Trace trace;
+  SamplingClock clock(protocol.sample_rate);
+  const double dt = config_.chem_dt;
+  double i_prev = 0.0;
+  const auto n_steps =
+      static_cast<std::size_t>(std::ceil(protocol.duration / dt));
+  for (std::size_t k = 0; k < n_steps; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    while (next_injection < pending.size() &&
+           pending[next_injection].time <= t) {
+      probe.set_bulk_concentration(pending[next_injection].target,
+                                   pending[next_injection].concentration);
+      ++next_injection;
+    }
+    const double e_applied = pstat.applied_potential(
+        protocol.potential, i_prev, config_.cell_impedance);
+    const double i_far = probe.step(e_applied, dt);
+    i_prev = i_far;
+
+    if (clock.due(t + dt)) {
+      const double drift = noise.step_drift(clock.period);
+      const double i_sig = i_far + noise.signal_white() + drift;
+      // The blank electrode shares solution drift; for directly
+      // electroactive targets it also collects part of the signal itself
+      // (the Section II-C caveat on CDS).
+      const double i_blank = probe.blank_current() +
+                             probe.blank_signal_fraction() *
+                                 (i_far - probe.blank_current()) +
+                             noise.blank_white() + drift;
+      trace.push(clock.next, fe.sample(i_sig, i_blank));
+      clock.advance();
+    }
+  }
+  return trace;
+}
+
+CvCurve MeasurementEngine::run_cyclic_voltammetry(
+    Channel channel, const CyclicVoltammetryProtocol& protocol,
+    afe::AnalogFrontEnd& fe) {
+  util::require(channel.probe != nullptr, "channel has no probe");
+  util::require(protocol.sample_rate > 0.0, "invalid protocol");
+  bio::Probe& probe = *channel.probe;
+  probe.reset();
+
+  NoiseState noise(config_, probe, ++run_counter_);
+  afe::Potentiostat pstat(config_.potentiostat);
+  const afe::TriangleWaveform wf(protocol.e_start, protocol.e_vertex,
+                                 protocol.scan_rate, protocol.cycles);
+
+  CvCurve curve;
+  SamplingClock clock(protocol.sample_rate);
+  const double dt = config_.chem_dt;
+  double i_prev = 0.0;
+  const auto n_steps = static_cast<std::size_t>(std::ceil(wf.duration() / dt));
+  for (std::size_t k = 0; k < n_steps; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    const double e_set = wf.value(t);
+    const double e_applied =
+        pstat.applied_potential(e_set, i_prev, config_.cell_impedance);
+    double i_true = probe.step(e_applied, dt);
+    if (config_.charging_current && channel.electrode != nullptr) {
+      i_true += channel.electrode->charging_current(
+          protocol.scan_rate * static_cast<double>(wf.direction(t)));
+    }
+    i_prev = i_true;
+
+    if (clock.due(t + dt)) {
+      const double drift = noise.step_drift(clock.period);
+      const double i_sig = i_true + noise.signal_white() + drift;
+      const double i_blank = probe.blank_current() +
+                             probe.blank_signal_fraction() *
+                                 (i_true - probe.blank_current()) +
+                             noise.blank_white() + drift;
+      curve.push(clock.next, wf.value(clock.next), fe.sample(i_sig, i_blank));
+      clock.advance();
+    }
+  }
+  return curve;
+}
+
+PanelScanResult MeasurementEngine::run_panel(
+    std::span<const Channel> channels,
+    std::span<const ChannelProtocol> protocols,
+    std::span<afe::AnalogFrontEnd* const> frontends, afe::AnalogMux& mux) {
+  util::require(channels.size() == protocols.size(),
+                "one protocol per channel required");
+  util::require(channels.size() == frontends.size(),
+                "one front end per channel required");
+  util::require(channels.size() <= mux.spec().channels,
+                "more channels than the mux supports");
+
+  PanelScanResult result;
+  double t_global = 0.0;
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    mux.select(c, t_global);
+    t_global += mux.spec().settle_time;
+
+    PanelEntryResult entry;
+    entry.probe_name = channels[c].probe->name();
+    entry.technique = channels[c].probe->technique();
+    entry.start_time = t_global;
+
+    // The charge-injection artifact decays from the switch instant; add it
+    // to the digitised samples by re-running through a thin adapter: the
+    // simplest faithful model is to fold it into the blank-corrected signal
+    // after the run, so we temporarily wrap the front end sampling here.
+    afe::AnalogFrontEnd& fe = *frontends[c];
+    if (std::holds_alternative<ChronoamperometryProtocol>(protocols[c])) {
+      const auto& p = std::get<ChronoamperometryProtocol>(protocols[c]);
+      Trace raw = run_chronoamperometry(channels[c], p, fe);
+      Trace shifted;
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        const double local_t = raw.time_at(i);
+        const double artifact = mux.artifact_current(t_global + local_t -
+                                                     mux.spec().settle_time);
+        shifted.push(t_global + local_t, raw.value_at(i) + artifact);
+      }
+      entry.amperogram = std::move(shifted);
+      t_global += p.duration;
+    } else {
+      const auto& p = std::get<CyclicVoltammetryProtocol>(protocols[c]);
+      CvCurve raw = run_cyclic_voltammetry(channels[c], p, fe);
+      CvCurve shifted;
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        const double local_t = raw.time()[i];
+        const double artifact = mux.artifact_current(t_global + local_t -
+                                                     mux.spec().settle_time);
+        shifted.push(t_global + local_t, raw.potential()[i],
+                     raw.current()[i] + artifact);
+      }
+      entry.voltammogram = std::move(shifted);
+      const afe::TriangleWaveform wf(p.e_start, p.e_vertex, p.scan_rate,
+                                     p.cycles);
+      t_global += wf.duration();
+    }
+    entry.stop_time = t_global;
+    result.entries.push_back(std::move(entry));
+  }
+  result.total_time = t_global;
+  return result;
+}
+
+double protocol_duration(const ChannelProtocol& p) {
+  if (std::holds_alternative<ChronoamperometryProtocol>(p)) {
+    return std::get<ChronoamperometryProtocol>(p).duration;
+  }
+  const auto& cv = std::get<CyclicVoltammetryProtocol>(p);
+  return 2.0 * std::fabs(cv.e_vertex - cv.e_start) / cv.scan_rate *
+         static_cast<double>(cv.cycles);
+}
+
+}  // namespace idp::sim

@@ -1,0 +1,45 @@
+/// \file protocol.hpp
+/// Measurement protocols: the experiment descriptions the engine executes
+/// (Section I-B techniques plus the multiplexed panel scan of Fig. 4).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace idp::sim {
+
+/// Constant-potential measurement (oxidase probes, Table I).
+struct ChronoamperometryProtocol {
+  double potential = 0.65;     ///< applied WE potential [V vs Ag/AgCl]
+  double duration = 60.0;      ///< [s]
+  double sample_rate = 10.0;   ///< ADC rate [Hz]
+};
+
+/// Potential-sweep measurement (CYP probes, Table II). The paper limits
+/// faithful cell response to ~20 mV/s; the engine runs any rate so the
+/// ablation bench can demonstrate what breaks beyond it.
+struct CyclicVoltammetryProtocol {
+  double e_start = 0.1;        ///< [V]
+  double e_vertex = -0.9;      ///< [V]
+  double scan_rate = 20.0e-3;  ///< [V/s]
+  int cycles = 1;
+  double sample_rate = 10.0;   ///< ADC rate [Hz]
+};
+
+/// A timed change of one target's bulk concentration (sample injection into
+/// the measurement cell, as in Fig. 3).
+struct InjectionEvent {
+  double time = 0.0;           ///< [s] since protocol start
+  std::string target;          ///< target name, e.g. "glucose"
+  double concentration = 0.0;  ///< new bulk concentration [mol/m^3]
+};
+
+/// Per-channel plan inside a multiplexed panel scan.
+using ChannelProtocol =
+    std::variant<ChronoamperometryProtocol, CyclicVoltammetryProtocol>;
+
+/// Duration of a channel protocol [s].
+double protocol_duration(const ChannelProtocol& p);
+
+}  // namespace idp::sim

@@ -1,0 +1,77 @@
+#include "sim/trace.hpp"
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/interp.hpp"
+#include "util/stats.hpp"
+
+namespace idp::sim {
+
+void Trace::push(double t, double value) {
+  util::require(time_.empty() || t > time_.back(),
+                "trace times must be strictly increasing");
+  time_.push_back(t);
+  value_.push_back(value);
+}
+
+double Trace::interpolate(double t) const {
+  return util::interp_linear(time_, value_, t);
+}
+
+double Trace::mean_in_window(double t0, double t1) const {
+  const auto w = window(t0, t1);
+  return util::mean(w);
+}
+
+std::vector<double> Trace::window(double t0, double t1) const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < time_.size(); ++i) {
+    if (time_[i] >= t0 && time_[i] <= t1) out.push_back(value_[i]);
+  }
+  return out;
+}
+
+void Trace::to_csv(const std::string& path,
+                   const std::string& value_label) const {
+  util::CsvWriter csv(path, {"time_s", value_label});
+  for (std::size_t i = 0; i < time_.size(); ++i) {
+    const double row[] = {time_[i], value_[i]};
+    csv.write_row(row);
+  }
+}
+
+void CvCurve::push(double t, double potential, double current) {
+  util::require(time_.empty() || t > time_.back(),
+                "curve times must be strictly increasing");
+  time_.push_back(t);
+  potential_.push_back(potential);
+  current_.push_back(current);
+}
+
+std::vector<CvCurve::Segment> CvCurve::segments() const {
+  std::vector<Segment> segs;
+  if (potential_.size() < 3) return segs;
+  std::size_t start = 0;
+  int prev_dir = 0;
+  for (std::size_t i = 1; i < potential_.size(); ++i) {
+    const double de = potential_[i] - potential_[i - 1];
+    const int dir = de > 0.0 ? 1 : (de < 0.0 ? -1 : prev_dir);
+    if (prev_dir != 0 && dir != 0 && dir != prev_dir) {
+      segs.push_back(Segment{start, i, segs.size() % 2 == 0});
+      start = i - 1;
+    }
+    if (dir != 0) prev_dir = dir;
+  }
+  segs.push_back(Segment{start, potential_.size(), segs.size() % 2 == 0});
+  return segs;
+}
+
+void CvCurve::to_csv(const std::string& path) const {
+  util::CsvWriter csv(path, {"time_s", "potential_V", "current_A"});
+  for (std::size_t i = 0; i < time_.size(); ++i) {
+    const double row[] = {time_[i], potential_[i], current_[i]};
+    csv.write_row(row);
+  }
+}
+
+}  // namespace idp::sim

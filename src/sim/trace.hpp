@@ -1,0 +1,73 @@
+/// \file trace.hpp
+/// Time-series containers produced by the measurement engine: amperometric
+/// traces (current vs time, Fig. 3) and voltammograms (current vs potential).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace idp::sim {
+
+/// Sampled current-vs-time record.
+class Trace {
+ public:
+  void push(double t, double value);
+  std::size_t size() const { return time_.size(); }
+  bool empty() const { return time_.empty(); }
+
+  const std::vector<double>& time() const { return time_; }
+  const std::vector<double>& value() const { return value_; }
+
+  double time_at(std::size_t i) const { return time_.at(i); }
+  double value_at(std::size_t i) const { return value_.at(i); }
+
+  /// Linear interpolation of the value at time t (clamped at the ends).
+  double interpolate(double t) const;
+
+  /// Mean of the samples with time in [t0, t1].
+  double mean_in_window(double t0, double t1) const;
+
+  /// Values restricted to [t0, t1] (copy).
+  std::vector<double> window(double t0, double t1) const;
+
+  /// Write a two-column CSV (throws on I/O error).
+  void to_csv(const std::string& path, const std::string& value_label) const;
+
+ private:
+  std::vector<double> time_;
+  std::vector<double> value_;
+};
+
+/// Sampled voltammogram: synchronized time / programmed potential / current.
+class CvCurve {
+ public:
+  void push(double t, double potential, double current);
+  std::size_t size() const { return time_.size(); }
+  bool empty() const { return time_.empty(); }
+
+  const std::vector<double>& time() const { return time_; }
+  const std::vector<double>& potential() const { return potential_; }
+  const std::vector<double>& current() const { return current_; }
+
+  /// Indices [first, last) of sweep segment `k` (0 = first half-sweep of the
+  /// first cycle, 1 = its return branch, ...). Segments are detected from
+  /// potential direction changes.
+  struct Segment {
+    std::size_t first = 0;
+    std::size_t last = 0;   ///< one past the end
+    bool forward = true;    ///< potential moving away from the start value
+  };
+  std::vector<Segment> segments() const;
+
+  /// Write a three-column CSV (throws on I/O error).
+  void to_csv(const std::string& path) const;
+
+ private:
+  std::vector<double> time_;
+  std::vector<double> potential_;
+  std::vector<double> current_;
+};
+
+}  // namespace idp::sim

@@ -1,0 +1,29 @@
+/// \file constants.hpp
+/// Physical constants used throughout the platform, in SI units.
+///
+/// Concentrations are expressed in mol/m^3 throughout the code base, which
+/// conveniently equals mmol/L (mM) -- the unit the paper's Table III uses.
+#pragma once
+
+namespace idp::util {
+
+/// Faraday constant [C/mol].
+inline constexpr double kFaraday = 96485.33212;
+
+/// Molar gas constant [J/(mol K)].
+inline constexpr double kGasConstant = 8.314462618;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Standard laboratory temperature used by the paper's cited measurements [K].
+inline constexpr double kStandardTemperatureK = 298.15;
+
+/// F/(R*T) at 298.15 K [1/V]; appears in all Butler-Volmer exponents.
+inline constexpr double kFOverRT =
+    kFaraday / (kGasConstant * kStandardTemperatureK);
+
+/// Thermal voltage R*T/F at 298.15 K [V] (~25.69 mV).
+inline constexpr double kThermalVoltage = 1.0 / kFOverRT;
+
+}  // namespace idp::util

@@ -1,0 +1,34 @@
+#include "util/csv.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace idp::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : out_(path), n_columns_(columns.size()) {
+  ensure(out_.good(), "cannot open CSV file: " + path);
+  require(!columns.empty(), "CSV needs at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+  out_.precision(std::numeric_limits<double>::max_digits10);
+}
+
+void CsvWriter::write_row(std::span<const double> values) {
+  require(values.size() == n_columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace idp::util

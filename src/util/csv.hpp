@@ -1,0 +1,30 @@
+/// \file csv.hpp
+/// Minimal CSV writer so benches/examples can dump traces (e.g. the Fig. 3
+/// time-response series) for external plotting.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace idp::util {
+
+/// Streams rows of doubles to a CSV file. Throws idp::util::Error if the
+/// file cannot be opened.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Write one data row; must match the column count.
+  void write_row(std::span<const double> values);
+
+  /// Flush and close (also done by the destructor).
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::size_t n_columns_;
+};
+
+}  // namespace idp::util

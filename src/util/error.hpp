@@ -1,0 +1,35 @@
+/// \file error.hpp
+/// Precondition / invariant helpers. Constructor preconditions throw
+/// std::invalid_argument; violated runtime invariants throw idp::util::Error.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace idp::util {
+
+/// Error thrown when a runtime invariant of the platform is violated
+/// (as opposed to a caller mistake, which throws std::invalid_argument).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Validate a caller-supplied argument; throws std::invalid_argument.
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::invalid_argument(std::string(loc.function_name()) + ": " + message);
+  }
+}
+
+/// Validate an internal invariant; throws idp::util::Error.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(std::string(loc.function_name()) + ": " + message);
+  }
+}
+
+}  // namespace idp::util

@@ -1,0 +1,30 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace idp::util {
+
+bool strictly_increasing(std::span<const double> xs) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (!(xs[i] > xs[i - 1])) return false;
+  }
+  return true;
+}
+
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x) {
+  require(xs.size() == ys.size(), "x/y size mismatch");
+  require(xs.size() >= 2, "need at least two points");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const auto i = static_cast<std::size_t>(it - xs.begin());
+  const double x0 = xs[i - 1], x1 = xs[i];
+  const double y0 = ys[i - 1], y1 = ys[i];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+}  // namespace idp::util

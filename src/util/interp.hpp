@@ -1,0 +1,19 @@
+/// \file interp.hpp
+/// Piecewise-linear interpolation on a sorted abscissa, used for resampling
+/// voltammograms and time traces.
+#pragma once
+
+#include <span>
+
+namespace idp::util {
+
+/// Linear interpolation of (xs, ys) at x. xs must be strictly increasing.
+/// Values outside [xs.front(), xs.back()] clamp to the boundary ordinates.
+/// Throws std::invalid_argument on size mismatch or fewer than 2 points.
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x);
+
+/// True if xs is strictly increasing.
+bool strictly_increasing(std::span<const double> xs);
+
+}  // namespace idp::util

@@ -1,0 +1,40 @@
+#include "util/random.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace idp::util {
+
+PinkNoise::PinkNoise(double sigma, std::uint64_t seed) : rng_(seed) {
+  // The sum of kRows independent unit-variance rows has variance kRows;
+  // normalise so the output RMS is ~sigma.
+  scale_ = sigma / std::sqrt(static_cast<double>(kRows));
+  for (auto& r : rows_) {
+    r = rng_.gaussian();
+    running_sum_ += r;
+  }
+}
+
+double PinkNoise::sample() {
+  // Voss-McCartney: on sample k, update row ctz(k) (the number of trailing
+  // zeros selects geometrically less frequently updated rows).
+  ++counter_;
+  const int row = std::countr_zero(counter_) % kRows;
+  running_sum_ -= rows_[static_cast<std::size_t>(row)];
+  rows_[static_cast<std::size_t>(row)] = rng_.gaussian();
+  running_sum_ += rows_[static_cast<std::size_t>(row)];
+  return scale_ * running_sum_;
+}
+
+DriftProcess::DriftProcess(double sigma, double tau_s, std::uint64_t seed)
+    : rng_(seed), sigma_(sigma), tau_(tau_s) {}
+
+double DriftProcess::step(double dt) {
+  // Exact discretisation of the OU process.
+  const double a = std::exp(-dt / tau_);
+  const double q = sigma_ * std::sqrt(1.0 - a * a);
+  state_ = a * state_ + rng_.gaussian(q);
+  return state_;
+}
+
+}  // namespace idp::util

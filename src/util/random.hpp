@@ -1,0 +1,93 @@
+/// \file random.hpp
+/// Deterministic random sources for noise modelling.
+///
+/// Every stochastic component of the platform takes an explicit seed so that
+/// simulations, tests and benches are bit-reproducible run to run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <random>
+
+namespace idp::util {
+
+/// Thin deterministic wrapper around std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Standard-normal deviate.
+  double gaussian() { return normal_(engine_); }
+
+  /// Normal deviate with the given standard deviation.
+  double gaussian(double sigma) { return sigma * normal_(engine_); }
+
+  /// Uniform deviate in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform_(engine_);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) { return engine_() % n; }
+
+  /// Re-seed (resets the distribution caches too).
+  void reseed(std::uint64_t seed) {
+    engine_.seed(seed);
+    normal_.reset();
+    uniform_.reset();
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+/// Pink (1/f) noise generator, Voss-McCartney algorithm with 16 octave rows.
+///
+/// Produces samples whose power spectral density falls off as ~1/f over
+/// roughly 16 octaves below half the sampling rate. Used to model flicker
+/// noise of the analog front-end and slow electrode drift. Output is scaled
+/// so that the long-run standard deviation is approximately `sigma`.
+class PinkNoise {
+ public:
+  /// \param sigma   target RMS amplitude of the generated sequence
+  /// \param seed    RNG seed (deterministic)
+  PinkNoise(double sigma, std::uint64_t seed);
+
+  /// Next pink-noise sample.
+  double sample();
+
+ private:
+  static constexpr int kRows = 16;
+  Rng rng_;
+  std::array<double, kRows> rows_{};
+  double running_sum_ = 0.0;
+  std::uint32_t counter_ = 0;
+  double scale_ = 1.0;
+};
+
+/// First-order Gauss-Markov (Ornstein-Uhlenbeck) drift process.
+///
+/// Models slow baseline wander of an electrochemical cell: correlated over
+/// `tau` seconds with stationary standard deviation `sigma`.
+class DriftProcess {
+ public:
+  DriftProcess(double sigma, double tau_s, std::uint64_t seed);
+
+  /// Advance by dt seconds and return the new drift value.
+  double step(double dt);
+
+  /// Current value without advancing.
+  double value() const { return state_; }
+
+  void reset() { state_ = 0.0; }
+
+ private:
+  Rng rng_;
+  double sigma_;
+  double tau_;
+  double state_ = 0.0;
+};
+
+}  // namespace idp::util

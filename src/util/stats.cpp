@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x * x;
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
+                   copy.end());
+  if (copy.size() % 2 == 1) return copy[mid];
+  const double hi = copy[mid];
+  const double lo = *std::max_element(copy.begin(),
+                                      copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double max_abs(std::span<const double> xs) {
+  double m = 0.0;
+  for (double x : xs) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double min_value(std::span<const double> xs) {
+  require(!xs.empty(), "min_value of empty range");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  require(!xs.empty(), "max_value of empty range");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "x/y size mismatch");
+  require(xs.size() >= 2, "need at least two points");
+  const double n = static_cast<double>(xs.size());
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  require(sxx > 0.0, "degenerate fit: all x identical");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  double max_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - evaluate(fit, xs[i]);
+    ss_res += r * r;
+    max_res = std::max(max_res, std::fabs(r));
+  }
+  fit.residual_rms = std::sqrt(ss_res / n);
+  fit.max_abs_residual = max_res;
+  fit.r_squared = (syy > 0.0) ? 1.0 - ss_res / syy : 1.0;
+  return fit;
+}
+
+}  // namespace idp::util

@@ -1,0 +1,69 @@
+/// \file stats.hpp
+/// Descriptive statistics and least-squares fitting used by the calibration
+/// and metrology pipeline (LOD per Eq. 5, sensitivity per Eq. 6, NLmax per
+/// Eq. 7 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace idp::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 if fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Root-mean-square value.
+double rms(std::span<const double> xs);
+
+/// Median (copies and partially sorts); 0 for empty input.
+double median(std::span<const double> xs);
+
+/// Maximum absolute value; 0 for empty input.
+double max_abs(std::span<const double> xs);
+
+/// Minimum / maximum (throw std::invalid_argument on empty input).
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable;
+/// used by long-running noise measurements where storing samples is wasteful.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Result of an ordinary least-squares straight-line fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;      ///< coefficient of determination
+  double residual_rms = 0.0;   ///< RMS of (y - fit)
+  double max_abs_residual = 0.0;  ///< max |y - fit| -- feeds NLmax (Eq. 7)
+};
+
+/// Least-squares fit; requires xs.size() == ys.size() >= 2 (throws otherwise).
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Evaluate a fit at x.
+inline double evaluate(const LinearFit& f, double x) {
+  return f.slope * x + f.intercept;
+}
+
+}  // namespace idp::util

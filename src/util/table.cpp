@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace idp::util {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "table needs at least one column");
+  align_.assign(headers_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::set_alignment(std::size_t column, Align align) {
+  require(column < align_.size(), "column out of range");
+  align_[column] = align;
+}
+
+namespace {
+void print_rule(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << '+';
+  for (std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+    os << '+';
+  }
+  os << '\n';
+}
+
+void print_cells(std::ostream& os, const std::vector<std::string>& cells,
+                 const std::vector<std::size_t>& widths,
+                 const std::vector<Align>& align) {
+  os << '|';
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    os << ' ';
+    if (align[c] == Align::kLeft) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+    } else {
+      os << std::right << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << " |";
+  }
+  os << '\n';
+}
+}  // namespace
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  print_rule(os, widths);
+  print_cells(os, headers_, widths, align_);
+  print_rule(os, widths);
+  for (const auto& row : rows_) print_cells(os, row, widths, align_);
+  print_rule(os, widths);
+}
+
+std::string format_sig(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::setprecision(digits) << value;
+  return ss.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << value;
+  return ss.str();
+}
+
+}  // namespace idp::util

@@ -1,0 +1,46 @@
+/// \file table.hpp
+/// Fixed-width console table printer used by the bench harnesses to emit the
+/// same rows the paper's tables report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace idp::util {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple console table: set headers once, add rows of strings, print.
+/// Column widths auto-size to content. Numeric cells should be formatted by
+/// the caller (see format_si / format_fixed helpers).
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers
+  /// (throws std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional per-column alignment (default: left for col 0, right elsewhere).
+  void set_alignment(std::size_t column, Align align);
+
+  /// Render with +--- style rules.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+/// Format a double with `digits` significant digits.
+std::string format_sig(double value, int digits);
+
+/// Format a double with fixed `decimals` decimal places.
+std::string format_fixed(double value, int decimals);
+
+}  // namespace idp::util

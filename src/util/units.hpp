@@ -1,0 +1,92 @@
+/// \file units.hpp
+/// User-defined literals and conversion helpers for the quantities the
+/// platform manipulates. Internally everything is SI:
+///   potential [V], current [A], time [s], length [m], area [m^2],
+///   concentration [mol/m^3] (== mM), diffusivity [m^2/s].
+///
+/// The literals let call sites read like the paper:
+///   `ca.applied_potential = 650_mV;`  `inj.concentration = 2.0_mM;`
+#pragma once
+
+namespace idp::util::literals {
+
+// --- potential -------------------------------------------------------------
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// --- current ---------------------------------------------------------------
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nA(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pA(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+// --- time ------------------------------------------------------------------
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_s(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_min(long double v) { return static_cast<double>(v) * 60.0; }
+constexpr double operator""_min(unsigned long long v) { return static_cast<double>(v) * 60.0; }
+
+// --- length / area ---------------------------------------------------------
+constexpr double operator""_m(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mm(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_mm2(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_cm2(long double v) { return static_cast<double>(v) * 1e-4; }
+
+// --- concentration (mol/m^3 == mM) ------------------------------------------
+constexpr double operator""_M(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_mM(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mM(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_uM(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uM(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// --- frequency / rates -------------------------------------------------------
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+/// CV scan rate literal, mV/s -> V/s.
+constexpr double operator""_mV_per_s(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV_per_s(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+}  // namespace idp::util::literals
+
+namespace idp::util {
+
+/// Sensitivity unit conversion. The paper's Table III reports sensitivities
+/// in uA/(mM cm^2); internally we keep A per (mol/m^3) per m^2 of electrode:
+/// 1 uA/(mM cm^2) = 1e-6 A / (1 mol/m^3 * 1e-4 m^2) = 1e-2 A m / mol.
+constexpr double sensitivity_from_uA_per_mM_cm2(double s) { return s * 1e-2; }
+
+/// Inverse of sensitivity_from_uA_per_mM_cm2 (for report printing).
+constexpr double sensitivity_to_uA_per_mM_cm2(double s) { return s * 1e2; }
+
+/// Concentration conversions for reporting.
+constexpr double concentration_to_uM(double c_mol_m3) { return c_mol_m3 * 1e3; }
+constexpr double concentration_to_mM(double c_mol_m3) { return c_mol_m3; }
+
+/// Current conversions for reporting.
+constexpr double current_to_nA(double i_A) { return i_A * 1e9; }
+constexpr double current_to_uA(double i_A) { return i_A * 1e6; }
+
+/// Potential conversion for reporting.
+constexpr double potential_to_mV(double e_V) { return e_V * 1e3; }
+
+/// Area conversions for reporting.
+constexpr double area_to_mm2(double a_m2) { return a_m2 * 1e6; }
+constexpr double area_to_cm2(double a_m2) { return a_m2 * 1e4; }
+
+}  // namespace idp::util

@@ -1,0 +1,106 @@
+#include "afe/frontend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace idp::afe {
+namespace {
+
+AfeConfig oxidase_config() {
+  AfeConfig c;
+  c.tia = oxidase_class_tia();
+  c.adc = AdcSpec{.bits = 12, .v_low = -1.0, .v_high = 1.0,
+                  .sample_rate = 10.0};
+  c.seed = 99;
+  return c;
+}
+
+double sample_std(AnalogFrontEnd& fe, double i, int n = 2000) {
+  std::vector<double> xs;
+  for (int k = 0; k < n; ++k) xs.push_back(fe.sample(i));
+  return idp::util::stddev(xs);
+}
+
+double sample_mean(AnalogFrontEnd& fe, double i, int n = 2000) {
+  std::vector<double> xs;
+  for (int k = 0; k < n; ++k) xs.push_back(fe.sample(i));
+  return idp::util::mean(xs);
+}
+
+TEST(FrontEnd, UnbiasedWithinLsb) {
+  AnalogFrontEnd fe(oxidase_config());
+  const double i = 100e-9;
+  EXPECT_NEAR(sample_mean(fe, i), i, fe.lsb_current());
+}
+
+TEST(FrontEnd, SaturatesAtFullScale) {
+  AnalogFrontEnd fe(oxidase_config());
+  const double estimate = fe.sample(50e-6);
+  EXPECT_LE(estimate, fe.full_scale_current() * 1.01);
+}
+
+TEST(FrontEnd, LsbCurrentMeetsRequirement) {
+  AnalogFrontEnd fe(oxidase_config());
+  EXPECT_LT(fe.lsb_current(), 10e-9);  // Section II-C
+}
+
+TEST(FrontEnd, FlickerDominatesRawNoise) {
+  AnalogFrontEnd fe(oxidase_config());
+  // With the integrated CMOS flicker figure the sample spread exceeds the
+  // pure quantisation + white floor.
+  const double s = sample_std(fe, 100e-9);
+  EXPECT_GT(s, 1e-9);
+}
+
+TEST(FrontEnd, ChopperSuppressesFlicker) {
+  AfeConfig raw = oxidase_config();
+  AfeConfig chopped = oxidase_config();
+  chopped.reduction.chopper = true;
+  AnalogFrontEnd fe_raw(raw), fe_chop(chopped);
+  EXPECT_LT(fe_chop.effective_flicker_rms(),
+            0.1 * fe_raw.effective_flicker_rms());
+  EXPECT_LT(sample_std(fe_chop, 100e-9), sample_std(fe_raw, 100e-9));
+}
+
+TEST(FrontEnd, CdsSubtractsBlank) {
+  AfeConfig cfg = oxidase_config();
+  cfg.reduction.cds = true;
+  AnalogFrontEnd fe(cfg);
+  // A common-mode (drift) component present on both channels cancels.
+  std::vector<double> xs;
+  for (int k = 0; k < 500; ++k) {
+    const double drift = 50e-9;  // common to both electrodes
+    xs.push_back(fe.sample(100e-9 + drift, drift));
+  }
+  EXPECT_NEAR(idp::util::mean(xs), 100e-9, 3e-9);
+}
+
+TEST(FrontEnd, CdsWithoutFlagIgnoresBlank) {
+  AnalogFrontEnd fe(oxidase_config());
+  const double with_blank = sample_mean(fe, 100e-9);
+  AnalogFrontEnd fe2(oxidase_config());
+  std::vector<double> xs;
+  for (int k = 0; k < 2000; ++k) xs.push_back(fe2.sample(100e-9, 77e-9));
+  EXPECT_NEAR(idp::util::mean(xs), with_blank, 2e-9);
+}
+
+TEST(FrontEnd, DeterministicForSameSeed) {
+  AnalogFrontEnd a(oxidase_config());
+  AnalogFrontEnd b(oxidase_config());
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_DOUBLE_EQ(a.sample(10e-9), b.sample(10e-9));
+  }
+}
+
+TEST(FrontEnd, WhiteNoiseRmsReported) {
+  AnalogFrontEnd fe(oxidase_config());
+  EXPECT_GT(fe.white_noise_rms(), 0.0);
+  EXPECT_LT(fe.white_noise_rms(), 1e-9);  // electronics stay negligible
+}
+
+}  // namespace
+}  // namespace idp::afe

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "afe/opamp.hpp"
+#include "afe/waveform.hpp"
+
+namespace idp::afe {
+namespace {
+
+TEST(OpAmp, SettlesToClosedLoopValue) {
+  OpAmpParams params;
+  params.offset_v = 0.0;
+  OpAmp amp(params);
+  // Unity feedback: v- tied to output, v+ = 0.5 V.
+  double v = 0.0;
+  for (int i = 0; i < 200000; ++i) v = amp.step(0.5, v, 1e-8);
+  EXPECT_NEAR(v, 0.5, 0.001);
+}
+
+TEST(OpAmp, ClipsAtRails) {
+  OpAmpParams params;
+  params.rail_high_v = 1.0;
+  params.rail_low_v = -1.0;
+  OpAmp amp(params);
+  for (int i = 0; i < 100000; ++i) amp.step(0.8, 0.0, 1e-8);  // open loop
+  EXPECT_DOUBLE_EQ(amp.output(), 1.0);
+}
+
+TEST(OpAmp, OffsetPropagates) {
+  OpAmpParams params;
+  params.offset_v = 1e-3;
+  OpAmp amp(params);
+  double v = 0.0;
+  for (int i = 0; i < 200000; ++i) v = amp.step(0.0, v, 1e-8);
+  EXPECT_NEAR(v, 1e-3, 2e-4);
+}
+
+TEST(OpAmp, RejectsBadParameters) {
+  OpAmpParams params;
+  params.dc_gain = 0.5;
+  EXPECT_THROW(OpAmp{params}, std::invalid_argument);
+}
+
+TEST(ConstantWaveform, HoldsLevel) {
+  const ConstantWaveform w(0.65, 30.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.65);
+  EXPECT_DOUBLE_EQ(w.value(15.0), 0.65);
+  EXPECT_DOUBLE_EQ(w.value(100.0), 0.65);
+  EXPECT_DOUBLE_EQ(w.duration(), 30.0);
+  EXPECT_EQ(w.direction(10.0), 0);
+}
+
+TEST(TriangleWaveform, SweepGeometry) {
+  // CV from +0.1 to -0.9 V at 20 mV/s: half period 50 s, duration 100 s.
+  const TriangleWaveform w(0.1, -0.9, 0.020, 1);
+  EXPECT_NEAR(w.half_period(), 50.0, 1e-12);
+  EXPECT_NEAR(w.duration(), 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.1);
+  EXPECT_NEAR(w.value(50.0), -0.9, 1e-9);   // vertex
+  EXPECT_NEAR(w.value(100.0), 0.1, 1e-9);   // back home
+  EXPECT_NEAR(w.value(25.0), -0.4, 1e-9);   // halfway down
+}
+
+TEST(TriangleWaveform, DirectionTracksSweep) {
+  const TriangleWaveform w(0.1, -0.9, 0.020, 1);
+  EXPECT_EQ(w.direction(10.0), -1);  // sweeping down
+  EXPECT_EQ(w.direction(60.0), +1);  // sweeping back up
+  EXPECT_EQ(w.direction(150.0), 0);  // finished
+}
+
+TEST(TriangleWaveform, MultipleCycles) {
+  const TriangleWaveform w(0.0, 0.5, 0.05, 3);
+  EXPECT_NEAR(w.duration(), 3 * 2 * 10.0, 1e-12);
+  // Cycle 2 mirrors cycle 1.
+  EXPECT_NEAR(w.value(3.0), w.value(23.0), 1e-9);
+}
+
+TEST(TriangleWaveform, RisingFirstWhenVertexAbove) {
+  const TriangleWaveform w(0.0, 0.5, 0.05, 1);
+  EXPECT_EQ(w.direction(1.0), +1);
+  EXPECT_GT(w.value(5.0), 0.0);
+}
+
+TEST(TriangleWaveform, RejectsDegenerate) {
+  EXPECT_THROW(TriangleWaveform(0.1, 0.1, 0.02, 1), std::invalid_argument);
+  EXPECT_THROW(TriangleWaveform(0.1, -0.9, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(TriangleWaveform(0.1, -0.9, 0.02, 0), std::invalid_argument);
+}
+
+TEST(StaircaseWaveform, StepsThroughLevels) {
+  const StaircaseWaveform w({0.1, 0.2, 0.3}, 5.0);
+  EXPECT_DOUBLE_EQ(w.value(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(w.value(6.0), 0.2);
+  EXPECT_DOUBLE_EQ(w.value(12.0), 0.3);
+  EXPECT_DOUBLE_EQ(w.value(99.0), 0.3);  // holds last level
+  EXPECT_DOUBLE_EQ(w.duration(), 15.0);
+}
+
+/// Property: the triangle waveform never leaves [min(e), max(e)].
+class TriangleBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(TriangleBounds, WithinWindow) {
+  const TriangleWaveform w(0.1, -0.9, 0.020, 2);
+  const double t = GetParam();
+  EXPECT_LE(w.value(t), 0.1 + 1e-12);
+  EXPECT_GE(w.value(t), -0.9 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, TriangleBounds,
+                         ::testing::Values(0.0, 13.0, 50.0, 77.7, 100.0,
+                                           151.0, 200.0, 250.0));
+
+}  // namespace
+}  // namespace idp::afe

@@ -1,0 +1,88 @@
+#include "afe/potentiostat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace idp::afe {
+namespace {
+
+PotentiostatSpec quiet_spec() {
+  PotentiostatSpec s;
+  s.control_amp.offset_v = 0.0;
+  return s;
+}
+
+TEST(Potentiostat, QuasiStaticTracksSetpoint) {
+  const Potentiostat p(quiet_spec());
+  const chem::CellImpedance z;
+  const double e = p.applied_potential(0.65, 0.0, z);
+  EXPECT_NEAR(e, 0.65, 1e-4);  // finite-gain error only
+}
+
+TEST(Potentiostat, StaticErrorShrinksWithGain) {
+  PotentiostatSpec lo = quiet_spec();
+  lo.control_amp.dc_gain = 1e3;
+  PotentiostatSpec hi = quiet_spec();
+  hi.control_amp.dc_gain = 1e6;
+  EXPECT_GT(Potentiostat(lo).static_error(0.65),
+            Potentiostat(hi).static_error(0.65));
+}
+
+TEST(Potentiostat, UncompensatedResistanceDropsPotential) {
+  const Potentiostat p(quiet_spec());
+  chem::CellImpedance z;
+  z.r_solution = 1000.0;
+  // 10 uA through 10% of 1 kohm = 1 mV of IR error.
+  const double e0 = p.applied_potential(0.65, 0.0, z);
+  const double e1 = p.applied_potential(0.65, 10e-6, z);
+  EXPECT_NEAR(e0 - e1, 1e-3, 1e-5);
+}
+
+TEST(Potentiostat, OffsetAddsDirectly) {
+  PotentiostatSpec s = quiet_spec();
+  s.control_amp.offset_v = 2e-3;
+  const Potentiostat p(s);
+  const chem::CellImpedance z;
+  EXPECT_NEAR(p.applied_potential(0.0, 0.0, z), 2e-3, 1e-9);
+}
+
+TEST(Potentiostat, StepResponseSettles) {
+  const Potentiostat p(quiet_spec());
+  chem::CellImpedance z;
+  z.r_counter = 500.0;
+  z.r_solution = 1000.0;
+  const double c_dl = 46e-9;  // 0.23 mm^2 of gold
+  const auto tr = p.step_response(0.5, z, c_dl, 2e-3, 1e-8);
+  ASSERT_FALSE(tr.e_re.empty());
+  EXPECT_TRUE(tr.settled);
+  EXPECT_NEAR(tr.e_re.back(), 0.5, 0.006);
+  // Loop settles much faster than electrochemical time scales (ms).
+  EXPECT_LT(tr.settling_time, 2e-3);
+}
+
+TEST(Potentiostat, SettlingSlowerWithBiggerCell) {
+  const Potentiostat p(quiet_spec());
+  chem::CellImpedance z;
+  const auto fast = p.step_response(0.5, z, 10e-9, 5e-3, 2e-8);
+  const auto slow = p.step_response(0.5, z, 500e-9, 5e-3, 2e-8);
+  EXPECT_GT(slow.settling_time, fast.settling_time);
+}
+
+TEST(Potentiostat, RejectsBadFraction) {
+  PotentiostatSpec s;
+  s.uncompensated_fraction = 1.5;
+  EXPECT_THROW(Potentiostat{s}, std::invalid_argument);
+}
+
+TEST(Potentiostat, RejectsBadTransientArgs) {
+  const Potentiostat p(quiet_spec());
+  const chem::CellImpedance z;
+  EXPECT_THROW(p.step_response(0.5, z, 0.0, 1e-3, 1e-8),
+               std::invalid_argument);
+  EXPECT_THROW(p.step_response(0.5, z, 1e-9, 1e-3, 1e-2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::afe

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "afe/adc.hpp"
+#include "afe/tia.hpp"
+
+namespace idp::afe {
+namespace {
+
+TEST(Tia, TransferIsMinusRf) {
+  Tia tia(oxidase_class_tia());
+  const double i = 1e-6;
+  EXPECT_NEAR(tia.output_voltage(i), -0.1, 1e-12);  // Rf = 100 kohm
+  EXPECT_NEAR(tia.current_from_voltage(tia.output_voltage(i)), i, 1e-15);
+}
+
+TEST(Tia, OxidaseClassFullScaleIsTenMicroamps) {
+  // Section II-C: +/-10 uA for oxidases.
+  Tia tia(oxidase_class_tia());
+  EXPECT_NEAR(tia.full_scale_current(), 10e-6, 1e-9);
+}
+
+TEST(Tia, CypClassFullScaleIsHundredMicroamps) {
+  // Section II-C: +/-100 uA for CYPs.
+  Tia tia(cyp_class_tia());
+  EXPECT_NEAR(tia.full_scale_current(), 100e-6, 1e-8);
+}
+
+TEST(Tia, SaturatesAtRails) {
+  Tia tia(oxidase_class_tia());
+  EXPECT_DOUBLE_EQ(tia.output_voltage(50e-6), -1.0);
+  EXPECT_DOUBLE_EQ(tia.output_voltage(-50e-6), 1.0);
+}
+
+TEST(Tia, SettlingFollowsRC) {
+  Tia tia(oxidase_class_tia());
+  const double tau = tia.spec().feedback_resistance *
+                     tia.spec().feedback_capacitance;
+  tia.reset();
+  // One tau of settling reaches ~63%.
+  tia.settle(1e-6, tau);
+  EXPECT_NEAR(tia.output() / tia.output_voltage(1e-6), 0.632, 0.02);
+}
+
+TEST(Tia, InputNoiseIsSubNanoamp) {
+  // The paper demands the amplifier noise be negligible vs the sensor's
+  // (Section II-C); thermal noise of a 100 kohm Rf is ~0.4 pA/rtHz.
+  Tia tia(oxidase_class_tia());
+  EXPECT_LT(tia.input_noise_density(), 1e-12);
+  EXPECT_GT(tia.input_noise_density(), 1e-14);
+}
+
+TEST(Tia, LabGradeQuieter) {
+  Tia lab(lab_grade_tia());
+  Tia ox(oxidase_class_tia());
+  EXPECT_LT(lab.input_noise_density(), ox.input_noise_density());
+  EXPECT_LT(lab.spec().flicker_current_rms, ox.spec().flicker_current_rms);
+}
+
+TEST(Tia, RejectsBadSpec) {
+  TiaSpec s = oxidase_class_tia();
+  s.feedback_resistance = 0.0;
+  EXPECT_THROW(Tia{s}, std::invalid_argument);
+}
+
+TEST(SarAdc, MidScaleCode) {
+  SarAdc adc(AdcSpec{.bits = 12, .v_low = -1.0, .v_high = 1.0,
+                     .sample_rate = 10.0});
+  EXPECT_EQ(adc.code_count(), 4096u);
+  EXPECT_NEAR(adc.lsb(), 2.0 / 4096.0, 1e-12);
+  const auto code = adc.convert(0.0);
+  EXPECT_NEAR(static_cast<double>(code), 2048.0, 1.0);
+}
+
+TEST(SarAdc, ClipsOutOfRange) {
+  SarAdc adc(AdcSpec{.bits = 8, .v_low = -1.0, .v_high = 1.0,
+                     .sample_rate = 10.0});
+  EXPECT_EQ(adc.convert(10.0), adc.code_count() - 1);
+  EXPECT_EQ(adc.convert(-10.0), 0u);
+}
+
+TEST(SarAdc, QuantisationErrorBounded) {
+  SarAdc adc(AdcSpec{.bits = 12, .v_low = -1.0, .v_high = 1.0,
+                     .sample_rate = 10.0});
+  for (double v = -0.99; v < 0.99; v += 0.0137) {
+    EXPECT_LE(std::fabs(adc.quantize(v) - v), adc.lsb() * 0.5 + 1e-12);
+  }
+}
+
+TEST(SarAdc, MonotoneCodes) {
+  SarAdc adc(AdcSpec{.bits = 10, .v_low = -1.0, .v_high = 1.0,
+                     .sample_rate = 10.0});
+  std::uint32_t prev = 0;
+  for (double v = -1.0; v <= 1.0; v += 0.001) {
+    const auto code = adc.convert(v);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(SarAdc, ResolutionMeetsSectionIIC) {
+  // 12-bit over +/-1 V through the 100 kohm oxidase TIA: LSB current
+  // = 2/4096/1e5 ~= 4.9 nA < the required 10 nA.
+  SarAdc adc(AdcSpec{.bits = 12, .v_low = -1.0, .v_high = 1.0,
+                     .sample_rate = 10.0});
+  const double lsb_current = adc.lsb() / 1e5;
+  EXPECT_LT(lsb_current, 10e-9);
+  // ... and through the 10 kohm CYP TIA: 49 nA < 100 nA.
+  EXPECT_LT(adc.lsb() / 1e4, 100e-9);
+}
+
+TEST(SarAdc, RejectsBadSpec) {
+  EXPECT_THROW(SarAdc(AdcSpec{.bits = 2, .v_low = -1.0, .v_high = 1.0,
+                              .sample_rate = 10.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SarAdc(AdcSpec{.bits = 12, .v_low = 1.0, .v_high = -1.0,
+                              .sample_rate = 10.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::afe

@@ -1,0 +1,190 @@
+#include "bio/cyp_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace idp::bio {
+namespace {
+
+using namespace idp::util::literals;
+
+CypTargetParams benz_target() {
+  CypTargetParams t;
+  t.drug = "benzphetamine";
+  t.e0_red = -0.250;
+  t.sensitivity = util::sensitivity_from_uA_per_mM_cm2(0.28);
+  t.km = 3.0;
+  t.d_drug = 5.5e-10;
+  t.calibration_mid_concentration = 0.7;
+  return t;
+}
+
+CypTargetParams amino_target() {
+  CypTargetParams t;
+  t.drug = "aminopyrine";
+  t.e0_red = -0.400;
+  t.sensitivity = util::sensitivity_from_uA_per_mM_cm2(2.8);
+  t.km = 20.0;
+  t.d_drug = 6.0e-10;
+  t.calibration_mid_concentration = 4.4;
+  return t;
+}
+
+CypProbeParams cyp2b4() {
+  CypProbeParams p;
+  p.isoform = "CYP2B4";
+  p.targets = {benz_target(), amino_target()};
+  return p;
+}
+
+/// Run one cathodic sweep and return (potentials, currents).
+std::pair<std::vector<double>, std::vector<double>> sweep(CypProbe& probe,
+                                                          double e_start,
+                                                          double e_stop) {
+  std::vector<double> es, is;
+  const double rate = 20_mV_per_s;
+  const double dt = 20_ms;
+  probe.reset();
+  for (double e = e_start; e > e_stop; e -= rate * dt) {
+    is.push_back(probe.step(e, dt));
+    es.push_back(e);
+  }
+  return {es, is};
+}
+
+/// Most negative (cathodic) current in a potential window, with the
+/// constant background current removed.
+double min_current_near(const std::vector<double>& es,
+                        const std::vector<double>& is, double e0,
+                        double window = 0.06,
+                        double background = 5.0e-9) {
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    if (std::fabs(es[i] - e0) <= window) m = std::min(m, is[i] - background);
+  }
+  return std::isfinite(m) ? m : 0.0;
+}
+
+TEST(CypProbe, TechniqueAndDualTargets) {
+  CypProbe probe(cyp2b4());
+  EXPECT_EQ(probe.technique(), Technique::kCyclicVoltammetry);
+  EXPECT_EQ(probe.target_count(), 2u);
+  const auto names = probe.targets();
+  EXPECT_EQ(names[0], "benzphetamine");
+  EXPECT_EQ(names[1], "aminopyrine");
+  EXPECT_DOUBLE_EQ(probe.reduction_potential(0), -0.250);
+  EXPECT_DOUBLE_EQ(probe.reduction_potential(1), -0.400);
+}
+
+TEST(CypProbe, RejectsEmptyTargetList) {
+  CypProbeParams p = cyp2b4();
+  p.targets.clear();
+  EXPECT_THROW(CypProbe probe(p), std::invalid_argument);
+}
+
+TEST(CypProbe, FilmReducesOnCathodicSweep) {
+  CypProbe probe(cyp2b4());
+  probe.reset();
+  EXPECT_NEAR(probe.reduced_fraction(0), 0.0, 1e-9);
+  auto [es, is] = sweep(probe, 0.1, -0.8);
+  // Well past both reduction potentials the film is fully reduced.
+  EXPECT_GT(probe.reduced_fraction(0), 0.95);
+  EXPECT_GT(probe.reduced_fraction(1), 0.95);
+}
+
+TEST(CypProbe, SurfaceWaveAppearsWithoutDrug) {
+  // The heme reduction wave exists even in blank solution (protein-film
+  // voltammetry); its position marks the Table II potential.
+  CypProbe probe(cyp2b4());
+  auto [es, is] = sweep(probe, 0.1, -0.8);
+  const double at_benz = min_current_near(es, is, -0.25);
+  const double baseline = min_current_near(es, is, 0.0, 0.03);
+  EXPECT_LT(at_benz, baseline - 0.2e-9);  // cathodic wave present
+}
+
+TEST(CypProbe, CatalyticCurrentScalesWithConcentration) {
+  CypProbe probe(cyp2b4());
+  probe.set_bulk_concentration("benzphetamine", 0.2);
+  auto [es1, is1] = sweep(probe, 0.1, -0.8);
+  const double i1 = min_current_near(es1, is1, -0.25);
+  probe.set_bulk_concentration("benzphetamine", 1.2);
+  auto [es2, is2] = sweep(probe, 0.1, -0.8);
+  const double i2 = min_current_near(es2, is2, -0.25);
+  EXPECT_LT(i2, i1);  // more drug -> more cathodic current
+}
+
+TEST(CypProbe, TwoTargetsGiveTwoSeparatedWaves) {
+  // The Section III claim: one CYP2B4 electrode resolves benzphetamine
+  // (-250 mV) and aminopyrine (-400 mV) as separate peaks.
+  CypProbe probe(cyp2b4());
+  probe.set_bulk_concentration("benzphetamine", 1.0);
+  probe.set_bulk_concentration("aminopyrine", 6.0);
+  auto [es, is] = sweep(probe, 0.1, -0.8);
+  const double i_benz = min_current_near(es, is, -0.25, 0.04);
+  const double i_between = min_current_near(es, is, -0.325, 0.02);
+  const double i_amino = min_current_near(es, is, -0.40, 0.04);
+  // Both waves deeper than the saddle between them.
+  EXPECT_LT(i_amino, i_between);
+}
+
+TEST(CypProbe, CalibratedSlopeMatchesSensitivity) {
+  CypProbe probe(cyp2b4());
+  auto response = [&](double c) {
+    probe.set_bulk_concentration("benzphetamine", c);
+    auto [es, is] = sweep(probe, 0.0, -0.5);
+    return -min_current_near(es, is, -0.25);
+  };
+  const double blank = response(0.0);
+  const double r_mid = response(0.7);
+  const double slope = (r_mid - blank) / 0.7;
+  const double expected = benz_target().sensitivity * probe.area();
+  EXPECT_NEAR(slope, expected, 0.35 * expected);
+}
+
+TEST(CypProbe, KcatWithinPhysiologicalDecades) {
+  CypProbe probe(cyp2b4());
+  for (std::size_t k = 0; k < probe.target_count(); ++k) {
+    EXPECT_GT(probe.kcat(k), 1e-4);
+    EXPECT_LT(probe.kcat(k), 1e4);
+  }
+}
+
+TEST(CypProbe, UnknownTargetThrows) {
+  CypProbe probe(cyp2b4());
+  EXPECT_THROW(probe.set_bulk_concentration("caffeine", 1.0),
+               std::invalid_argument);
+}
+
+TEST(CypProbe, ResetReoxidisesFilm) {
+  CypProbe probe(cyp2b4());
+  sweep(probe, 0.1, -0.8);
+  EXPECT_GT(probe.reduced_fraction(0), 0.5);
+  probe.reset();
+  EXPECT_DOUBLE_EQ(probe.reduced_fraction(0), 0.0);
+}
+
+/// Property: the blank-subtracted response is monotone in concentration
+/// over the calibrated range.
+class CypMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(CypMonotone, ResponseGrows) {
+  CypProbe probe(cyp2b4());
+  const double c = GetParam();
+  auto response = [&](double conc) {
+    probe.set_bulk_concentration("benzphetamine", conc);
+    auto [es, is] = sweep(probe, 0.0, -0.5);
+    return -min_current_near(es, is, -0.25);
+  };
+  EXPECT_GT(response(c * 1.6), response(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Concentrations, CypMonotone,
+                         ::testing::Values(0.2, 0.5));
+
+}  // namespace
+}  // namespace idp::bio

@@ -1,0 +1,79 @@
+#include "bio/direct_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace idp::bio {
+namespace {
+
+using namespace idp::util::literals;
+
+DirectProbeParams dopamine_params() {
+  DirectProbeParams p;
+  p.name = "bare Au";
+  p.target = "dopamine";
+  p.applied_potential = 0.45;
+  p.couple.e0 = 0.20;
+  p.d_target = 6.0e-10;
+  return p;
+}
+
+double steady_current(DirectProbe& probe, double c, double e) {
+  probe.set_bulk_concentration("dopamine", c);
+  probe.reset();
+  double i = 0.0;
+  for (int k = 0; k < 1200; ++k) i = probe.step(e, 50_ms);
+  return i - probe.blank_current();
+}
+
+TEST(DirectProbe, NoEnzymeStillSeesSignal) {
+  // The Section II-C point: these molecules oxidise on a *bare* electrode.
+  DirectProbe probe(dopamine_params());
+  const double i = steady_current(probe, 0.05, 0.45);
+  EXPECT_GT(i, 1e-9);  // nA-scale at 50 uM
+}
+
+TEST(DirectProbe, BlankSignalFractionNearUnity) {
+  DirectProbe probe(dopamine_params());
+  EXPECT_GT(probe.blank_signal_fraction(), 0.8);
+}
+
+TEST(DirectProbe, DiffusionLimitedLinearInConcentration) {
+  DirectProbe probe(dopamine_params());
+  const double i1 = steady_current(probe, 0.02, 0.45);
+  const double i2 = steady_current(probe, 0.04, 0.45);
+  EXPECT_NEAR(i2 / i1, 2.0, 0.1);
+}
+
+TEST(DirectProbe, NoCurrentBelowFormalPotential) {
+  DirectProbe probe(dopamine_params());
+  const double i_on = steady_current(probe, 0.05, 0.45);
+  const double i_off = steady_current(probe, 0.05, -0.05);
+  EXPECT_LT(i_off, 0.05 * i_on);
+}
+
+TEST(DirectProbe, ChronoamperometricTechnique) {
+  DirectProbe probe(dopamine_params());
+  EXPECT_EQ(probe.technique(), Technique::kChronoamperometry);
+  EXPECT_EQ(probe.targets(), std::vector<std::string>{"dopamine"});
+}
+
+TEST(DirectProbe, RejectsWrongTarget) {
+  DirectProbe probe(dopamine_params());
+  EXPECT_THROW(probe.set_bulk_concentration("glucose", 1.0),
+               std::invalid_argument);
+}
+
+TEST(DirectProbe, SensitivityIsLargePerArea) {
+  // Diffusion-limited direct oxidation outruns enzyme-limited probes: the
+  // reason interference matters. Expect > 50 uA/(mM cm^2).
+  DirectProbe probe(dopamine_params());
+  const double i = steady_current(probe, 0.05, 0.45);
+  const double s = util::sensitivity_to_uA_per_mM_cm2(
+      i / 0.05 / probe.area());
+  EXPECT_GT(s, 50.0);
+}
+
+}  // namespace
+}  // namespace idp::bio

@@ -1,0 +1,57 @@
+#include "bio/enzyme.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idp::bio {
+namespace {
+
+const MichaelisMenten kMm{.vmax = 2.0, .km = 5.0};
+
+TEST(MichaelisMenten, LinearAtLowConcentration) {
+  // c << km: rate ~= (vmax/km) * c.
+  const double c = 0.01;
+  EXPECT_NEAR(kMm.rate(c), kMm.first_order_rate() * c,
+              0.01 * kMm.first_order_rate() * c);
+}
+
+TEST(MichaelisMenten, SaturatesAtVmax) {
+  EXPECT_NEAR(kMm.rate(5000.0), kMm.vmax, 0.01 * kMm.vmax);
+}
+
+TEST(MichaelisMenten, HalfRateAtKm) {
+  EXPECT_DOUBLE_EQ(kMm.rate(kMm.km), kMm.vmax / 2.0);
+}
+
+TEST(MichaelisMenten, MonotoneNondecreasing) {
+  double prev = 0.0;
+  for (double c = 0.0; c < 100.0; c += 1.0) {
+    const double r = kMm.rate(c);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(MichaelisMenten, ClampsNegativeConcentration) {
+  EXPECT_DOUBLE_EQ(kMm.rate(-3.0), 0.0);
+}
+
+TEST(MichaelisMenten, NonlinearityGrowsWithConcentration) {
+  EXPECT_DOUBLE_EQ(kMm.nonlinearity(0.0), 0.0);
+  EXPECT_LT(kMm.nonlinearity(0.5), kMm.nonlinearity(5.0));
+  // At c = km the rate is half of the first-order extrapolation.
+  EXPECT_NEAR(kMm.nonlinearity(kMm.km), 0.5, 1e-12);
+}
+
+/// Property: nonlinearity equals c/(km+c) analytically.
+class MmNonlinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MmNonlinearity, ClosedForm) {
+  const double c = GetParam();
+  EXPECT_NEAR(kMm.nonlinearity(c), c / (kMm.km + c), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Concentrations, MmNonlinearity,
+                         ::testing::Values(0.1, 1.0, 5.0, 20.0, 100.0));
+
+}  // namespace
+}  // namespace idp::bio

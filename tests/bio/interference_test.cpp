@@ -1,0 +1,63 @@
+#include "bio/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/library.hpp"
+
+namespace idp::bio {
+namespace {
+
+TEST(Interference, DirectOxidizersArePaperSpecified) {
+  EXPECT_TRUE(directly_electroactive(TargetId::kDopamine));
+  EXPECT_TRUE(directly_electroactive(TargetId::kEtoposide));
+  EXPECT_FALSE(directly_electroactive(TargetId::kGlucose));
+  EXPECT_FALSE(directly_electroactive(TargetId::kBenzphetamine));
+}
+
+TEST(Interference, CdsBlankCaveat) {
+  // Section II-C: the blank WE is "not helpful" for dopamine/etoposide.
+  EXPECT_FALSE(cds_blank_effective(TargetId::kDopamine));
+  EXPECT_FALSE(cds_blank_effective(TargetId::kEtoposide));
+  EXPECT_TRUE(cds_blank_effective(TargetId::kGlucose));
+  EXPECT_TRUE(cds_blank_effective(TargetId::kCholesterol));
+}
+
+TEST(Interference, OxidasesShareChambers) {
+  // Section II-A: H2O2 diffuses too slowly for cross-talk.
+  EXPECT_TRUE(can_share_chamber(TargetId::kGlucose, TargetId::kLactate));
+  EXPECT_TRUE(can_share_chamber(TargetId::kLactate, TargetId::kGlutamate));
+}
+
+TEST(Interference, CypAndOxidaseCoexist) {
+  // The Fig. 4 platform mixes both families in one chamber.
+  EXPECT_TRUE(can_share_chamber(TargetId::kGlucose, TargetId::kCholesterol));
+  EXPECT_TRUE(
+      can_share_chamber(TargetId::kBenzphetamine, TargetId::kGlutamate));
+}
+
+TEST(Interference, DirectOxidizerPoisonsAmperometry) {
+  EXPECT_FALSE(can_share_chamber(TargetId::kDopamine, TargetId::kGlucose));
+  EXPECT_FALSE(can_share_chamber(TargetId::kGlucose, TargetId::kDopamine));
+  EXPECT_FALSE(can_share_chamber(TargetId::kEtoposide, TargetId::kLactate));
+}
+
+TEST(Interference, DirectOxidizerToleratesCv) {
+  // CV discriminates by potential, so CYP channels survive the interferent.
+  EXPECT_TRUE(can_share_chamber(TargetId::kDopamine, TargetId::kCholesterol));
+  EXPECT_TRUE(
+      can_share_chamber(TargetId::kEtoposide, TargetId::kBenzphetamine));
+}
+
+TEST(Interference, SymmetricRelation) {
+  for (int a = 0; a < kTargetCount; ++a) {
+    for (int b = 0; b < kTargetCount; ++b) {
+      const auto ta = static_cast<TargetId>(a);
+      const auto tb = static_cast<TargetId>(b);
+      EXPECT_EQ(can_share_chamber(ta, tb), can_share_chamber(tb, ta))
+          << to_string(ta) << " vs " << to_string(tb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idp::bio

@@ -1,0 +1,134 @@
+#include "bio/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/cyp_probe.hpp"
+#include "bio/oxidase_probe.hpp"
+#include "util/units.hpp"
+
+namespace idp::bio {
+namespace {
+
+TEST(Library, Table1HasFourOxidases) {
+  const auto rows = table1_oxidases();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].oxidase, "GLUCOSE OXIDASE");
+  EXPECT_DOUBLE_EQ(rows[0].applied_potential, +0.550);
+  EXPECT_EQ(rows[1].target, TargetId::kLactate);
+  EXPECT_DOUBLE_EQ(rows[1].applied_potential, +0.650);
+  EXPECT_DOUBLE_EQ(rows[2].applied_potential, +0.600);
+  EXPECT_DOUBLE_EQ(rows[3].applied_potential, +0.700);
+}
+
+TEST(Library, Table2HasElevenCypRows) {
+  const auto rows = table2_cyps();
+  ASSERT_EQ(rows.size(), 11u);
+  // Spot-check the values the paper reports.
+  EXPECT_EQ(rows[0].isoform, "CYP1A2");
+  EXPECT_DOUBLE_EQ(rows[0].reduction_potential, -0.265);
+  EXPECT_EQ(rows[2].target, TargetId::kIndinavir);
+  EXPECT_DOUBLE_EQ(rows[2].reduction_potential, -0.750);
+  EXPECT_DOUBLE_EQ(rows[8].reduction_potential, -0.019);  // torsemide
+}
+
+TEST(Library, Table3HasSixPerformanceRows) {
+  const auto rows = table3_performance();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].target, TargetId::kGlucose);
+  EXPECT_DOUBLE_EQ(rows[0].sensitivity_uA_mM_cm2, 27.7);
+  EXPECT_DOUBLE_EQ(rows[0].lod_uM, 575.0);
+  EXPECT_DOUBLE_EQ(rows[5].sensitivity_uA_mM_cm2, 112.0);
+  EXPECT_LT(rows[5].lod_uM, 0.0);  // the paper's "--"
+}
+
+TEST(Library, SpecLookupCoversEveryTarget) {
+  for (int i = 0; i < kTargetCount; ++i) {
+    const auto id = static_cast<TargetId>(i);
+    EXPECT_NO_THROW(spec(id)) << to_string(id);
+  }
+}
+
+TEST(Library, TargetNameRoundTrip) {
+  for (int i = 0; i < kTargetCount; ++i) {
+    const auto id = static_cast<TargetId>(i);
+    EXPECT_EQ(target_from_string(to_string(id)), id);
+  }
+  EXPECT_THROW(target_from_string("unobtainium"), std::invalid_argument);
+}
+
+TEST(Library, DualTargetIsoformDetection) {
+  EXPECT_TRUE(same_probe(TargetId::kBenzphetamine, TargetId::kAminopyrine));
+  EXPECT_TRUE(same_probe(TargetId::kBupropion, TargetId::kLidocaine));
+  EXPECT_TRUE(same_probe(TargetId::kTorsemide, TargetId::kDiclofenac));
+  EXPECT_FALSE(same_probe(TargetId::kGlucose, TargetId::kLactate));
+  EXPECT_FALSE(same_probe(TargetId::kClozapine, TargetId::kBupropion));
+}
+
+TEST(Library, FamiliesMatchThePaper) {
+  EXPECT_EQ(spec(TargetId::kGlucose).family, ProbeFamily::kOxidase);
+  EXPECT_EQ(spec(TargetId::kCholesterol).family,
+            ProbeFamily::kCytochromeP450);  // CYP11A1 in Table III
+  EXPECT_EQ(spec(TargetId::kDopamine).family, ProbeFamily::kDirectOxidation);
+}
+
+TEST(Library, NanostructureBaselines) {
+  // CNT-calibrated rows cannot gain further; Rh-graphite rows can.
+  EXPECT_TRUE(spec(TargetId::kGlucose).nanostructured_baseline);
+  EXPECT_TRUE(spec(TargetId::kCholesterol).nanostructured_baseline);
+  EXPECT_FALSE(spec(TargetId::kBenzphetamine).nanostructured_baseline);
+  EXPECT_FALSE(spec(TargetId::kAminopyrine).nanostructured_baseline);
+}
+
+TEST(Library, MakeProbeDispatchesByFamily) {
+  EXPECT_NE(dynamic_cast<OxidaseProbe*>(
+                make_probe(TargetId::kGlucose).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<CypProbe*>(
+                make_probe(TargetId::kCholesterol).get()),
+            nullptr);
+}
+
+TEST(Library, MakeCypProbeRejectsMixedIsoforms) {
+  const TargetId mixed[] = {TargetId::kBenzphetamine, TargetId::kClozapine};
+  EXPECT_THROW(make_cyp_probe(mixed), std::invalid_argument);
+  const TargetId not_cyp[] = {TargetId::kGlucose};
+  EXPECT_THROW(make_cyp_probe(not_cyp), std::invalid_argument);
+}
+
+TEST(Library, MakeCypProbeBuildsDualFilm) {
+  const TargetId dual[] = {TargetId::kBenzphetamine, TargetId::kAminopyrine};
+  const ProbePtr probe = make_cyp_probe(dual);
+  EXPECT_EQ(probe->targets().size(), 2u);
+  EXPECT_EQ(probe->name(), "CYP2B4");
+}
+
+TEST(Library, Table1ProbeFactoryCoversCholesterolOxidase) {
+  for (const auto& row : table1_oxidases()) {
+    const ProbePtr probe = make_table1_probe(row);
+    ASSERT_NE(probe, nullptr);
+    EXPECT_EQ(probe->technique(), Technique::kChronoamperometry);
+  }
+}
+
+TEST(Library, BlankNoiseTracksPaperLod) {
+  // sigma_b = S*A*LOD/3 by construction (Eq. 5 inverted).
+  const ProbePtr glucose = make_probe(TargetId::kGlucose);
+  const double s_si = util::sensitivity_from_uA_per_mM_cm2(27.7);
+  const double expected = s_si * glucose->area() * 0.575 / 3.0;
+  EXPECT_NEAR(glucose->blank_noise_rms(), expected, expected * 1e-9);
+}
+
+TEST(Library, SensitivityGainScalesCypTargets) {
+  const TargetId one[] = {TargetId::kBenzphetamine};
+  const ProbePtr bare = make_cyp_probe(one, 0.23e-6, 1.0);
+  const ProbePtr nano = make_cyp_probe(one, 0.23e-6, 50.0);
+  // Both construct fine; the gain shows up in the calibrated kcat.
+  const auto* bare_cyp = dynamic_cast<CypProbe*>(bare.get());
+  const auto* nano_cyp = dynamic_cast<CypProbe*>(nano.get());
+  ASSERT_NE(bare_cyp, nullptr);
+  ASSERT_NE(nano_cyp, nullptr);
+  EXPECT_GT(nano_cyp->kcat(0), 5.0 * bare_cyp->kcat(0));
+}
+
+}  // namespace
+}  // namespace idp::bio

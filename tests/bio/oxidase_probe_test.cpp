@@ -1,0 +1,176 @@
+#include "bio/oxidase_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/library.hpp"
+#include "util/units.hpp"
+
+namespace idp::bio {
+namespace {
+
+using namespace idp::util::literals;
+
+OxidaseProbeParams glucose_params() {
+  OxidaseProbeParams p;
+  p.name = "GOD-test";
+  p.target = "glucose";
+  p.applied_potential = 0.55;
+  p.sensitivity = util::sensitivity_from_uA_per_mM_cm2(27.7);
+  p.km = 10.0;
+  p.calibration_mid_concentration = 2.25;
+  return p;
+}
+
+/// Advance to (quasi) steady state at the given bulk concentration and
+/// return the faradaic current minus background.
+double steady_current(OxidaseProbe& probe, double c_mM, double e) {
+  probe.set_bulk_concentration("glucose", c_mM);
+  probe.reset();
+  double i = 0.0;
+  for (int k = 0; k < 2400; ++k) i = probe.step(e, 50_ms);  // 120 s
+  return i - probe.blank_current();
+}
+
+TEST(OxidaseProbe, TechniqueAndTargets) {
+  OxidaseProbe probe(glucose_params());
+  EXPECT_EQ(probe.technique(), Technique::kChronoamperometry);
+  EXPECT_EQ(probe.targets(), std::vector<std::string>{"glucose"});
+  EXPECT_DOUBLE_EQ(probe.applied_potential(), 0.55);
+}
+
+TEST(OxidaseProbe, RejectsUnknownTarget) {
+  OxidaseProbe probe(glucose_params());
+  EXPECT_THROW(probe.set_bulk_concentration("lactate", 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(probe.set_bulk_concentration("glucose", -1.0),
+               std::invalid_argument);
+}
+
+TEST(OxidaseProbe, ZeroConcentrationGivesOnlyBackground) {
+  OxidaseProbe probe(glucose_params());
+  probe.set_bulk_concentration("glucose", 0.0);
+  double i = 0.0;
+  for (int k = 0; k < 200; ++k) i = probe.step(0.55, 50_ms);
+  EXPECT_NEAR(i, probe.blank_current(), 1e-12);
+}
+
+TEST(OxidaseProbe, SteadyCurrentMatchesCalibratedSensitivity) {
+  OxidaseProbe probe(glucose_params());
+  const double c = 2.25;  // the calibration midpoint
+  const double i = steady_current(probe, c, 0.55);
+  const double expected = glucose_params().sensitivity * probe.area() * c;
+  EXPECT_NEAR(i, expected, 0.10 * expected);
+}
+
+TEST(OxidaseProbe, CurrentSaturatesBeyondKm) {
+  // Use an enzyme-limited construction (fast outer film, enzyme throughout)
+  // so the Michaelis-Menten saturation is visible; the default layered
+  // probe is transport-limited and stays nearly linear by design.
+  OxidaseProbeParams p = glucose_params();
+  p.d_substrate_membrane = 5.0e-10;
+  p.enzyme_fraction = 1.0;
+  OxidaseProbe probe(p);
+  const double i_low = steady_current(probe, 2.0, 0.55);
+  const double i_high = steady_current(probe, 40.0, 0.55);  // c = 4 km
+  EXPECT_LT(i_high, 0.6 * 20.0 * i_low);
+  EXPECT_GT(i_high, i_low);
+}
+
+TEST(OxidaseProbe, NoCurrentBelowOxidationOnset) {
+  // At a potential well below the H2O2 oxidation window the current
+  // collapses -- the Table I applied potentials matter.
+  OxidaseProbe probe(glucose_params());
+  const double i_on = steady_current(probe, 2.0, 0.55);
+  const double i_off = steady_current(probe, 2.0, 0.10);
+  EXPECT_LT(i_off, 0.05 * i_on);
+}
+
+TEST(OxidaseProbe, CurrentSaturatesAtAppliedPotential) {
+  // Raising the potential past the Table I value gains little: the probe
+  // operates on the diffusion-limited plateau.
+  OxidaseProbe probe(glucose_params());
+  const double i_table = steady_current(probe, 2.0, 0.55);
+  const double i_over = steady_current(probe, 2.0, 0.75);
+  EXPECT_NEAR(i_over, i_table, 0.10 * i_table);
+}
+
+TEST(OxidaseProbe, ResponseTimeIsTensOfSeconds) {
+  // Fig. 3 shape: ~30 s to steady state after an injection.
+  OxidaseProbe probe(glucose_params());
+  probe.set_bulk_concentration("glucose", 2.0);
+  probe.reset();
+  const double dt = 100_ms;
+  double i_ss = 0.0;
+  std::vector<double> trace;
+  for (int k = 0; k < 1200; ++k) {  // 120 s
+    i_ss = probe.step(0.55, dt);
+    trace.push_back(i_ss);
+  }
+  const double level90 =
+      probe.blank_current() + 0.9 * (i_ss - probe.blank_current());
+  double t90 = 0.0;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    if (trace[k] >= level90) {
+      t90 = static_cast<double>(k) * dt;
+      break;
+    }
+  }
+  EXPECT_GT(t90, 10.0);
+  EXPECT_LT(t90, 60.0);
+}
+
+TEST(OxidaseProbe, LoadingGainScalesKineticCurrent) {
+  OxidaseProbeParams bare = glucose_params();
+  bare.calibration_mid_concentration = 0.0;  // keep analytic vmax
+  OxidaseProbeParams loaded = bare;
+  loaded.loading_gain = 2.0;
+  OxidaseProbe p1(bare), p2(loaded);
+  // Compare in the strongly kinetic regime (low c): current grows with
+  // loading, sublinearly because the Thiele effectiveness drops.
+  const double i1 = steady_current(p1, 0.2, 0.55);
+  const double i2 = steady_current(p2, 0.2, 0.55);
+  EXPECT_GT(i2, 1.25 * i1);
+  EXPECT_LT(i2, 2.0 * i1);
+}
+
+TEST(OxidaseProbe, ResetRestoresInitialState) {
+  OxidaseProbe probe(glucose_params());
+  probe.set_bulk_concentration("glucose", 3.0);
+  for (int k = 0; k < 100; ++k) probe.step(0.55, 50_ms);
+  EXPECT_GT(probe.substrate_at_electrode(), 0.0);
+  probe.reset();
+  EXPECT_DOUBLE_EQ(probe.substrate_at_electrode(), 0.0);
+  EXPECT_DOUBLE_EQ(probe.peroxide_at_electrode(), 0.0);
+}
+
+TEST(OxidaseProbe, DeriveVmaxPositiveAndFiniteAcrossLibrary) {
+  for (const auto& spec : all_targets()) {
+    if (spec.family != ProbeFamily::kOxidase) continue;
+    OxidaseProbeParams p = glucose_params();
+    p.sensitivity = util::sensitivity_from_uA_per_mM_cm2(
+        spec.sensitivity_uA_mM_cm2);
+    p.km = spec.km_mM;
+    const double vmax = derive_vmax(p);
+    EXPECT_GT(vmax, 0.0);
+    EXPECT_LT(vmax, 1e3);
+  }
+}
+
+/// Property: the steady current is monotone in concentration.
+class OxidaseMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(OxidaseMonotone, WithinLinearRange) {
+  OxidaseProbe probe(glucose_params());
+  const double c = GetParam();
+  const double i_lo = steady_current(probe, c, 0.55);
+  const double i_hi = steady_current(probe, c * 1.5, 0.55);
+  EXPECT_GT(i_hi, i_lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Concentrations, OxidaseMonotone,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace idp::bio

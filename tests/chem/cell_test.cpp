@@ -1,0 +1,76 @@
+#include "chem/cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idp::chem {
+namespace {
+
+TEST(Cell, Fig4CellHasNPlus2Electrodes) {
+  // Section II: a sensor for n targets uses n + 2 electrodes.
+  for (std::size_t n : {1u, 3u, 5u}) {
+    const ThreeElectrodeCell cell = make_fig4_cell(n);
+    EXPECT_EQ(cell.working_count(), n);
+    EXPECT_EQ(cell.electrode_count(), n + 2);
+  }
+}
+
+TEST(Cell, Fig4CounterSizedAdequately) {
+  const ThreeElectrodeCell cell = make_fig4_cell(5);
+  EXPECT_TRUE(cell.counter_adequate());
+  EXPECT_NEAR(cell.total_working_area(), 5 * 0.23e-6, 1e-12);
+}
+
+TEST(Cell, Fig4ReferenceIsSilver) {
+  const ThreeElectrodeCell cell = make_fig4_cell(2);
+  EXPECT_EQ(cell.reference().material(), ElectrodeMaterial::kSilver);
+  EXPECT_EQ(cell.working(0).material(), ElectrodeMaterial::kGold);
+}
+
+TEST(Cell, RejectsEmptyWorkingSet) {
+  EXPECT_THROW(make_fig4_cell(0), std::invalid_argument);
+}
+
+TEST(Cell, WorkingIndexBoundsChecked) {
+  const ThreeElectrodeCell cell = make_fig4_cell(2);
+  EXPECT_NO_THROW(cell.working(1));
+  EXPECT_THROW(cell.working(2), std::invalid_argument);
+}
+
+TEST(Cell, RoleValidationEnforced) {
+  const Electrode we(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                     ElectrodeGeometry{0.23e-6});
+  const Electrode re(ElectrodeRole::kReference, ElectrodeMaterial::kSilver,
+                     ElectrodeGeometry{0.23e-6});
+  const Electrode ce(ElectrodeRole::kCounter, ElectrodeMaterial::kGold,
+                     ElectrodeGeometry{0.23e-6});
+  // Swapping roles must throw.
+  EXPECT_THROW(ThreeElectrodeCell({re}, re, ce), std::invalid_argument);
+  EXPECT_THROW(ThreeElectrodeCell({we}, re, re), std::invalid_argument);
+  EXPECT_NO_THROW(ThreeElectrodeCell({we}, re, ce));
+}
+
+TEST(Cell, UndersizedCounterFlagged) {
+  const Electrode we(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                     ElectrodeGeometry{1.0e-6});
+  const Electrode re(ElectrodeRole::kReference, ElectrodeMaterial::kSilver,
+                     ElectrodeGeometry{0.23e-6});
+  const Electrode small_ce(ElectrodeRole::kCounter, ElectrodeMaterial::kGold,
+                           ElectrodeGeometry{0.1e-6});
+  const ThreeElectrodeCell cell({we}, re, small_ce);
+  EXPECT_FALSE(cell.counter_adequate());
+}
+
+TEST(Cell, ImpedanceValidation) {
+  const Electrode we(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                     ElectrodeGeometry{0.23e-6});
+  const Electrode re(ElectrodeRole::kReference, ElectrodeMaterial::kSilver,
+                     ElectrodeGeometry{0.23e-6});
+  const Electrode ce(ElectrodeRole::kCounter, ElectrodeMaterial::kGold,
+                     ElectrodeGeometry{0.23e-6});
+  CellImpedance z;
+  z.r_solution = -5.0;
+  EXPECT_THROW(ThreeElectrodeCell({we}, re, ce, z), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::chem

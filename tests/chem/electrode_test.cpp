@@ -1,0 +1,97 @@
+#include "chem/electrode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idp::chem {
+namespace {
+
+ElectrodeGeometry pad() { return ElectrodeGeometry{0.23e-6}; }
+
+TEST(ElectrodeGeometry, PaperPadIsNotMicro) {
+  // 0.23 mm^2 -> r ~= 270 um, well above the 25 um micro threshold.
+  EXPECT_FALSE(pad().is_microelectrode());
+  EXPECT_NEAR(pad().characteristic_radius(), 270e-6, 10e-6);
+}
+
+TEST(ElectrodeGeometry, SmallPadIsMicro) {
+  const ElectrodeGeometry tiny{1e-9};  // 1000 um^2 -> r ~ 18 um
+  EXPECT_TRUE(tiny.is_microelectrode());
+}
+
+TEST(Electrode, ReferenceMustBeSilver) {
+  EXPECT_THROW(Electrode(ElectrodeRole::kReference, ElectrodeMaterial::kGold,
+                         pad()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Electrode(ElectrodeRole::kReference,
+                            ElectrodeMaterial::kSilver, pad()));
+}
+
+TEST(Electrode, ReferenceCannotBeNanostructured) {
+  EXPECT_THROW(Electrode(ElectrodeRole::kReference, ElectrodeMaterial::kSilver,
+                         pad(), Nanostructure::kCarbonNanotube),
+               std::invalid_argument);
+}
+
+TEST(Electrode, PositiveAreaRequired) {
+  EXPECT_THROW(Electrode(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                         ElectrodeGeometry{0.0}),
+               std::invalid_argument);
+}
+
+TEST(Electrode, NanostructureRaisesEffectiveArea) {
+  const Electrode bare(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                       pad());
+  const Electrode cnt(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                      pad(), Nanostructure::kCarbonNanotube);
+  EXPECT_DOUBLE_EQ(bare.roughness_factor(), 1.0);
+  EXPECT_GT(cnt.roughness_factor(), 2.0);
+  EXPECT_GT(cnt.effective_area(), bare.effective_area());
+}
+
+TEST(Electrode, NanostructureRaisesBackgroundToo) {
+  // Section III: nanostructures bring larger signals *and* larger
+  // double-layer background.
+  const Electrode bare(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                       pad());
+  const Electrode cnt(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                      pad(), Nanostructure::kCarbonNanotube);
+  EXPECT_GT(cnt.double_layer_capacitance(), bare.double_layer_capacitance());
+}
+
+TEST(Electrode, ChargingCurrentProportionalToScanRate) {
+  const Electrode we(ElectrodeRole::kWorking, ElectrodeMaterial::kGold, pad());
+  const double i20 = we.charging_current(0.020);
+  const double i40 = we.charging_current(0.040);
+  EXPECT_NEAR(i40 / i20, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(we.charging_current(-0.020), -i20);
+}
+
+TEST(Electrode, ChargingCurrentMagnitudeIsNanoamps) {
+  // 0.23 mm^2 of gold (~20 uF/cm^2) at 20 mV/s: i_dl ~= 0.9 nA -- small
+  // relative to the ~60 nA/mM glucose signal, as the paper assumes.
+  const Electrode we(ElectrodeRole::kWorking, ElectrodeMaterial::kGold, pad());
+  const double i = we.charging_current(0.020);
+  EXPECT_GT(i, 0.2e-9);
+  EXPECT_LT(i, 5e-9);
+}
+
+TEST(Electrode, MicroelectrodeScalingReducesBackground) {
+  // Scaling the pad down 100x scales the double-layer background 100x down:
+  // the Section III argument for miniaturisation.
+  const Electrode big(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                      ElectrodeGeometry{0.23e-6});
+  const Electrode small(ElectrodeRole::kWorking, ElectrodeMaterial::kGold,
+                        ElectrodeGeometry{0.23e-8});
+  EXPECT_NEAR(big.charging_current(0.02) / small.charging_current(0.02),
+              100.0, 1e-6);
+}
+
+TEST(ElectrodeToString, CoversEnumerators) {
+  EXPECT_EQ(to_string(ElectrodeMaterial::kGold), "Au");
+  EXPECT_EQ(to_string(ElectrodeMaterial::kSilver), "Ag");
+  EXPECT_EQ(to_string(Nanostructure::kCarbonNanotube), "MWCNT");
+  EXPECT_EQ(to_string(ElectrodeRole::kCounter), "CE");
+}
+
+}  // namespace
+}  // namespace idp::chem

@@ -1,0 +1,82 @@
+#include "chem/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idp::chem {
+namespace {
+
+TEST(Grid, UniformSpacingAndCoverage) {
+  const Grid1D g = Grid1D::uniform(10e-6, 11);
+  EXPECT_EQ(g.size(), 11u);
+  EXPECT_DOUBLE_EQ(g.x(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.length(), 10e-6);
+  for (std::size_t i = 0; i + 1 < g.size(); ++i) {
+    EXPECT_NEAR(g.h(i), 1e-6, 1e-12);
+  }
+}
+
+TEST(Grid, ControlVolumesTileTheDomain) {
+  const Grid1D g = Grid1D::expanding(0.5e-6, 1.2, 100e-6);
+  double total = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) total += g.cv(i);
+  EXPECT_NEAR(total, g.length(), 1e-12);
+}
+
+TEST(Grid, ExpandingSpacingsGrow) {
+  const Grid1D g = Grid1D::expanding(1e-6, 1.3, 200e-6);
+  for (std::size_t i = 1; i + 1 < g.size(); ++i) {
+    EXPECT_GT(g.h(i), g.h(i - 1));
+  }
+  EXPECT_GE(g.length(), 200e-6);
+}
+
+TEST(Grid, ExpandingCoversFasterThanUniform) {
+  const Grid1D g = Grid1D::expanding(0.5e-6, 1.15, 400e-6);
+  // A uniform grid would need 800 nodes at 0.5 um; expansion needs far fewer.
+  EXPECT_LT(g.size(), 80u);
+}
+
+TEST(Grid, MembraneBulkMarksInterface) {
+  const Grid1D g = Grid1D::membrane_bulk(50e-6, 26, 1.2, 60e-6);
+  EXPECT_EQ(g.membrane_nodes(), 26u);
+  EXPECT_NEAR(g.x(25), 50e-6, 1e-12);  // interface on a node
+  EXPECT_GE(g.length(), 110e-6);
+}
+
+TEST(Grid, MembraneRegionIsUniform) {
+  const Grid1D g = Grid1D::membrane_bulk(50e-6, 26, 1.2, 60e-6);
+  const double dx = 50e-6 / 25.0;
+  for (std::size_t i = 0; i + 1 < 26u; ++i) {
+    EXPECT_NEAR(g.h(i), dx, 1e-12);
+  }
+}
+
+TEST(Grid, RejectsBadParameters) {
+  EXPECT_THROW(Grid1D::uniform(-1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Grid1D::uniform(1.0, 2), std::invalid_argument);
+  EXPECT_THROW(Grid1D::expanding(0.0, 1.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Grid1D::expanding(1e-6, 0.9, 1.0), std::invalid_argument);
+  EXPECT_THROW(Grid1D::membrane_bulk(0.0, 10, 1.1, 1.0),
+               std::invalid_argument);
+}
+
+/// Property: every generated grid has strictly increasing nodes and
+/// strictly positive control volumes.
+class GridWellFormed : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridWellFormed, MonotonePositive) {
+  const double beta = GetParam();
+  const Grid1D g = Grid1D::membrane_bulk(30e-6, 16, beta, 80e-6);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_GT(g.x(i), g.x(i - 1));
+  }
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_GT(g.cv(i), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, GridWellFormed,
+                         ::testing::Values(1.0, 1.05, 1.15, 1.3, 1.5));
+
+}  // namespace
+}  // namespace idp::chem

@@ -1,0 +1,84 @@
+#include "chem/redox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace idp::chem {
+namespace {
+
+const RedoxCouple kCouple{.name = "test", .n = 1, .e0 = 0.2, .k0 = 1e-5,
+                          .alpha = 0.5};
+
+TEST(ButlerVolmer, BalancedAtFormalPotential) {
+  const BvRates r = butler_volmer_rates(kCouple, kCouple.e0);
+  EXPECT_NEAR(r.kf, kCouple.k0, 1e-12);
+  EXPECT_NEAR(r.kb, kCouple.k0, 1e-12);
+}
+
+TEST(ButlerVolmer, AnodicOverpotentialFavoursOxidation) {
+  const BvRates r = butler_volmer_rates(kCouple, kCouple.e0 + 0.2);
+  EXPECT_GT(r.kf, r.kb);
+  EXPECT_GT(r.kf, kCouple.k0);
+  EXPECT_LT(r.kb, kCouple.k0);
+}
+
+TEST(ButlerVolmer, CathodicOverpotentialFavoursReduction) {
+  const BvRates r = butler_volmer_rates(kCouple, kCouple.e0 - 0.2);
+  EXPECT_GT(r.kb, r.kf);
+}
+
+TEST(ButlerVolmer, TafelSlope) {
+  // For alpha = 0.5, n = 1: a decade of kf per 118 mV.
+  const BvRates r1 = butler_volmer_rates(kCouple, kCouple.e0 + 0.1);
+  const BvRates r2 = butler_volmer_rates(kCouple, kCouple.e0 + 0.1 + 0.1183);
+  EXPECT_NEAR(r2.kf / r1.kf, 10.0, 0.2);
+}
+
+TEST(ButlerVolmer, RatesAreCapped) {
+  const BvRates r = butler_volmer_rates(kCouple, kCouple.e0 + 5.0);
+  EXPECT_LE(r.kf, 1.0e3);
+}
+
+TEST(ButlerVolmer, TwoElectronSteeper) {
+  const RedoxCouple two{.name = "2e", .n = 2, .e0 = 0.0, .k0 = 1e-5,
+                        .alpha = 0.5};
+  const double eta = 0.05;
+  const BvRates r1 = butler_volmer_rates(kCouple, kCouple.e0 + eta);
+  const BvRates r2 = butler_volmer_rates(two, eta);
+  EXPECT_GT(r2.kf / two.k0, r1.kf / kCouple.k0);
+}
+
+TEST(Nernst, SymmetricAtEqualConcentrations) {
+  EXPECT_NEAR(nernst_potential(kCouple, 1.0, 1.0), kCouple.e0, 1e-12);
+}
+
+TEST(Nernst, FiftyNineMillivoltPerDecade) {
+  const double e10 = nernst_potential(kCouple, 10.0, 1.0);
+  EXPECT_NEAR(e10 - kCouple.e0, 0.0592, 0.0005);
+}
+
+TEST(Nernst, RejectsNonPositiveConcentrations) {
+  EXPECT_THROW(nernst_potential(kCouple, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(nernst_potential(kCouple, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Laviron, BalancedAtFormalPotential) {
+  const SurfaceRates r = laviron_rates(kCouple, 2.0, kCouple.e0);
+  EXPECT_NEAR(r.k_ox, 2.0, 1e-9);
+  EXPECT_NEAR(r.k_red, 2.0, 1e-9);
+}
+
+TEST(Laviron, ReductionDominatesBelowE0) {
+  const SurfaceRates r = laviron_rates(kCouple, 1.0, kCouple.e0 - 0.15);
+  EXPECT_GT(r.k_red, 10.0 * r.k_ox);
+}
+
+TEST(Laviron, RejectsNonPositiveRate) {
+  EXPECT_THROW(laviron_rates(kCouple, 0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::chem

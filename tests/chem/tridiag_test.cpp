@@ -1,0 +1,75 @@
+#include "chem/tridiag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace idp::chem {
+namespace {
+
+TEST(Tridiag, SolvesIdentity) {
+  const std::vector<double> lower{0.0, 0.0, 0.0};
+  const std::vector<double> diag{1.0, 1.0, 1.0};
+  const std::vector<double> upper{0.0, 0.0, 0.0};
+  const std::vector<double> rhs{3.0, -1.0, 7.0};
+  const auto x = solve_tridiagonal(lower, diag, upper, rhs);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+  EXPECT_DOUBLE_EQ(x[2], 7.0);
+}
+
+TEST(Tridiag, SolvesKnownSystem) {
+  // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8]  ->  x = [1; 2; 3]
+  const std::vector<double> lower{0.0, 1.0, 1.0};
+  const std::vector<double> diag{2.0, 2.0, 2.0};
+  const std::vector<double> upper{1.0, 1.0, 0.0};
+  const std::vector<double> rhs{4.0, 8.0, 8.0};
+  const auto x = solve_tridiagonal(lower, diag, upper, rhs);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Tridiag, SingleElement) {
+  const std::vector<double> one{2.0};
+  const std::vector<double> zero{0.0};
+  const std::vector<double> rhs{10.0};
+  const auto x = solve_tridiagonal(zero, one, zero, rhs);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+}
+
+TEST(Tridiag, ThrowsOnSizeMismatch) {
+  const std::vector<double> a{1.0, 1.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(solve_tridiagonal(a, b, a, a), std::invalid_argument);
+}
+
+/// Property: residual of a random diagonally dominant system is ~0.
+class TridiagResidual : public ::testing::TestWithParam<int> {};
+
+TEST_P(TridiagResidual, ResidualNearZero) {
+  const int n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<double> lower(n), diag(n), upper(n), rhs(n);
+  for (int i = 0; i < n; ++i) {
+    lower[i] = (i > 0) ? rng.uniform(-1.0, 0.0) : 0.0;
+    upper[i] = (i < n - 1) ? rng.uniform(-1.0, 0.0) : 0.0;
+    diag[i] = 2.5 + rng.uniform(0.0, 1.0);  // dominant
+    rhs[i] = rng.uniform(-10.0, 10.0);
+  }
+  const auto x = solve_tridiagonal(lower, diag, upper, rhs);
+  for (int i = 0; i < n; ++i) {
+    double r = diag[i] * x[i] - rhs[i];
+    if (i > 0) r += lower[i] * x[i - 1];
+    if (i < n - 1) r += upper[i] * x[i + 1];
+    EXPECT_NEAR(r, 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagResidual,
+                         ::testing::Values(2, 3, 10, 64, 301));
+
+}  // namespace
+}  // namespace idp::chem

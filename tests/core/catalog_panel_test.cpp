@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/catalog.hpp"
+#include "core/panel.hpp"
+#include "util/error.hpp"
+
+namespace idp::plat {
+namespace {
+
+TEST(Catalog, ReadoutGradesMatchSectionIIC) {
+  const ComponentCatalog cat = ComponentCatalog::standard();
+  const ReadoutSpec& ox = cat.readout(ReadoutClass::kOxidaseGrade);
+  EXPECT_NEAR(ox.full_scale_a, 10e-6, 1e-9);
+  EXPECT_NEAR(ox.resolution_a, 10e-9, 1e-12);
+  const ReadoutSpec& cyp = cat.readout(ReadoutClass::kCypGrade);
+  EXPECT_NEAR(cyp.full_scale_a, 100e-6, 1e-8);
+  EXPECT_NEAR(cyp.resolution_a, 100e-9, 1e-11);
+}
+
+TEST(Catalog, LabGradeIsOffChip) {
+  const ComponentCatalog cat = ComponentCatalog::standard();
+  EXPECT_DOUBLE_EQ(cat.readout(ReadoutClass::kLabGrade).area_mm2, 0.0);
+}
+
+TEST(Catalog, MuxSelectionPicksSmallestFitting) {
+  const ComponentCatalog cat = ComponentCatalog::standard();
+  EXPECT_EQ(cat.mux_for(3).channels, 4u);
+  EXPECT_EQ(cat.mux_for(5).channels, 8u);
+  EXPECT_EQ(cat.mux_for(16).channels, 16u);
+  EXPECT_THROW(cat.mux_for(64), util::Error);
+  EXPECT_EQ(cat.max_mux_channels(), 16u);
+}
+
+TEST(Catalog, SweepGeneratorCoversCellLimit) {
+  const ComponentCatalog cat = ComponentCatalog::standard();
+  EXPECT_TRUE(cat.sweep_generator().sweep_capable);
+  EXPECT_GE(cat.sweep_generator().max_scan_rate, cat.cell_scan_rate_limit());
+  EXPECT_FALSE(cat.fixed_dac().sweep_capable);
+}
+
+TEST(Catalog, PadMatchesFig4) {
+  const ComponentCatalog cat = ComponentCatalog::standard();
+  EXPECT_DOUBLE_EQ(cat.electrode_pad_area_mm2(), 0.23);
+  EXPECT_DOUBLE_EQ(cat.cell_scan_rate_limit(), 0.020);
+  EXPECT_GT(cat.nanostructure_gain(), 1.0);
+}
+
+TEST(Panel, Fig4PanelHasSixTargets) {
+  const PanelSpec p = fig4_panel();
+  EXPECT_EQ(p.targets.size(), 6u);
+  EXPECT_EQ(p.targets[0].target, bio::TargetId::kGlucose);
+  EXPECT_EQ(p.targets[5].target, bio::TargetId::kCholesterol);
+}
+
+TEST(Panel, EffectiveRangeFallsBackToLibrary) {
+  TargetRequirement r;
+  r.target = bio::TargetId::kGlucose;
+  EXPECT_DOUBLE_EQ(r.effective_lo_mM(), 0.5);
+  EXPECT_DOUBLE_EQ(r.effective_hi_mM(), 4.0);
+  EXPECT_DOUBLE_EQ(r.effective_lod_uM(), 575.0);
+}
+
+TEST(Panel, ExplicitRequirementWins) {
+  TargetRequirement r;
+  r.target = bio::TargetId::kGlucose;
+  r.range_lo_mM = 1.0;
+  r.range_hi_mM = 3.0;
+  r.max_lod_uM = 100.0;
+  EXPECT_DOUBLE_EQ(r.effective_lo_mM(), 1.0);
+  EXPECT_DOUBLE_EQ(r.effective_hi_mM(), 3.0);
+  EXPECT_DOUBLE_EQ(r.effective_lod_uM(), 100.0);
+}
+
+TEST(Panel, UnreportedLodIsUnbounded) {
+  TargetRequirement r;
+  r.target = bio::TargetId::kCholesterol;  // Table III: "--"
+  EXPECT_TRUE(std::isinf(r.effective_lod_uM()));
+}
+
+}  // namespace
+}  // namespace idp::plat

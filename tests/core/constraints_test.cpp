@@ -1,0 +1,158 @@
+#include "core/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/explorer.hpp"
+
+namespace idp::plat {
+namespace {
+
+bool has(const std::vector<Violation>& vs, ViolationKind kind) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.kind == kind; });
+}
+
+const ComponentCatalog kCat = ComponentCatalog::standard();
+
+TEST(Constraints, Fig4CandidateIsFeasible) {
+  const PlatformCandidate cand = make_fig4_candidate(kCat);
+  const auto violations = check_candidate(cand, fig4_panel(), kCat);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().message);
+}
+
+TEST(Constraints, BareCypGradeFailsOnResolution) {
+  // The paper's own caveat: benzphetamine/aminopyrine on the planar
+  // electrode with the 100 nA readout cannot be resolved.
+  PlatformCandidate cand = make_fig4_candidate(kCat);
+  for (auto& e : cand.electrodes) {
+    if (e.technique == bio::Technique::kCyclicVoltammetry) {
+      e.nanostructured = false;
+      e.readout = ReadoutClass::kCypGrade;
+    }
+  }
+  const auto violations = check_candidate(cand, fig4_panel(), kCat);
+  EXPECT_TRUE(has(violations, ViolationKind::kReadoutResolution));
+}
+
+TEST(Constraints, EmptyElectrodeFlagged) {
+  PlatformCandidate cand = make_fig4_candidate(kCat);
+  cand.electrodes.push_back(WorkingElectrodePlan{});
+  EXPECT_TRUE(has(check_candidate(cand, fig4_panel(), kCat),
+                  ViolationKind::kEmptyElectrode));
+}
+
+TEST(Constraints, MixedTechniqueFlagged) {
+  PlatformCandidate cand = make_fig4_candidate(kCat);
+  // Glue glucose (CA) onto the CYP2B4 CV electrode.
+  for (auto& e : cand.electrodes) {
+    if (e.targets.front() == bio::TargetId::kBenzphetamine) {
+      e.targets.push_back(bio::TargetId::kGlucose);
+    }
+  }
+  const auto violations = check_candidate(cand, fig4_panel(), kCat);
+  EXPECT_TRUE(has(violations, ViolationKind::kMixedTechnique));
+  EXPECT_TRUE(has(violations, ViolationKind::kIsoformMismatch));
+}
+
+TEST(Constraints, TechniqueMismatchFlagged) {
+  PlatformCandidate cand = make_fig4_candidate(kCat);
+  cand.electrodes[0].technique = bio::Technique::kCyclicVoltammetry;
+  EXPECT_TRUE(has(check_candidate(cand, fig4_panel(), kCat),
+                  ViolationKind::kTechniqueMismatch));
+}
+
+TEST(Constraints, MissingTargetFlagged) {
+  PlatformCandidate cand = make_fig4_candidate(kCat);
+  cand.electrodes.pop_back();  // drop cholesterol
+  EXPECT_TRUE(has(check_candidate(cand, fig4_panel(), kCat),
+                  ViolationKind::kMissingTarget));
+}
+
+TEST(Constraints, InterferentBlocksSingleChamber) {
+  // Dopamine in the sample matrix poisons co-chamber chronoamperometry.
+  PanelSpec panel = fig4_panel();
+  panel.matrix_interferents.push_back(bio::TargetId::kDopamine);
+  const PlatformCandidate single = make_fig4_candidate(kCat);
+  EXPECT_TRUE(has(check_candidate(single, panel, kCat),
+                  ViolationKind::kChamberInterference));
+
+  // A chambered array isolates the cells and passes.
+  PlatformCandidate chambered = single;
+  chambered.structure = StructureKind::kChamberedArray;
+  for (std::size_t i = 0; i < chambered.electrodes.size(); ++i) {
+    chambered.electrodes[i].chamber = i;
+  }
+  EXPECT_FALSE(has(check_candidate(chambered, panel, kCat),
+                   ViolationKind::kChamberInterference));
+}
+
+TEST(Constraints, CdsIneffectiveForDirectOxidizer) {
+  // Sensing etoposide itself with CDS enabled triggers the II-C caveat.
+  PanelSpec panel;
+  panel.targets = {TargetRequirement{.target = bio::TargetId::kEtoposide,
+                                     .max_lod_uM = 1e9,
+                                     .range_lo_mM = 0.01,
+                                     .range_hi_mM = 0.1}};
+  PlatformCandidate cand;
+  WorkingElectrodePlan plan;
+  plan.targets = {bio::TargetId::kEtoposide};
+  plan.technique = bio::Technique::kChronoamperometry;
+  plan.readout = ReadoutClass::kOxidaseGrade;
+  cand.electrodes = {plan};
+  cand.cds = true;
+  EXPECT_TRUE(has(check_candidate(cand, panel, kCat),
+                  ViolationKind::kCdsIneffective));
+  cand.cds = false;
+  EXPECT_FALSE(has(check_candidate(cand, panel, kCat),
+                   ViolationKind::kCdsIneffective));
+}
+
+TEST(Constraints, MuxCapacityFlagged) {
+  PlatformCandidate cand;
+  for (int i = 0; i < 20; ++i) {
+    WorkingElectrodePlan plan;
+    plan.targets = {bio::TargetId::kGlucose};
+    plan.technique = bio::Technique::kChronoamperometry;
+    cand.electrodes.push_back(plan);
+  }
+  cand.sharing = ReadoutSharing::kMuxedPerClass;
+  PanelSpec panel;
+  panel.targets = {TargetRequirement{.target = bio::TargetId::kGlucose}};
+  EXPECT_TRUE(has(check_candidate(cand, panel, kCat),
+                  ViolationKind::kMuxCapacity));
+}
+
+TEST(Constraints, SweepWindowComputedFromTargets) {
+  WorkingElectrodePlan plan;
+  plan.targets = {bio::TargetId::kBenzphetamine, bio::TargetId::kAminopyrine};
+  const SweepWindow w = sweep_window_for(plan);
+  EXPECT_DOUBLE_EQ(w.e_start, 0.1);
+  EXPECT_NEAR(w.e_vertex, -0.400 - 0.25, 1e-12);  // most negative - margin
+}
+
+TEST(Constraints, ExpectedCurrentUsesTableIII) {
+  // Glucose at 1 mM on 0.23 mm^2: 27.7 uA/(mM cm^2) -> ~63.7 nA.
+  const double i = expected_current(bio::TargetId::kGlucose, 1.0, 0.23e-6);
+  EXPECT_NEAR(i, 63.7e-9, 0.5e-9);
+}
+
+TEST(Constraints, PlanGainOnlyForPlanarBaselines) {
+  WorkingElectrodePlan plan;
+  plan.nanostructured = true;
+  plan.targets = {bio::TargetId::kBenzphetamine};
+  EXPECT_DOUBLE_EQ(plan_sensitivity_gain(plan, bio::TargetId::kBenzphetamine,
+                                         kCat),
+                   kCat.nanostructure_gain());
+  EXPECT_DOUBLE_EQ(
+      plan_sensitivity_gain(plan, bio::TargetId::kGlucose, kCat), 1.0);
+  plan.nanostructured = false;
+  EXPECT_DOUBLE_EQ(plan_sensitivity_gain(plan, bio::TargetId::kBenzphetamine,
+                                         kCat),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace idp::plat

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cost.hpp"
+#include "core/explorer.hpp"
+
+namespace idp::plat {
+namespace {
+
+const ComponentCatalog kCat = ComponentCatalog::standard();
+
+TEST(Cost, Fig4CandidateHasPlausibleBudget) {
+  const PlatformCandidate cand = make_fig4_candidate(kCat);
+  const CostEstimate cost = estimate_cost(cand, fig4_panel(), kCat);
+  // 5 WEs + RE + CE of 0.23 mm^2 pads plus a few analog blocks: a few mm^2.
+  EXPECT_GT(cost.area_mm2, 2.0);
+  EXPECT_LT(cost.area_mm2, 10.0);
+  EXPECT_GT(cost.power_uw, 50.0);
+  EXPECT_LT(cost.power_uw, 500.0);
+  EXPECT_GT(cost.component_count, 8);
+}
+
+TEST(Cost, MuxedPanelTimeIsSequential) {
+  PlatformCandidate cand = make_fig4_candidate(kCat);
+  cand.sharing = ReadoutSharing::kMuxedPerClass;
+  const CostEstimate muxed = estimate_cost(cand, fig4_panel(), kCat);
+  cand.sharing = ReadoutSharing::kDedicatedPerElectrode;
+  const CostEstimate dedicated = estimate_cost(cand, fig4_panel(), kCat);
+  // Sequential activation: the paper's resource-sharing trade-off.
+  EXPECT_GT(muxed.panel_time_s, 2.0 * dedicated.panel_time_s);
+  // ... paid back in silicon and power.
+  EXPECT_LT(muxed.area_mm2, dedicated.area_mm2);
+  EXPECT_LT(muxed.power_uw, dedicated.power_uw);
+}
+
+TEST(Cost, CaMeasurementLastsSixtySeconds) {
+  WorkingElectrodePlan ca;
+  ca.targets = {bio::TargetId::kGlucose};
+  ca.technique = bio::Technique::kChronoamperometry;
+  EXPECT_DOUBLE_EQ(measurement_duration(ca, kCat), 60.0);
+}
+
+TEST(Cost, CvDurationFollowsWindowAndRate) {
+  WorkingElectrodePlan cv;
+  cv.targets = {bio::TargetId::kCholesterol};  // e0 = -0.4
+  cv.technique = bio::Technique::kCyclicVoltammetry;
+  // window 0.1 .. -0.65 V at 20 mV/s -> 75 s for a full cycle.
+  EXPECT_NEAR(measurement_duration(cv, kCat), 75.0, 1e-9);
+}
+
+TEST(Cost, ChamberedArrayCostsMoreArea) {
+  PlatformCandidate single = make_fig4_candidate(kCat);
+  PlatformCandidate chambered = single;
+  chambered.structure = StructureKind::kChamberedArray;
+  for (std::size_t i = 0; i < chambered.electrodes.size(); ++i) {
+    chambered.electrodes[i].chamber = i;
+  }
+  EXPECT_GT(estimate_cost(chambered, fig4_panel(), kCat).area_mm2,
+            estimate_cost(single, fig4_panel(), kCat).area_mm2);
+}
+
+TEST(Cost, NoiseOptionsAddOverhead) {
+  PlatformCandidate base = make_fig4_candidate(kCat);
+  PlatformCandidate fancy = base;
+  fancy.chopper = true;
+  fancy.cds = true;
+  const CostEstimate c0 = estimate_cost(base, fig4_panel(), kCat);
+  const CostEstimate c1 = estimate_cost(fancy, fig4_panel(), kCat);
+  EXPECT_GT(c1.area_mm2, c0.area_mm2);
+  EXPECT_GT(c1.power_uw, c0.power_uw);
+}
+
+TEST(Cost, DominanceIsStrict) {
+  CostEstimate a{1.0, 1.0, 1.0, 1};
+  CostEstimate b{2.0, 1.0, 1.0, 1};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(Explorer, FindsFeasibleDesignsForFig4Panel) {
+  const ExplorationResult result = explore(fig4_panel(), kCat);
+  EXPECT_GT(result.evaluations.size(), 20u);
+  EXPECT_GT(result.feasible_count(), 0u);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.evaluations[*result.best].feasible());
+}
+
+TEST(Explorer, ParetoFrontIsNonDominated) {
+  const ExplorationResult result = explore(fig4_panel(), kCat);
+  for (std::size_t i : result.pareto) {
+    for (std::size_t j : result.pareto) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(result.evaluations[j].cost,
+                             result.evaluations[i].cost));
+    }
+  }
+}
+
+TEST(Explorer, ParetoMembersAreFeasible) {
+  const ExplorationResult result = explore(fig4_panel(), kCat);
+  for (std::size_t i : result.pareto) {
+    EXPECT_TRUE(result.evaluations[i].feasible());
+  }
+}
+
+TEST(Explorer, MergedFilmsReduceElectrodeCount) {
+  // With merging allowed, some candidate uses 5 electrodes for 6 targets
+  // (the dual CYP2B4 film).
+  const ExplorationResult result = explore(fig4_panel(), kCat);
+  const bool any_five = std::any_of(
+      result.evaluations.begin(), result.evaluations.end(),
+      [](const CandidateEvaluation& e) {
+        return e.candidate.electrodes.size() == 5;
+      });
+  EXPECT_TRUE(any_five);
+
+  ExplorerOptions no_merge;
+  no_merge.allow_merged_films = false;
+  const ExplorationResult split = explore(fig4_panel(), kCat, no_merge);
+  for (const auto& e : split.evaluations) {
+    EXPECT_EQ(e.candidate.electrodes.size(), 6u);
+  }
+}
+
+TEST(Explorer, BudgetsPruneTheFront) {
+  PanelSpec tight = fig4_panel();
+  tight.max_panel_time_s = 1.0;  // impossible
+  const ExplorationResult result = explore(tight, kCat);
+  EXPECT_EQ(result.feasible_count(), 0u);
+  EXPECT_FALSE(result.best.has_value());
+}
+
+TEST(Explorer, WithoutNanostructuringNoFeasibleDesign) {
+  // The paper's closing remark, inverted: without the nanostructure
+  // enhancement the CYP rows cannot meet the integrated readout classes.
+  ExplorerOptions opt;
+  opt.allow_nanostructuring = false;
+  const ExplorationResult result = explore(fig4_panel(), kCat, opt);
+  EXPECT_EQ(result.feasible_count(), 0u);
+}
+
+TEST(Explorer, TimeWeightPrefersDedicated) {
+  ExplorerOptions fast;
+  fast.weight_time = 100.0;
+  fast.weight_area = 0.01;
+  fast.weight_power = 0.01;
+  const ExplorationResult result = explore(fig4_panel(), kCat, fast);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.evaluations[*result.best].candidate.sharing,
+            ReadoutSharing::kDedicatedPerElectrode);
+
+  ExplorerOptions small;
+  small.weight_time = 0.01;
+  small.weight_area = 100.0;
+  const ExplorationResult r2 = explore(fig4_panel(), kCat, small);
+  ASSERT_TRUE(r2.best.has_value());
+  EXPECT_EQ(r2.evaluations[*r2.best].candidate.sharing,
+            ReadoutSharing::kMuxedPerClass);
+}
+
+TEST(Candidate, ElectrodeCountsIncludeBlanksAndRefs) {
+  PlatformCandidate cand = make_fig4_candidate(kCat);
+  EXPECT_EQ(cand.working_electrode_count(), 5u);
+  EXPECT_EQ(cand.total_electrode_count(), 7u);  // the paper's n + 2
+  cand.cds = true;
+  EXPECT_EQ(cand.working_electrode_count(), 6u);  // + blank WE
+  EXPECT_EQ(cand.total_electrode_count(), 8u);
+}
+
+TEST(Candidate, SummaryMentionsOptions) {
+  PlatformCandidate cand = make_fig4_candidate(kCat);
+  cand.chopper = true;
+  cand.cds = true;
+  const std::string s = cand.summary();
+  EXPECT_NE(s.find("chop"), std::string::npos);
+  EXPECT_NE(s.find("cds"), std::string::npos);
+  EXPECT_NE(s.find("5WE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idp::plat

@@ -1,0 +1,126 @@
+#include "core/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/explorer.hpp"
+#include "core/report.hpp"
+#include "util/units.hpp"
+
+namespace idp::plat {
+namespace {
+
+const ComponentCatalog kCat = ComponentCatalog::standard();
+
+ElaborationOptions quick_options() {
+  ElaborationOptions o;
+  o.calibration_points = 4;
+  o.blank_measurements = 5;
+  return o;
+}
+
+TEST(Elaborate, BuildsFig4Platform) {
+  const ElaboratedPlatform platform(make_fig4_candidate(kCat), kCat,
+                                    quick_options());
+  EXPECT_EQ(platform.electrode_count(), 5u);
+  EXPECT_EQ(platform.electrode_of(bio::TargetId::kGlucose), 0u);
+  // Benzphetamine and aminopyrine share electrode 3 (dual CYP2B4 film).
+  EXPECT_EQ(platform.electrode_of(bio::TargetId::kBenzphetamine), 3u);
+  EXPECT_EQ(platform.electrode_of(bio::TargetId::kAminopyrine), 3u);
+  EXPECT_THROW(platform.electrode_of(bio::TargetId::kClozapine),
+               std::invalid_argument);
+}
+
+TEST(Elaborate, GlucoseCalibrationThroughIntegratedAfe) {
+  ElaboratedPlatform platform(make_fig4_candidate(kCat), kCat,
+                              quick_options());
+  const std::vector<double> concs{0.5, 1.5, 2.5, 4.0};
+  const dsp::CalibrationCurve curve =
+      platform.calibrate(bio::TargetId::kGlucose, concs);
+  EXPECT_EQ(curve.point_count(), 4u);
+  EXPECT_EQ(curve.blank_count(), 5u);
+  // Regression slope within 35% of Table III through the *integrated* AFE.
+  const double s = util::sensitivity_to_uA_per_mM_cm2(curve.fit().slope /
+                                                      0.23e-6);
+  EXPECT_NEAR(s, 27.7, 0.35 * 27.7);
+}
+
+TEST(Elaborate, ValidateGlucoseMeetsPaperNumbers) {
+  ElaboratedPlatform platform(make_fig4_candidate(kCat), kCat,
+                              quick_options());
+  TargetRequirement req;
+  req.target = bio::TargetId::kGlucose;
+  const TargetValidation v = platform.validate_target(req);
+  EXPECT_TRUE(v.meets_lod);
+  EXPECT_TRUE(v.covers_range);
+  EXPECT_GT(v.r_squared, 0.97);
+  EXPECT_NEAR(v.sensitivity_uA_mM_cm2, 27.7, 0.35 * 27.7);
+  EXPECT_LT(v.lod_uM, 1.5 * 575.0);
+}
+
+TEST(Elaborate, PanelScanCoversAllElectrodes) {
+  ElaboratedPlatform platform(make_fig4_candidate(kCat), kCat,
+                              quick_options());
+  const std::vector<std::pair<bio::TargetId, double>> concs{
+      {bio::TargetId::kGlucose, 2.0},
+      {bio::TargetId::kLactate, 1.0},
+      {bio::TargetId::kGlutamate, 1.0},
+      {bio::TargetId::kBenzphetamine, 0.7},
+      {bio::TargetId::kAminopyrine, 4.0},
+      {bio::TargetId::kCholesterol, 0.045},
+  };
+  const sim::PanelScanResult scan = platform.scan(concs);
+  ASSERT_EQ(scan.entries.size(), 5u);
+  // Three chronoamperometric + two CV channels, sequential in time.
+  int n_ca = 0, n_cv = 0;
+  for (const auto& e : scan.entries) {
+    if (e.technique == bio::Technique::kChronoamperometry) ++n_ca;
+    if (e.technique == bio::Technique::kCyclicVoltammetry) ++n_cv;
+  }
+  EXPECT_EQ(n_ca, 3);
+  EXPECT_EQ(n_cv, 2);
+  for (std::size_t i = 1; i < scan.entries.size(); ++i) {
+    EXPECT_GE(scan.entries[i].start_time, scan.entries[i - 1].stop_time);
+  }
+  EXPECT_GT(scan.total_time, 200.0);  // 3 x 60 s CA + 2 CV sweeps
+}
+
+TEST(Elaborate, LabGradeOptionUsesBenchReadout) {
+  ElaborationOptions lab = quick_options();
+  lab.lab_grade_readout = true;
+  ElaboratedPlatform platform(make_fig4_candidate(kCat), kCat, lab);
+  TargetRequirement req;
+  req.target = bio::TargetId::kLactate;
+  const TargetValidation v = platform.validate_target(req);
+  EXPECT_NEAR(v.sensitivity_uA_mM_cm2, 40.1, 0.35 * 40.1);
+}
+
+TEST(Elaborate, ReportPrintsValidation) {
+  ElaboratedPlatform platform(make_fig4_candidate(kCat), kCat,
+                              quick_options());
+  ValidationReport report;
+  TargetRequirement req;
+  req.target = bio::TargetId::kGlucose;
+  report.targets.push_back(platform.validate_target(req));
+  std::ostringstream os;
+  print_validation(os, report);
+  EXPECT_NE(os.str().find("glucose"), std::string::npos);
+  EXPECT_NE(os.str().find("27.7"), std::string::npos);
+}
+
+TEST(Elaborate, ExplorationReportPrints) {
+  const ExplorationResult result = explore(fig4_panel(), kCat);
+  std::ostringstream os;
+  print_exploration(os, result);
+  EXPECT_NE(os.str().find("feasible"), std::string::npos);
+  EXPECT_NE(os.str().find("best"), std::string::npos);
+}
+
+TEST(Elaborate, RejectsEmptyCandidate) {
+  PlatformCandidate empty;
+  EXPECT_THROW(ElaboratedPlatform(empty, kCat), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::plat

@@ -1,0 +1,146 @@
+#include "dsp/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace idp::dsp {
+namespace {
+
+/// Calibration data for a sensor with slope s, blank level b, and
+/// Michaelis-Menten style saturation above `km` (km <= 0: perfectly linear).
+CalibrationCurve make_curve(double s, double b, double km = 0.0,
+                            double noise = 0.0, std::uint64_t seed = 1) {
+  CalibrationCurve c;
+  idp::util::Rng rng(seed);
+  for (int i = 0; i < 8; ++i) {
+    c.add_blank(b + (noise > 0.0 ? rng.gaussian(noise) : 0.0));
+  }
+  for (double conc : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+    double v = km > 0.0 ? s * conc / (1.0 + conc / km) : s * conc;
+    v += b + (noise > 0.0 ? rng.gaussian(noise) : 0.0);
+    c.add_point(conc, v);
+  }
+  return c;
+}
+
+TEST(Calibration, BlankStatistics) {
+  CalibrationCurve c;
+  c.add_blank(1.0);
+  c.add_blank(3.0);
+  EXPECT_DOUBLE_EQ(c.blank_mean(), 2.0);
+  EXPECT_NEAR(c.blank_sigma(), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(c.lod_signal(), 2.0 + 3.0 * std::sqrt(2.0), 1e-12);  // Eq. 5
+}
+
+TEST(Calibration, BlankGuards) {
+  CalibrationCurve c;
+  EXPECT_THROW(c.blank_mean(), std::invalid_argument);
+  c.add_blank(1.0);
+  EXPECT_THROW(c.blank_sigma(), std::invalid_argument);
+}
+
+TEST(Calibration, FitRecoversSlope) {
+  const CalibrationCurve c = make_curve(2.0, 0.1);
+  EXPECT_NEAR(c.fit().slope, 2.0, 1e-9);
+  EXPECT_NEAR(c.fit().intercept, 0.1, 1e-9);
+  EXPECT_NEAR(c.sensitivity(), 2.0, 1e-9);
+}
+
+TEST(Calibration, AverageSensitivityEq6) {
+  // Savg = dV/dC between the measured endpoints.
+  const CalibrationCurve c = make_curve(2.0, 0.0, 4.0);
+  const double v_lo = 2.0 * 0.5 / (1.0 + 0.5 / 4.0);
+  const double v_hi = 2.0 * 4.0 / (1.0 + 4.0 / 4.0);
+  EXPECT_NEAR(c.average_sensitivity(), (v_hi - v_lo) / 3.5, 1e-9);
+}
+
+TEST(Calibration, NonlinearityZeroForLine) {
+  const CalibrationCurve c = make_curve(2.0, 0.5);
+  EXPECT_NEAR(c.max_nonlinearity(), 0.0, 1e-9);
+}
+
+TEST(Calibration, NonlinearityPositiveForSaturation) {
+  const CalibrationCurve c = make_curve(2.0, 0.0, 3.0);
+  EXPECT_GT(c.max_nonlinearity(), 0.1);  // Eq. 7
+}
+
+TEST(Calibration, LodConcentrationIs3SigmaOverS) {
+  CalibrationCurve c = make_curve(2.0, 0.0);
+  // Deterministic blanks at two values for a known sigma.
+  CalibrationCurve c2;
+  c2.add_blank(0.0);
+  c2.add_blank(0.2);  // mean 0.1, sigma ~0.1414
+  for (double conc : {1.0, 2.0, 3.0}) c2.add_point(conc, 2.0 * conc);
+  EXPECT_NEAR(c2.lod_concentration(), 3.0 * 0.1414 / 2.0, 0.01);
+}
+
+TEST(Calibration, LinearRangeWholeSpanForLine) {
+  const CalibrationCurve c = make_curve(2.0, 0.0);
+  const LinearRange r = c.linear_range(0.05);
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.c_low, 0.5);
+  EXPECT_DOUBLE_EQ(r.c_high, 4.0);
+}
+
+TEST(Calibration, LinearRangeExcludesCurvedPoints) {
+  // Strong Michaelis-Menten curvature: no window covering every point is
+  // linear within 5%, so the detector must drop points at one end. (The MM
+  // curve flattens toward the asymptote, so it is the strongly-curved low
+  // end that gets excluded.)
+  const CalibrationCurve c = make_curve(2.0, 0.0, /*km=*/2.0);
+  const LinearRange r = c.linear_range(0.05);
+  ASSERT_TRUE(r.found);
+  EXPECT_LT(r.last - r.first + 1, c.point_count());
+  EXPECT_GT(r.c_low, 0.5);
+}
+
+TEST(Calibration, LinearRangeNeedsThreePoints) {
+  CalibrationCurve c;
+  c.add_point(1.0, 1.0);
+  c.add_point(2.0, 2.0);
+  EXPECT_FALSE(c.linear_range(0.05).found);
+}
+
+TEST(Calibration, PointsKeptSortedByConcentration) {
+  CalibrationCurve c;
+  c.add_point(3.0, 30.0);
+  c.add_point(1.0, 10.0);
+  c.add_point(2.0, 20.0);
+  EXPECT_DOUBLE_EQ(c.concentrations()[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.concentrations()[2], 3.0);
+  EXPECT_DOUBLE_EQ(c.responses()[0], 10.0);
+}
+
+TEST(Calibration, NoisyDataStillRecoversSlope) {
+  const CalibrationCurve c = make_curve(2.0, 0.0, 0.0, /*noise=*/0.05, 17);
+  EXPECT_NEAR(c.fit().slope, 2.0, 0.15);
+  EXPECT_GT(c.fit().r_squared, 0.98);
+}
+
+TEST(Calibration, RejectsNegativeConcentration) {
+  CalibrationCurve c;
+  EXPECT_THROW(c.add_point(-1.0, 0.0), std::invalid_argument);
+}
+
+/// Property: LOD in concentration units scales inversely with sensitivity.
+class LodScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(LodScaling, InverseInSlope) {
+  const double s = GetParam();
+  CalibrationCurve c;
+  c.add_blank(0.0);
+  c.add_blank(0.1);
+  for (double conc : {1.0, 2.0, 3.0, 4.0}) c.add_point(conc, s * conc);
+  const double lod = c.lod_concentration();
+  EXPECT_NEAR(lod * s, 3.0 * idp::util::stddev(std::vector<double>{0.0, 0.1}),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, LodScaling,
+                         ::testing::Values(0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace idp::dsp

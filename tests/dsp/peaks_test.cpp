@@ -1,0 +1,172 @@
+#include "dsp/peaks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace idp::dsp {
+namespace {
+
+/// Synthesise x in [0,1] and a sum of Gaussian peaks on a linear baseline.
+struct Synth {
+  std::vector<double> x, y;
+};
+
+Synth make_signal(const std::vector<std::pair<double, double>>& peaks,
+                  double baseline_slope = 0.0, double noise = 0.0,
+                  std::uint64_t seed = 1) {
+  Synth s;
+  idp::util::Rng rng(seed);
+  for (int i = 0; i <= 400; ++i) {
+    const double x = i / 400.0;
+    double y = baseline_slope * x;
+    for (const auto& [pos, height] : peaks) {
+      const double dx = (x - pos) / 0.03;
+      y += height * std::exp(-dx * dx);
+    }
+    if (noise > 0.0) y += rng.gaussian(noise);
+    s.x.push_back(x);
+    s.y.push_back(y);
+  }
+  return s;
+}
+
+TEST(FindPeaks, SingleCleanPeak) {
+  const Synth s = make_signal({{0.5, 1.0}});
+  const auto peaks = find_peaks(s.x, s.y, PeakOptions{});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].position, 0.5, 0.01);
+  EXPECT_NEAR(peaks[0].height, 1.0, 0.05);
+}
+
+TEST(FindPeaks, BaselineCorrectedHeight) {
+  const Synth s = make_signal({{0.5, 1.0}}, /*baseline_slope=*/2.0);
+  const auto peaks = find_peaks(s.x, s.y, PeakOptions{});
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].height, 1.0, 0.08);
+}
+
+TEST(FindPeaks, TwoSeparatedPeaks) {
+  const Synth s = make_signal({{0.3, 1.0}, {0.7, 0.6}});
+  PeakOptions opt;
+  opt.min_prominence = 0.1;
+  const auto peaks = find_peaks(s.x, s.y, opt);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_NEAR(peaks[0].position, 0.3, 0.01);
+  EXPECT_NEAR(peaks[1].position, 0.7, 0.01);
+  EXPECT_GT(peaks[0].height, peaks[1].height);
+}
+
+TEST(FindPeaks, ProminenceFiltersRipples) {
+  const Synth s = make_signal({{0.5, 1.0}}, 0.0, /*noise=*/0.02, 3);
+  PeakOptions opt;
+  opt.min_prominence = 0.3;
+  opt.smooth_half_window = 5;
+  const auto peaks = find_peaks(s.x, s.y, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].position, 0.5, 0.02);
+}
+
+TEST(FindPeaks, MinSeparationKeepsStrongest) {
+  const Synth s = make_signal({{0.48, 1.0}, {0.52, 0.8}});
+  PeakOptions opt;
+  opt.min_prominence = 0.05;
+  opt.min_separation = 100;  // force them to merge
+  const auto peaks = find_peaks(s.x, s.y, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].position, 0.48, 0.03);
+}
+
+TEST(FindPeaks, EmptyForFlatSignal) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(1.0);
+  }
+  EXPECT_TRUE(find_peaks(x, y, PeakOptions{}).empty());
+}
+
+TEST(FindPeaks, SizeMismatchThrows) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(find_peaks(x, y, PeakOptions{}), std::invalid_argument);
+}
+
+/// Build a voltammogram with a cathodic wave at the given potential.
+sim::CvCurve make_cv(double e_peak, double depth) {
+  sim::CvCurve c;
+  double t = 0.0;
+  for (double e = 0.1; e > -0.8; e -= 0.002) {
+    const double dx = (e - e_peak) / 0.04;
+    c.push(t += 0.1, e, -depth * std::exp(-dx * dx));
+  }
+  for (double e = -0.8; e < 0.1; e += 0.002) {
+    c.push(t += 0.1, e, 0.0);
+  }
+  return c;
+}
+
+TEST(ReductionPeaks, FindsCathodicWave) {
+  const sim::CvCurve c = make_cv(-0.4, 10e-9);
+  PeakOptions opt;
+  opt.min_prominence = 1e-9;
+  const auto peaks = find_reduction_peaks(c, opt);
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].position, -0.4, 0.02);
+  EXPECT_NEAR(peaks[0].height, 10e-9, 2e-9);
+}
+
+TEST(ReductionPeaks, EmptyWithoutCathodicSegment) {
+  sim::CvCurve c;
+  double t = 0.0;
+  for (double e = -0.8; e < 0.1; e += 0.01) c.push(t += 1.0, e, 0.0);
+  EXPECT_TRUE(find_reduction_peaks(c, PeakOptions{}).empty());
+}
+
+TEST(ReductionResponse, ReadsWaveDepthAtPotential) {
+  // The metric is the *mean* corrected response over the window (unbiased
+  // on blanks); over +/-20 mV of a 40 mV-wide Gaussian that is ~0.9 peak.
+  const sim::CvCurve c = make_cv(-0.4, 10e-9);
+  EXPECT_NEAR(reduction_response_at(c, -0.4, 0.02), 9e-9, 1.5e-9);
+  // Away from the wave the response is ~0.
+  EXPECT_LT(reduction_response_at(c, -0.1, 0.03), 1.5e-9);
+}
+
+TEST(ReductionResponse, SurvivesSigmoidalWave) {
+  // A catalytic S-wave: current steps down and *stays* down to the vertex;
+  // the pre-wave baseline must not cancel it.
+  sim::CvCurve c;
+  double t = 0.0;
+  for (double e = 0.1; e > -0.8; e -= 0.002) {
+    const double s = 1.0 / (1.0 + std::exp((e + 0.4) / 0.02));
+    c.push(t += 0.1, e, -8e-9 * s);
+  }
+  const double r = reduction_response_at(c, -0.45, 0.06);
+  EXPECT_GT(r, 5e-9);
+}
+
+TEST(ReductionResponse, ZeroForEmptyCurve) {
+  EXPECT_DOUBLE_EQ(reduction_response_at(sim::CvCurve{}, -0.4), 0.0);
+}
+
+/// Property: detected position error stays below 10 mV across wave depths.
+class ReductionPosition : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReductionPosition, AccuratePosition) {
+  const double depth = GetParam();
+  const sim::CvCurve c = make_cv(-0.25, depth);
+  PeakOptions opt;
+  opt.min_prominence = depth / 5.0;
+  const auto peaks = find_reduction_peaks(c, opt);
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].position, -0.25, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ReductionPosition,
+                         ::testing::Values(1e-9, 10e-9, 100e-9, 1e-6));
+
+}  // namespace
+}  // namespace idp::dsp

@@ -1,0 +1,108 @@
+#include "dsp/response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace idp::dsp {
+namespace {
+
+/// First-order step response with time constant tau starting at t0.
+sim::Trace first_order_step(double t0, double tau, double amplitude,
+                            double duration, double fs = 10.0) {
+  sim::Trace t;
+  for (double x = 1.0 / fs; x < duration; x += 1.0 / fs) {
+    const double v =
+        x < t0 ? 0.0 : amplitude * (1.0 - std::exp(-(x - t0) / tau));
+    t.push(x, v);
+  }
+  return t;
+}
+
+TEST(StepResponse, T90OfFirstOrderIs2Point3Tau) {
+  const double tau = 13.0;
+  const sim::Trace t = first_order_step(10.0, tau, 100e-9, 120.0);
+  const StepResponse r = analyze_step(t, 10.0, 10.0);
+  ASSERT_TRUE(r.valid);
+  // t90 = ln(10) * tau ~= 2.303 tau, relative to the *true* steady state;
+  // the finite-window steady-state estimate biases slightly low.
+  EXPECT_NEAR(r.t90, 2.303 * tau, 0.15 * 2.303 * tau);
+}
+
+TEST(StepResponse, BaselineAndSteadyState) {
+  const sim::Trace t = first_order_step(10.0, 5.0, 50e-9, 80.0);
+  const StepResponse r = analyze_step(t, 10.0, 10.0);
+  EXPECT_NEAR(r.baseline, 0.0, 1e-12);
+  EXPECT_NEAR(r.steady_state, 50e-9, 1e-9);
+}
+
+TEST(StepResponse, TransientTimeNearStepForFirstOrder) {
+  // dV/dt of a first-order response peaks immediately after the event.
+  const sim::Trace t = first_order_step(10.0, 13.0, 100e-9, 120.0);
+  const StepResponse r = analyze_step(t, 10.0, 10.0);
+  EXPECT_LT(r.transient_time, 5.0);
+}
+
+TEST(StepResponse, InvalidWhenNoStep) {
+  sim::Trace t;
+  for (double x = 0.1; x < 50.0; x += 0.1) t.push(x, 42e-9);
+  const StepResponse r = analyze_step(t, 10.0, 5.0);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(StepResponse, FallingStepHandled) {
+  const double tau = 8.0;
+  sim::Trace t;
+  for (double x = 0.1; x < 80.0; x += 0.1) {
+    const double v =
+        x < 10.0 ? 100e-9 : 100e-9 * std::exp(-(x - 10.0) / tau);
+    t.push(x, v);
+  }
+  const StepResponse r = analyze_step(t, 10.0, 5.0);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(r.steady_state, 10e-9);
+  EXPECT_NEAR(r.t90, 2.303 * tau, 0.2 * 2.303 * tau);
+}
+
+TEST(RecoveryTime, ReturnsToBaseline) {
+  const double tau = 5.0;
+  sim::Trace t;
+  for (double x = 0.1; x < 80.0; x += 0.1) {
+    const double v =
+        x < 10.0 ? 100e-9 : 100e-9 * std::exp(-(x - 10.0) / tau);
+    t.push(x, v);
+  }
+  const double rec = recovery_time(t, 10.0, 0.0, 0.1);
+  // exp(-t/tau) = 0.1 at t = 2.3 tau.
+  EXPECT_NEAR(rec, 2.303 * tau, 0.2 * 2.303 * tau);
+}
+
+TEST(RecoveryTime, NegativeWhenNeverRecovers) {
+  sim::Trace t;
+  for (double x = 0.1; x < 30.0; x += 0.1) t.push(x, 100e-9);
+  EXPECT_LT(recovery_time(t, 10.0, 0.0, 0.05), 0.0);
+}
+
+TEST(Throughput, CombinesResponseAndRecovery) {
+  // Section II-B: samples per unit time from response + recovery.
+  EXPECT_NEAR(sample_throughput(30.0, 30.0), 1.0 / 60.0, 1e-12);
+  EXPECT_THROW(sample_throughput(0.0, 10.0), std::invalid_argument);
+}
+
+/// Property: t90 grows monotonically with tau.
+class T90Monotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(T90Monotone, TracksTau) {
+  const double tau = GetParam();
+  const sim::Trace t = first_order_step(5.0, tau, 100e-9, 30.0 + 6.0 * tau);
+  const StepResponse r = analyze_step(t, 5.0, 5.0);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.t90, 1.8 * tau);
+  EXPECT_LT(r.t90, 3.2 * tau);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, T90Monotone,
+                         ::testing::Values(2.0, 5.0, 13.0, 25.0));
+
+}  // namespace
+}  // namespace idp::dsp

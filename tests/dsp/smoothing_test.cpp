@@ -1,0 +1,97 @@
+#include "dsp/smoothing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace idp::dsp {
+namespace {
+
+TEST(MovingAverage, FlattensConstant) {
+  const std::vector<double> xs(20, 3.0);
+  const auto out = moving_average(xs, 3);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(MovingAverage, ReducesNoiseVariance) {
+  idp::util::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.gaussian());
+  const auto out = moving_average(xs, 4);
+  EXPECT_LT(idp::util::stddev(out), 0.5 * idp::util::stddev(xs));
+}
+
+TEST(MovingAverage, HandlesEdges) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto out = moving_average(xs, 5);
+  EXPECT_EQ(out.size(), xs.size());
+  EXPECT_DOUBLE_EQ(out[0], 2.0);  // mean of all available
+}
+
+TEST(SavitzkyGolay, PreservesQuadraticExactly) {
+  std::vector<double> xs;
+  for (int i = 0; i < 41; ++i) {
+    const double x = i * 0.1;
+    xs.push_back(2.0 * x * x - 3.0 * x + 1.0);
+  }
+  const auto out = savitzky_golay(xs, 5);
+  for (std::size_t i = 5; i + 5 < xs.size(); ++i) {
+    EXPECT_NEAR(out[i], xs[i], 1e-9);
+  }
+}
+
+TEST(SavitzkyGolay, PreservesPeakBetterThanMovingAverage) {
+  // A Gaussian peak: SG keeps the apex, the boxcar flattens it.
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) {
+    const double x = (i - 50) / 10.0;
+    xs.push_back(std::exp(-x * x));
+  }
+  const auto sg = savitzky_golay(xs, 7);
+  const auto ma = moving_average(xs, 7);
+  EXPECT_GT(sg[50], ma[50]);
+  EXPECT_GT(sg[50], 0.97);
+}
+
+TEST(SavitzkyGolay, ShortInputFallsBack) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_EQ(savitzky_golay(xs, 5).size(), xs.size());
+}
+
+TEST(SavitzkyGolay, RejectsZeroWindow) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(savitzky_golay(xs, 0), std::invalid_argument);
+}
+
+TEST(Derivative, LinearSignalConstantSlope) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i * 0.5);
+    y.push_back(3.0 * i * 0.5 + 1.0);
+  }
+  const auto d = derivative(x, y);
+  for (double v : d) EXPECT_NEAR(v, 3.0, 1e-9);
+}
+
+TEST(Derivative, NonuniformSpacing) {
+  const std::vector<double> x{0.0, 1.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(xi * xi);
+  const auto d = derivative(x, y);
+  // central difference of x^2 across [0,3] at x=1: (9-0)/3 = 3 (exact for
+  // parabola would be 2; the asymmetric stencil bias is expected)
+  EXPECT_NEAR(d[1], 3.0, 1e-12);
+}
+
+TEST(Derivative, RejectsMismatch) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<double> y{0.0};
+  EXPECT_THROW(derivative(x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::dsp

@@ -1,0 +1,219 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/library.hpp"
+#include "dsp/peaks.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace idp::sim {
+namespace {
+
+using namespace idp::util::literals;
+
+afe::AnalogFrontEnd lab_frontend(std::uint64_t seed = 7) {
+  afe::AfeConfig c;
+  c.tia = afe::lab_grade_tia();
+  c.adc = afe::AdcSpec{.bits = 16, .v_low = -10.0, .v_high = 10.0,
+                       .sample_rate = 10.0};
+  c.seed = seed;
+  return afe::AnalogFrontEnd(c);
+}
+
+EngineConfig quiet_config() {
+  EngineConfig c;
+  c.sensor_noise = false;
+  return c;
+}
+
+TEST(Engine, ChronoamperometryProducesSampledTrace) {
+  MeasurementEngine engine(quiet_config());
+  auto probe = bio::make_probe(bio::TargetId::kGlucose);
+  probe->set_bulk_concentration("glucose", 2.0);
+  afe::AnalogFrontEnd fe = lab_frontend();
+  ChronoamperometryProtocol p;
+  p.potential = 550_mV;
+  p.duration = 20.0;
+  p.sample_rate = 10.0;
+  const Trace t =
+      engine.run_chronoamperometry(Channel{probe.get(), nullptr}, p, fe);
+  EXPECT_NEAR(static_cast<double>(t.size()), 200.0, 3.0);
+  EXPECT_GT(t.time().front(), 0.0);
+  EXPECT_LE(t.time().back(), 20.0 + 0.2);
+}
+
+TEST(Engine, CurrentRisesAfterInjection) {
+  MeasurementEngine engine(quiet_config());
+  auto probe = bio::make_probe(bio::TargetId::kGlucose);
+  afe::AnalogFrontEnd fe = lab_frontend();
+  ChronoamperometryProtocol p;
+  p.potential = 550_mV;
+  p.duration = 90.0;
+  const InjectionEvent inj{10.0, "glucose", 2.0};
+  const Trace t = engine.run_chronoamperometry(Channel{probe.get(), nullptr},
+                                               p, fe, {&inj, 1});
+  const double before = t.mean_in_window(5.0, 9.5);
+  const double after = t.mean_in_window(80.0, 90.0);
+  EXPECT_GT(after, before + 50e-9);  // ~2 mM glucose ~= 127 nA
+}
+
+TEST(Engine, DeterministicWithSameSeeds) {
+  EngineConfig cfg;
+  cfg.seed = 42;
+  MeasurementEngine e1(cfg), e2(cfg);
+  auto p1 = bio::make_probe(bio::TargetId::kGlucose);
+  auto p2 = bio::make_probe(bio::TargetId::kGlucose);
+  p1->set_bulk_concentration("glucose", 1.0);
+  p2->set_bulk_concentration("glucose", 1.0);
+  afe::AnalogFrontEnd f1 = lab_frontend(3), f2 = lab_frontend(3);
+  ChronoamperometryProtocol p;
+  p.potential = 550_mV;
+  p.duration = 10.0;
+  const Trace t1 = e1.run_chronoamperometry(Channel{p1.get(), nullptr}, p, f1);
+  const Trace t2 = e2.run_chronoamperometry(Channel{p2.get(), nullptr}, p, f2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1.value_at(i), t2.value_at(i));
+  }
+}
+
+TEST(Engine, RepeatedRunsDiffer) {
+  // Each run consumes fresh noise (needed for honest Eq. 5 blanks).
+  MeasurementEngine engine{EngineConfig{}};
+  auto probe = bio::make_probe(bio::TargetId::kGlucose);
+  afe::AnalogFrontEnd fe = lab_frontend();
+  ChronoamperometryProtocol p;
+  p.potential = 550_mV;
+  p.duration = 10.0;
+  const Trace t1 =
+      engine.run_chronoamperometry(Channel{probe.get(), nullptr}, p, fe);
+  const Trace t2 =
+      engine.run_chronoamperometry(Channel{probe.get(), nullptr}, p, fe);
+  EXPECT_NE(t1.value_at(5), t2.value_at(5));
+}
+
+TEST(Engine, CvSweepsTheProgrammedWindow) {
+  MeasurementEngine engine(quiet_config());
+  auto probe = bio::make_probe(bio::TargetId::kCholesterol);
+  afe::AnalogFrontEnd fe = lab_frontend();
+  CyclicVoltammetryProtocol p;
+  p.e_start = 0.1;
+  p.e_vertex = -0.65;
+  p.scan_rate = 20_mV_per_s;
+  const CvCurve c =
+      engine.run_cyclic_voltammetry(Channel{probe.get(), nullptr}, p, fe);
+  EXPECT_NEAR(idp::util::max_value(c.potential()), 0.1, 0.02);
+  EXPECT_NEAR(idp::util::min_value(c.potential()), -0.65, 0.02);
+  EXPECT_GE(c.segments().size(), 2u);
+}
+
+TEST(Engine, CvShowsCholesterolReductionWave) {
+  MeasurementEngine engine(quiet_config());
+  auto probe = bio::make_probe(bio::TargetId::kCholesterol);
+  probe->set_bulk_concentration("cholesterol", 0.045);
+  afe::AnalogFrontEnd fe = lab_frontend();
+  CyclicVoltammetryProtocol p;
+  p.e_start = 0.1;
+  p.e_vertex = -0.65;
+  p.scan_rate = 20_mV_per_s;
+  const CvCurve c =
+      engine.run_cyclic_voltammetry(Channel{probe.get(), nullptr}, p, fe);
+  const double r = dsp::reduction_response_at(c, -0.400, 0.05);
+  EXPECT_GT(r, 5e-9);  // ~11 nA at 45 uM by Table III sensitivity
+}
+
+TEST(Engine, ChargingCurrentAddsHysteresis) {
+  EngineConfig cfg = quiet_config();
+  MeasurementEngine engine(cfg);
+  auto probe = bio::make_probe(bio::TargetId::kCholesterol);
+  const chem::Electrode we(chem::ElectrodeRole::kWorking,
+                           chem::ElectrodeMaterial::kGold,
+                           chem::ElectrodeGeometry{0.23e-6},
+                           chem::Nanostructure::kCarbonNanotube);
+  afe::AnalogFrontEnd fe = lab_frontend();
+  CyclicVoltammetryProtocol p;
+  p.e_start = 0.1;
+  p.e_vertex = -0.3;
+  p.scan_rate = 20_mV_per_s;
+  const CvCurve with_dl =
+      engine.run_cyclic_voltammetry(Channel{probe.get(), &we}, p, fe);
+  // At a potential where no faradaic wave exists, forward and reverse
+  // currents differ by ~2 * Cdl * v.
+  double i_fwd = 0.0, i_rev = 0.0;
+  const auto segs = with_dl.segments();
+  ASSERT_GE(segs.size(), 2u);
+  for (std::size_t i = segs[0].first; i < segs[0].last; ++i) {
+    if (std::fabs(with_dl.potential()[i] - (-0.05)) < 0.01) {
+      i_fwd = with_dl.current()[i];
+    }
+  }
+  for (std::size_t i = segs[1].first; i < segs[1].last; ++i) {
+    if (std::fabs(with_dl.potential()[i] - (-0.05)) < 0.01) {
+      i_rev = with_dl.current()[i];
+    }
+  }
+  const double expected_gap = 2.0 * we.charging_current(20_mV_per_s);
+  EXPECT_NEAR(i_rev - i_fwd, expected_gap, 0.5 * expected_gap);
+}
+
+TEST(Engine, PanelScanSequencesChannels) {
+  MeasurementEngine engine(quiet_config());
+  auto glucose = bio::make_probe(bio::TargetId::kGlucose);
+  auto chol = bio::make_probe(bio::TargetId::kCholesterol);
+  glucose->set_bulk_concentration("glucose", 2.0);
+  chol->set_bulk_concentration("cholesterol", 0.045);
+
+  afe::AnalogFrontEnd fe1 = lab_frontend(1), fe2 = lab_frontend(2);
+  std::vector<Channel> channels{Channel{glucose.get(), nullptr},
+                                Channel{chol.get(), nullptr}};
+  ChronoamperometryProtocol ca;
+  ca.potential = 550_mV;
+  ca.duration = 10.0;
+  CyclicVoltammetryProtocol cv;
+  cv.e_start = 0.1;
+  cv.e_vertex = -0.65;
+  cv.scan_rate = 20_mV_per_s;
+  std::vector<ChannelProtocol> protocols{ca, cv};
+  std::vector<afe::AnalogFrontEnd*> fes{&fe1, &fe2};
+  afe::AnalogMux mux(afe::MuxSpec{});
+
+  const PanelScanResult result =
+      engine.run_panel(channels, protocols, fes, mux);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].technique, bio::Technique::kChronoamperometry);
+  EXPECT_EQ(result.entries[1].technique, bio::Technique::kCyclicVoltammetry);
+  // Sequential: entry 1 starts after entry 0 stops.
+  EXPECT_GE(result.entries[1].start_time, result.entries[0].stop_time);
+  // Total time ~ 10 s CA + 75 s CV + settling.
+  EXPECT_NEAR(result.total_time, 85.0, 2.0);
+}
+
+TEST(Engine, PanelRequiresMatchingSpans) {
+  MeasurementEngine engine(quiet_config());
+  auto probe = bio::make_probe(bio::TargetId::kGlucose);
+  afe::AnalogFrontEnd fe = lab_frontend();
+  std::vector<Channel> channels{Channel{probe.get(), nullptr}};
+  std::vector<ChannelProtocol> protocols;  // wrong size
+  std::vector<afe::AnalogFrontEnd*> fes{&fe};
+  afe::AnalogMux mux(afe::MuxSpec{});
+  EXPECT_THROW(engine.run_panel(channels, protocols, fes, mux),
+               std::invalid_argument);
+}
+
+TEST(Engine, ProtocolDurationHelper) {
+  ChronoamperometryProtocol ca;
+  ca.duration = 42.0;
+  EXPECT_DOUBLE_EQ(protocol_duration(ca), 42.0);
+  CyclicVoltammetryProtocol cv;
+  cv.e_start = 0.1;
+  cv.e_vertex = -0.9;
+  cv.scan_rate = 0.02;
+  cv.cycles = 2;
+  EXPECT_NEAR(protocol_duration(cv), 200.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace idp::sim

@@ -1,0 +1,87 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace idp::sim {
+namespace {
+
+TEST(Trace, PushAndAccess) {
+  Trace t;
+  t.push(0.1, 1.0);
+  t.push(0.2, 2.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.time_at(1), 0.2);
+  EXPECT_DOUBLE_EQ(t.value_at(1), 2.0);
+}
+
+TEST(Trace, RequiresIncreasingTime) {
+  Trace t;
+  t.push(1.0, 0.0);
+  EXPECT_THROW(t.push(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.push(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Trace, InterpolationBetweenSamples) {
+  Trace t;
+  t.push(0.0, 0.0);
+  t.push(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.interpolate(0.5), 5.0);
+}
+
+TEST(Trace, WindowedMean) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) t.push(i, i);
+  EXPECT_DOUBLE_EQ(t.mean_in_window(5.0, 9.0), 7.0);
+  EXPECT_TRUE(t.window(100.0, 200.0).empty());
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace t;
+  t.push(0.1, 1e-9);
+  t.push(0.2, 2e-9);
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  t.to_csv(path, "current_A");
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_s,current_A");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(CvCurve, SegmentsSplitAtVertex) {
+  CvCurve c;
+  // Down sweep then up sweep.
+  double t = 0.0;
+  for (double e = 0.1; e > -0.5; e -= 0.01) c.push(t += 1.0, e, -1e-9);
+  for (double e = -0.5; e < 0.1; e += 0.01) c.push(t += 1.0, e, 1e-9);
+  const auto segs = c.segments();
+  ASSERT_GE(segs.size(), 2u);
+  // First segment is cathodic (potential decreasing).
+  EXPECT_LT(c.potential()[segs[0].last - 1], c.potential()[segs[0].first]);
+}
+
+TEST(CvCurve, SingleSweepIsOneSegment) {
+  CvCurve c;
+  double t = 0.0;
+  for (double e = 0.1; e > -0.5; e -= 0.01) c.push(t += 1.0, e, 0.0);
+  EXPECT_EQ(c.segments().size(), 1u);
+}
+
+TEST(CvCurve, CsvHasThreeColumns) {
+  CvCurve c;
+  c.push(0.1, 0.05, 1e-9);
+  const std::string path = ::testing::TempDir() + "/cv_test.csv";
+  c.to_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_s,potential_V,current_A");
+}
+
+}  // namespace
+}  // namespace idp::sim

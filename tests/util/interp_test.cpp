@@ -1,0 +1,58 @@
+#include "util/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace idp::util {
+namespace {
+
+TEST(Interp, ExactAtNodes) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{1.0, 4.0, 9.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.0), 4.0);
+}
+
+TEST(Interp, MidpointIsAverage) {
+  const std::vector<double> xs{0.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.0), 5.0);
+}
+
+TEST(Interp, ClampsOutsideRange) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{5.0, 7.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 3.0), 7.0);
+}
+
+TEST(Interp, ThrowsOnMismatch) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(interp_linear(xs, ys, 1.5), std::invalid_argument);
+}
+
+TEST(Interp, StrictlyIncreasingDetector) {
+  EXPECT_TRUE(strictly_increasing(std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_FALSE(strictly_increasing(std::vector<double>{1.0, 1.0, 3.0}));
+  EXPECT_FALSE(strictly_increasing(std::vector<double>{1.0, 0.5}));
+  EXPECT_TRUE(strictly_increasing(std::vector<double>{}));
+}
+
+/// Property: interpolation is monotone within each interval for monotone data.
+class InterpMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(InterpMonotone, BetweenNeighbours) {
+  const std::vector<double> xs{0.0, 0.5, 1.7, 3.0};
+  const std::vector<double> ys{-1.0, 0.2, 2.0, 2.5};
+  const double x = GetParam();
+  const double y = interp_linear(xs, ys, x);
+  EXPECT_GE(y, -1.0);
+  EXPECT_LE(y, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, InterpMonotone,
+                         ::testing::Values(0.1, 0.5, 0.9, 1.7, 2.2, 2.9));
+
+}  // namespace
+}  // namespace idp::util

@@ -1,0 +1,137 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace idp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.gaussian() != b.gaussian()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, GaussianMomentsAreStandard) {
+  Rng rng(123);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.gaussian());
+  EXPECT_NEAR(mean(xs), 0.0, 0.03);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.03);
+}
+
+TEST(Rng, ScaledGaussianHasRequestedSigma) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.gaussian(3.0));
+  EXPECT_NEAR(stddev(xs), 3.0, 0.1);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(77);
+  const double first = rng.gaussian();
+  rng.gaussian();
+  rng.reseed(77);
+  EXPECT_DOUBLE_EQ(rng.gaussian(), first);
+}
+
+TEST(PinkNoise, RmsApproximatesSigma) {
+  PinkNoise pink(2.0, 42);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(pink.sample());
+  EXPECT_NEAR(rms(xs), 2.0, 0.8);  // 1/f processes converge slowly
+}
+
+TEST(PinkNoise, DeterministicForSameSeed) {
+  PinkNoise a(1.0, 3), b(1.0, 3);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.sample(), b.sample());
+}
+
+TEST(PinkNoise, SpectrumFallsWithFrequency) {
+  // Compare variance of coarse-grained (low-frequency) vs first-difference
+  // (high-frequency) content: for pink noise the low band must dominate a
+  // white sequence's ratio.
+  PinkNoise pink(1.0, 99);
+  const int n = 1 << 14;
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(pink.sample());
+
+  // Block means over 64 samples capture f < fs/64 energy.
+  std::vector<double> blocks;
+  for (int i = 0; i + 64 <= n; i += 64) {
+    double s = 0.0;
+    for (int k = 0; k < 64; ++k) s += xs[i + k];
+    blocks.push_back(s / 64.0);
+  }
+  // First differences capture the top octave.
+  std::vector<double> diffs;
+  for (int i = 1; i < n; ++i) diffs.push_back(xs[i] - xs[i - 1]);
+
+  const double low = variance(blocks);
+  const double high = variance(diffs) / 2.0;  // diff doubles white variance
+  EXPECT_GT(low / high, 0.2);  // white noise would give ~1/64
+
+  Rng rng(1234);
+  std::vector<double> white;
+  for (int i = 0; i < n; ++i) white.push_back(rng.gaussian());
+  std::vector<double> wblocks;
+  for (int i = 0; i + 64 <= n; i += 64) {
+    double s = 0.0;
+    for (int k = 0; k < 64; ++k) s += white[i + k];
+    wblocks.push_back(s / 64.0);
+  }
+  std::vector<double> wdiffs;
+  for (int i = 1; i < n; ++i) wdiffs.push_back(white[i] - white[i - 1]);
+  const double wratio = variance(wblocks) / (variance(wdiffs) / 2.0);
+  EXPECT_GT(low / high, 5.0 * wratio);
+}
+
+TEST(DriftProcess, StationaryStdApproachesSigma) {
+  DriftProcess drift(4.0, 10.0, 21);
+  // Burn in past several time constants, then sample.
+  for (int i = 0; i < 2000; ++i) drift.step(0.1);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(drift.step(0.1));
+  EXPECT_NEAR(stddev(xs), 4.0, 0.8);
+}
+
+TEST(DriftProcess, CorrelatedOverTau) {
+  DriftProcess drift(1.0, 100.0, 8);
+  for (int i = 0; i < 1000; ++i) drift.step(1.0);
+  const double a = drift.value();
+  drift.step(1.0);  // dt << tau: little movement expected
+  EXPECT_NEAR(drift.value(), a, 0.5);
+}
+
+TEST(DriftProcess, ResetZeroes) {
+  DriftProcess drift(1.0, 1.0, 4);
+  drift.step(5.0);
+  drift.reset();
+  EXPECT_DOUBLE_EQ(drift.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace idp::util

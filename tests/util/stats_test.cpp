@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace idp::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs{3.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, StddevIsSqrtOfVariance) {
+  const std::vector<double> xs{1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(variance(xs)));
+}
+
+TEST(Stats, RmsOfConstantSignal) {
+  const std::vector<double> xs{-2.0, -2.0, -2.0};
+  EXPECT_DOUBLE_EQ(rms(xs), 2.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MaxAbsMixesSigns) {
+  EXPECT_DOUBLE_EQ(max_abs(std::vector<double>{1.0, -5.0, 3.0}), 5.0);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+  const std::vector<double> empty;
+  EXPECT_THROW(min_value(empty), std::invalid_argument);
+  EXPECT_THROW(max_value(empty), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  Rng rng(7);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(2.0) + 5.0;
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x - 1.5);
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.5, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(f.max_abs_residual, 0.0, 1e-12);
+}
+
+TEST(LinearFit, RSquaredDropsWithNoise) {
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + rng.gaussian(10.0));
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_LT(f.r_squared, 1.0);
+  EXPECT_GT(f.r_squared, 0.5);
+  EXPECT_NEAR(f.slope, 2.0, 0.5);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(linear_fit(one, one), std::invalid_argument);
+  const std::vector<double> same_x{2.0, 2.0};
+  const std::vector<double> ys{1.0, 3.0};
+  EXPECT_THROW(linear_fit(same_x, ys), std::invalid_argument);
+}
+
+TEST(LinearFit, SizeMismatchThrows) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(linear_fit(xs, ys), std::invalid_argument);
+}
+
+/// Property: for y = a*x + b plus symmetric perturbation the fitted slope
+/// stays within the perturbation bound.
+class LinearFitSlopeProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinearFitSlopeProperty, SlopeWithinBound) {
+  const double a = GetParam();
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 21; ++i) {
+    xs.push_back(i * 0.5);
+    ys.push_back(a * i * 0.5 + ((i % 2 == 0) ? 0.01 : -0.01));
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, a, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, LinearFitSlopeProperty,
+                         ::testing::Values(-3.0, -0.5, 0.0, 0.7, 12.0));
+
+}  // namespace
+}  // namespace idp::util

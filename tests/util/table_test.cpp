@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace idp::util {
+namespace {
+
+TEST(ConsoleTable, PrintsHeadersAndRows) {
+  ConsoleTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(ConsoleTable, RejectsRowWidthMismatch) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, RejectsEmptyHeader) {
+  EXPECT_THROW(ConsoleTable({}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, ColumnsAutoSize) {
+  ConsoleTable t({"h"});
+  t.add_row({"a-very-long-cell-content"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("a-very-long-cell-content"), std::string::npos);
+}
+
+TEST(Format, SignificantDigits) {
+  EXPECT_EQ(format_sig(27.654, 3), "27.7");
+  EXPECT_EQ(format_sig(0.00123456, 3), "0.00123");
+}
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/idp_csv_test.csv";
+  {
+    CsvWriter csv(path, {"t", "i"});
+    const double row[] = {1.0, 2.5};
+    csv.write_row(row);
+    csv.close();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,i");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 2), "1,");
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "/idp_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  const double row[] = {1.0};
+  EXPECT_THROW(csv.write_row(row), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::util

@@ -1,0 +1,70 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hpp"
+
+namespace idp::util {
+namespace {
+
+using namespace idp::util::literals;
+
+TEST(Units, PotentialLiterals) {
+  EXPECT_DOUBLE_EQ(650_mV, 0.65);
+  EXPECT_DOUBLE_EQ(1.5_V, 1.5);
+  EXPECT_DOUBLE_EQ(-0.4 + 400_mV, 0.0);
+}
+
+TEST(Units, CurrentLiterals) {
+  EXPECT_DOUBLE_EQ(10_uA, 1e-5);
+  EXPECT_DOUBLE_EQ(10_nA, 1e-8);
+  EXPECT_DOUBLE_EQ(100_pA, 1e-10);
+}
+
+TEST(Units, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(30_s, 30.0);
+  EXPECT_DOUBLE_EQ(5_ms, 0.005);
+  EXPECT_DOUBLE_EQ(2_min, 120.0);
+}
+
+TEST(Units, LengthAreaLiterals) {
+  EXPECT_DOUBLE_EQ(50_um, 5e-5);
+  EXPECT_DOUBLE_EQ(0.23_mm2, 0.23e-6);
+  EXPECT_DOUBLE_EQ(1.0_cm2, 1e-4);
+}
+
+TEST(Units, ConcentrationLiterals) {
+  // mol/m^3 == mM is the house convention.
+  EXPECT_DOUBLE_EQ(1.0_mM, 1.0);
+  EXPECT_DOUBLE_EQ(575_uM, 0.575);
+  EXPECT_DOUBLE_EQ(1.0_M, 1000.0);
+}
+
+TEST(Units, ScanRateLiteral) {
+  EXPECT_DOUBLE_EQ(20_mV_per_s, 0.020);
+}
+
+TEST(Units, SensitivityRoundTrip) {
+  const double s_paper = 27.7;  // uA/(mM cm^2), Table III glucose
+  const double s_si = sensitivity_from_uA_per_mM_cm2(s_paper);
+  EXPECT_NEAR(sensitivity_to_uA_per_mM_cm2(s_si), s_paper, 1e-12);
+  // 27.7 uA/(mM cm^2) on 0.23 mm^2 at 1 mM must give ~63.7 nA.
+  EXPECT_NEAR(current_to_nA(s_si * 0.23e-6 * 1.0), 63.7, 0.2);
+}
+
+TEST(Units, ReportingConversions) {
+  EXPECT_DOUBLE_EQ(concentration_to_uM(0.575), 575.0);
+  EXPECT_DOUBLE_EQ(current_to_uA(1e-5), 10.0);
+  EXPECT_DOUBLE_EQ(potential_to_mV(0.65), 650.0);
+  EXPECT_DOUBLE_EQ(area_to_mm2(0.23e-6), 0.23);
+}
+
+TEST(Constants, ThermalVoltageAt25C) {
+  EXPECT_NEAR(kThermalVoltage, 0.02569, 1e-4);
+  EXPECT_NEAR(kFOverRT, 38.92, 0.05);
+}
+
+TEST(Constants, Faraday) { EXPECT_NEAR(kFaraday, 96485.3, 0.1); }
+
+}  // namespace
+}  // namespace idp::util
