@@ -1,3 +1,7 @@
+/// \file adc.cpp
+/// SAR ADC model implementation: code quantisation, rail clipping and
+/// LSB sizing for the paper's 10 nA / 100 nA resolution budgets.
+
 #include "afe/adc.hpp"
 
 #include <algorithm>

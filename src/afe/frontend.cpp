@@ -1,3 +1,8 @@
+/// \file frontend.cpp
+/// Acquisition-chain assembly: wires the TIA + ADC sampling path together
+/// with the chopper / correlated-double-sampling flicker-noise
+/// countermeasures of Fig. 2.
+
 #include "afe/frontend.hpp"
 
 #include <algorithm>

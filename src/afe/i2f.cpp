@@ -1,3 +1,7 @@
+/// \file i2f.cpp
+/// Current-to-frequency converter implementation: charge-packet
+/// integration loop and pulse counting over a gate window.
+
 #include "afe/i2f.hpp"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+/// \file mux.cpp
+/// Analog multiplexer implementation: channel switching, settling
+/// transients and charge-injection artefacts when sharing one readout
+/// chain among several working electrodes.
+
 #include "afe/mux.hpp"
 
 #include <cmath>

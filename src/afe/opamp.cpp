@@ -1,3 +1,7 @@
+/// \file opamp.cpp
+/// Behavioral op-amp implementation: finite DC gain, single-pole
+/// bandwidth, slew limiting and output saturation.
+
 #include "afe/opamp.hpp"
 
 #include <algorithm>

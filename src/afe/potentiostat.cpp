@@ -1,3 +1,7 @@
+/// \file potentiostat.cpp
+/// Potentiostat control-loop solution: DC operating point and step
+/// response of the three-electrode loop against a cell impedance.
+
 #include "afe/potentiostat.hpp"
 
 #include <cmath>

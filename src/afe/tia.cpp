@@ -1,3 +1,7 @@
+/// \file tia.cpp
+/// Transimpedance amplifier implementation: gain/noise transfer of the
+/// current-to-voltage stage and the paper's two readout design classes.
+
 #include "afe/tia.hpp"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+/// \file waveform.cpp
+/// Waveform generator implementation: sampling of constant
+/// (chronoamperometry), triangular (cyclic voltammetry) and staircase
+/// potential programs.
+
 #include "afe/waveform.hpp"
 
 #include <cmath>

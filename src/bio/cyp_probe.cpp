@@ -1,3 +1,7 @@
+/// \file cyp_probe.cpp
+/// Cytochrome P450 probe implementation: Michaelis-Menten drug turnover
+/// mapped to the two-electron reduction current of Eq. 4.
+
 #include "bio/cyp_probe.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file direct_probe.cpp
+/// Direct-oxidation probe implementation: bare-electrode faradaic current
+/// of directly electroactive species via the redox-system solver.
+
 #include "bio/direct_probe.hpp"
 
 #include "util/error.hpp"

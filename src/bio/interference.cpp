@@ -1,3 +1,7 @@
+/// \file interference.cpp
+/// Interference-rule evaluation: pairwise cross-talk checks between
+/// co-located probes (Sections II-A / II-C).
+
 #include "bio/interference.hpp"
 
 #include "bio/library.hpp"

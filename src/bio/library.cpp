@@ -1,3 +1,7 @@
+/// \file library.cpp
+/// Probe data library implementation: Tables I, II and III of the paper
+/// encoded as records, plus calibrated probe factories.
+
 #include "bio/library.hpp"
 
 #include <algorithm>

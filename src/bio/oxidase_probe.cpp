@@ -1,3 +1,7 @@
+/// \file oxidase_probe.cpp
+/// Oxidase probe implementation: the Eq. 1-3 cascade from enzymatic H2O2
+/// generation through membrane transport to electrode oxidation current.
+
 #include "bio/oxidase_probe.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file probe.cpp
+/// Shared probe-abstraction helpers: technique naming and common
+/// bio-electrical probe behavior.
+
 #include "bio/probe.hpp"
 
 namespace idp::bio {

@@ -1,3 +1,7 @@
+/// \file cell.cpp
+/// Electrochemical cell implementation: electrode placement, chamber
+/// partitioning and geometry validation for the Section II layouts.
+
 #include "chem/cell.hpp"
 
 #include "util/error.hpp"

@@ -1,3 +1,7 @@
+/// \file diffusion.cpp
+/// Implicit finite-volume diffusion solver implementation:
+/// backward-Euler matrix assembly and stepping via the Thomas algorithm.
+
 #include "chem/diffusion.hpp"
 
 #include <algorithm>

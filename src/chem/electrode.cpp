@@ -1,3 +1,7 @@
+/// \file electrode.cpp
+/// Electrode implementation: geometry, material properties and
+/// nanostructuration enhancement factors (Section III).
+
 #include "chem/electrode.hpp"
 
 #include <cmath>

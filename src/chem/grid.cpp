@@ -1,3 +1,7 @@
+/// \file grid.cpp
+/// Spatial-grid construction: uniform, geometrically expanding and
+/// membrane+bulk composite 1-D grids for the diffusion solver.
+
 #include "chem/grid.hpp"
 
 #include "util/error.hpp"

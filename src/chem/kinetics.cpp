@@ -1,3 +1,7 @@
+/// \file kinetics.cpp
+/// Closed-form electrochemistry reference results: Cottrell transients,
+/// Randles-Sevcik peaks and related validation formulas.
+
 #include "chem/kinetics.hpp"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/// \file redox.cpp
+/// Redox couple kinetics implementation: Butler-Volmer rate law and
+/// Nernst equilibrium potentials (IUPAC sign convention).
+
 #include "chem/redox.hpp"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+/// \file redox_system.cpp
+/// Redox-system solver implementation: a diffusing redox couple coupled
+/// to Butler-Volmer electrode kinetics, time stepped for CV and
+/// chronoamperometry.
+
 #include "chem/redox_system.hpp"
 
 #include "util/constants.hpp"

@@ -1,3 +1,7 @@
+/// \file tridiag.cpp
+/// Thomas algorithm implementation: the tridiagonal inner kernel of the
+/// implicit diffusion step.
+
 #include "chem/tridiag.hpp"
 
 #include <cmath>

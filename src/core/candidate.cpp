@@ -1,3 +1,7 @@
+/// \file candidate.cpp
+/// Platform-candidate implementation: derived counts (chambers, working
+/// electrodes, readout chains) and human-readable naming.
+
 #include "core/candidate.hpp"
 
 #include <algorithm>

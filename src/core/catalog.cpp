@@ -1,3 +1,7 @@
+/// \file catalog.cpp
+/// Component catalog implementation: the standard parametrized component
+/// set and lookups by readout class and channel count.
+
 #include "core/catalog.hpp"
 
 #include "util/error.hpp"

@@ -1,3 +1,7 @@
+/// \file constraints.cpp
+/// Design-rule checker implementation: each rule encodes a feasibility
+/// statement the paper makes about platform candidates.
+
 #include "core/constraints.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file cost.cpp
+/// Cost model implementation: silicon area, power, panel measurement
+/// time and component count roll-ups for candidate ranking.
+
 #include "core/cost.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file elaborate.cpp
+/// Elaboration implementation: assemble a runnable virtual platform from
+/// a candidate and validate it against the panel by simulation.
+
 #include "core/elaborate.hpp"
 
 #include <algorithm>

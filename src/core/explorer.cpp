@@ -1,3 +1,7 @@
+/// \file explorer.cpp
+/// Design-space explorer implementation: candidate enumeration,
+/// design-rule filtering, cost estimation and Pareto-front extraction.
+
 #include "core/explorer.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file panel.cpp
+/// Panel spec implementation: per-target requirement ranges and the
+/// ready-made panels the paper discusses (e.g. the Fig. 4 scan).
+
 #include "core/panel.hpp"
 
 namespace idp::plat {

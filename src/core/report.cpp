@@ -1,3 +1,7 @@
+/// \file report.cpp
+/// Report rendering: console tables of exploration and validation
+/// results in the shape of the paper's tables.
+
 #include "core/report.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file calibration.cpp
+/// Calibration metrology implementation: calibration-curve fitting, LOD
+/// (Eq. 5), average sensitivity (Eq. 6) and max nonlinearity (Eq. 7).
+
 #include "dsp/calibration.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file peaks.cpp
+/// Peak detection implementation: baseline correction and
+/// baseline-corrected peak extraction from voltammetric sweeps.
+
 #include "dsp/peaks.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file response.cpp
+/// Time-response metrology implementation: t90, transient (dV/dt)max,
+/// recovery time and sample-throughput extraction (Fig. 3 quantities).
+
 #include "dsp/response.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file smoothing.cpp
+/// Smoothing filter implementation: moving average and Savitzky-Golay
+/// (quadratic) filters applied ahead of peak detection.
+
 #include "dsp/smoothing.hpp"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+/// \file engine.cpp
+/// Measurement engine implementation: co-simulates probe electrochemistry
+/// at millisecond steps with the Fig. 2 acquisition chain (potentiostat,
+/// mux, TIA + ADC, noise).
+
 #include "sim/engine.hpp"
 
 #include <algorithm>

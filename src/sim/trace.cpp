@@ -1,3 +1,7 @@
+/// \file trace.cpp
+/// Trace container implementation: append, interpolation and windowed
+/// statistics over amperometric traces and voltammograms.
+
 #include "sim/trace.hpp"
 
 #include "util/csv.hpp"

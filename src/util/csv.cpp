@@ -1,3 +1,6 @@
+/// \file csv.cpp
+/// CSV writer implementation for dumping traces and tables to disk.
+
 #include "util/csv.hpp"
 
 #include <limits>

@@ -1,3 +1,6 @@
+/// \file interp.cpp
+/// Piecewise-linear interpolation implementation over sorted abscissae.
+
 #include "util/interp.hpp"
 
 #include <algorithm>

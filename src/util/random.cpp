@@ -1,3 +1,7 @@
+/// \file random.cpp
+/// Deterministic noise-source implementations: white, pink (Voss-McCartney
+/// style) and Ornstein-Uhlenbeck drift processes with explicit seeds.
+
 #include "util/random.hpp"
 
 #include <bit>

@@ -1,3 +1,7 @@
+/// \file stats.cpp
+/// Statistics implementation: descriptive moments and least-squares line
+/// fitting for the calibration/metrology pipeline.
+
 #include "util/stats.hpp"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/// \file table.cpp
+/// Fixed-width console table printer implementation used by the bench
+/// harnesses.
+
 #include "util/table.hpp"
 
 #include <iomanip>

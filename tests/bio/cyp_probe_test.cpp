@@ -125,10 +125,14 @@ TEST(CypProbe, TwoTargetsGiveTwoSeparatedWaves) {
   probe.set_bulk_concentration("benzphetamine", 1.0);
   probe.set_bulk_concentration("aminopyrine", 6.0);
   auto [es, is] = sweep(probe, 0.1, -0.8);
+  const double baseline = min_current_near(es, is, 0.0, 0.03);
   const double i_benz = min_current_near(es, is, -0.25, 0.04);
   const double i_between = min_current_near(es, is, -0.325, 0.02);
   const double i_amino = min_current_near(es, is, -0.40, 0.04);
-  // Both waves deeper than the saddle between them.
+  // The benzphetamine wave rises out of the flat baseline; the (much
+  // stronger, 6 mM) aminopyrine wave is deeper still than the region
+  // between the two formal potentials.
+  EXPECT_LT(i_benz, baseline - 0.2e-9);
   EXPECT_LT(i_amino, i_between);
 }
 

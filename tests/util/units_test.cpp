@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "util/constants.hpp"
+#include "util/error.hpp"
 
 namespace idp::util {
 namespace {
@@ -65,6 +68,64 @@ TEST(Constants, ThermalVoltageAt25C) {
 }
 
 TEST(Constants, Faraday) { EXPECT_NEAR(kFaraday, 96485.3, 0.1); }
+
+TEST(Units, FrequencyAndRemainingLiterals) {
+  EXPECT_DOUBLE_EQ(10_Hz, 10.0);
+  EXPECT_DOUBLE_EQ(1.5_kHz, 1500.0);
+  EXPECT_DOUBLE_EQ(2_MHz, 2e6);
+  EXPECT_DOUBLE_EQ(0.5_A, 0.5);
+  EXPECT_DOUBLE_EQ(2.0_mA, 0.002);
+  EXPECT_DOUBLE_EQ(50_us, 5e-5);
+  EXPECT_DOUBLE_EQ(1.0_m, 1.0);
+  EXPECT_DOUBLE_EQ(3.0_mm, 0.003);
+  EXPECT_DOUBLE_EQ(100.0_nm, 1e-7);
+}
+
+TEST(Units, RemainingReportingConversions) {
+  EXPECT_DOUBLE_EQ(concentration_to_mM(0.575), 0.575);
+  EXPECT_DOUBLE_EQ(area_to_cm2(1e-4), 1.0);
+  // from/to round trips are exact powers of ten.
+  EXPECT_DOUBLE_EQ(sensitivity_from_uA_per_mM_cm2(1.0), 1e-2);
+  EXPECT_DOUBLE_EQ(sensitivity_to_uA_per_mM_cm2(1e-2), 1.0);
+}
+
+TEST(Error, RequireThrowsInvalidArgumentWithContext) {
+  EXPECT_NO_THROW(require(true, "never raised"));
+  EXPECT_THROW(require(false, "bad argument"), std::invalid_argument);
+  try {
+    require(1 < 0, "scan rate must be positive");
+    FAIL() << "require(false, ...) must throw";
+  } catch (const std::invalid_argument& e) {
+    // Message carries both the enclosing function name and the reason.
+    EXPECT_NE(std::string(e.what()).find("scan rate must be positive"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("TestBody"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsureThrowsIdpErrorWithContext) {
+  EXPECT_NO_THROW(ensure(true, "never raised"));
+  EXPECT_THROW(ensure(false, "invariant broken"), Error);
+  try {
+    ensure(false, "solver diverged");
+    FAIL() << "ensure(false, ...) must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("solver diverged"), std::string::npos);
+  }
+}
+
+TEST(Error, ErrorIsARuntimeErrorButNotAnInvalidArgument) {
+  // Callers distinguish caller mistakes (invalid_argument) from violated
+  // internal invariants (Error); the two hierarchies must stay disjoint.
+  EXPECT_THROW(ensure(false, "x"), std::runtime_error);
+  try {
+    ensure(false, "x");
+  } catch (const std::invalid_argument&) {
+    FAIL() << "Error must not derive from std::invalid_argument";
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
 
 }  // namespace
 }  // namespace idp::util
