@@ -1,0 +1,202 @@
+/// \file perf_hot_path.cpp
+/// Hot-path performance trajectory bench: times the tridiagonal solver
+/// kernel, a single diffusion-field step, single-channel CA/CV runs, the
+/// multiplexed panel scan at several parallelism levels and a full
+/// design-space exploration. Writes google-benchmark JSON to
+/// BENCH_hot_path.json (override with --benchmark_out=...) so successive
+/// PRs accumulate a measurable performance history.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "afe/frontend.hpp"
+#include "afe/mux.hpp"
+#include "bench_common.hpp"
+#include "bio/library.hpp"
+#include "chem/diffusion.hpp"
+#include "chem/grid.hpp"
+#include "chem/tridiag.hpp"
+#include "core/explorer.hpp"
+#include "core/panel.hpp"
+#include "sim/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace idp;
+
+// ---------------------------------------------------------------- kernels
+
+void BM_TridiagSolveAlloc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> lower(n, -1.0), diag(n, 4.0), upper(n, -1.0), rhs(n, 1.0);
+  lower[0] = upper[n - 1] = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chem::solve_tridiagonal(lower, diag, upper, rhs));
+  }
+}
+BENCHMARK(BM_TridiagSolveAlloc)->Arg(64)->Arg(301);
+
+void BM_TridiagSolveInplace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> lower(n, -1.0), diag(n, 4.0), upper(n, -1.0), rhs(n, 1.0);
+  std::vector<double> scratch(n), out(n);
+  lower[0] = upper[n - 1] = 0.0;
+  for (auto _ : state) {
+    chem::solve_tridiagonal_inplace(lower, diag, upper, rhs, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_TridiagSolveInplace)->Arg(64)->Arg(301);
+
+void BM_DiffusionFieldStep(benchmark::State& state) {
+  chem::Grid1D grid = chem::Grid1D::membrane_bulk(50e-6, 26, 1.18, 60e-6);
+  chem::DiffusionField field(grid, 1.0e-9, 1.0);
+  field.set_bulk_concentration(1.0);
+  field.set_electrode_rate(1.0e-5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field.step(5.0e-3));
+  }
+}
+BENCHMARK(BM_DiffusionFieldStep);
+
+// ------------------------------------------------------- single channels
+
+void BM_SingleChannelCA(benchmark::State& state) {
+  static bio::ProbePtr probe = [] {
+    auto p = bio::make_probe(bio::TargetId::kGlucose);
+    p->set_bulk_concentration("glucose", 2.0);
+    return p;
+  }();
+  sim::MeasurementEngine engine{sim::EngineConfig{}};
+  afe::AnalogFrontEnd fe = bench::lab_frontend();
+  sim::ChronoamperometryProtocol p;
+  p.potential = 0.55;
+  p.duration = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_chronoamperometry(
+        sim::Channel{probe.get(), nullptr}, p, fe));
+  }
+}
+BENCHMARK(BM_SingleChannelCA);
+
+void BM_SingleChannelCV(benchmark::State& state) {
+  static bio::ProbePtr probe = [] {
+    auto p = bio::make_probe(bio::TargetId::kCholesterol);
+    p->set_bulk_concentration("cholesterol", 0.045);
+    return p;
+  }();
+  sim::MeasurementEngine engine{sim::EngineConfig{}};
+  afe::AnalogFrontEnd fe = bench::lab_frontend();
+  sim::CyclicVoltammetryProtocol p;
+  p.e_start = 0.1;
+  p.e_vertex = -0.65;
+  p.scan_rate = 0.02;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_cyclic_voltammetry(
+        sim::Channel{probe.get(), nullptr}, p, fe));
+  }
+}
+BENCHMARK(BM_SingleChannelCV);
+
+// ----------------------------------------------------------- panel scan
+
+/// The Fig. 4 style panel: three oxidase CA channels + two CYP CV channels.
+/// Probes are calibrated once and shared across iterations (every run
+/// resets probe state before stepping).
+struct PanelProbes {
+  std::vector<bio::ProbePtr> probes;
+  PanelProbes() {
+    probes.push_back(bio::make_probe(bio::TargetId::kGlucose));
+    probes.push_back(bio::make_probe(bio::TargetId::kLactate));
+    probes.push_back(bio::make_probe(bio::TargetId::kGlutamate));
+    probes.push_back(bio::make_probe(bio::TargetId::kCholesterol));
+    probes.push_back(bio::make_probe(bio::TargetId::kDopamine));
+    probes[0]->set_bulk_concentration("glucose", 2.0);
+    probes[1]->set_bulk_concentration("lactate", 1.0);
+    probes[2]->set_bulk_concentration("glutamate", 0.1);
+    probes[3]->set_bulk_concentration("cholesterol", 0.045);
+    probes[4]->set_bulk_concentration("dopamine", 0.001);
+  }
+};
+
+void BM_PanelScan(benchmark::State& state) {
+  static PanelProbes fixture;
+  const auto parallelism = static_cast<std::size_t>(state.range(0));
+
+  std::vector<sim::Channel> channels;
+  std::vector<sim::ChannelProtocol> protocols;
+  std::vector<std::unique_ptr<afe::AnalogFrontEnd>> fes;
+  std::vector<afe::AnalogFrontEnd*> fe_ptrs;
+  sim::ChronoamperometryProtocol ca;
+  ca.potential = 0.55;
+  ca.duration = 20.0;
+  sim::CyclicVoltammetryProtocol cv;
+  cv.e_start = 0.1;
+  cv.e_vertex = -0.65;
+  cv.scan_rate = 0.02;
+  for (std::size_t i = 0; i < fixture.probes.size(); ++i) {
+    channels.push_back(sim::Channel{fixture.probes[i].get(), nullptr});
+    if (fixture.probes[i]->technique() == bio::Technique::kChronoamperometry) {
+      protocols.emplace_back(ca);
+    } else {
+      protocols.emplace_back(cv);
+    }
+    fes.push_back(std::make_unique<afe::AnalogFrontEnd>(
+        bench::lab_frontend(10 + i).config()));
+    fe_ptrs.push_back(fes.back().get());
+  }
+
+  sim::MeasurementEngine engine{sim::EngineConfig{}};
+  for (auto _ : state) {
+    afe::AnalogMux mux(afe::MuxSpec{});
+    benchmark::DoNotOptimize(
+        engine.run_panel(channels, protocols, fe_ptrs, mux, parallelism));
+  }
+}
+BENCHMARK(BM_PanelScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->ArgName("parallelism")
+    ->UseRealTime();  // wall-clock is the honest metric for parallel runs
+
+// ------------------------------------------------------------- explorer
+
+void BM_ExplorerEvaluate(benchmark::State& state) {
+  const plat::PanelSpec panel = plat::fig4_panel();
+  const plat::ComponentCatalog catalog = plat::ComponentCatalog::standard();
+  plat::ExplorerOptions options;
+  options.parallelism = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plat::explore(panel, catalog, options));
+  }
+}
+BENCHMARK(BM_ExplorerEvaluate)->Arg(1)->Arg(0)->ArgName("parallelism")->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default the JSON trajectory output unless the caller overrides it; the
+  // CI perf job uploads BENCH_hot_path.json as the measurement baseline.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_hot_path.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  std::printf("hardware threads: %zu\n",
+              idp::util::ThreadPool::default_parallelism());
+  return idp::bench::run_benchmarks(n, args.data());
+}

@@ -33,7 +33,11 @@ bool AnalogMux::settled(double now) const {
 }
 
 double AnalogMux::artifact_current(double now) const {
-  const double dt = now - last_switch_;
+  return artifact_current(now, last_switch_);
+}
+
+double AnalogMux::artifact_current(double now, double switch_time) const {
+  const double dt = now - switch_time;
   if (dt < 0.0) return 0.0;
   // Exponentially decaying charge-injection spike: integral equals the
   // injected charge.

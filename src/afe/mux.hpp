@@ -35,6 +35,16 @@ class AnalogMux {
   /// Spurious current injected by the switch transition [A] at time `now`.
   double artifact_current(double now) const;
 
+  /// Same artifact model, evaluated against an explicit switch instant
+  /// instead of the mux's internal state. This is what the parallel panel
+  /// scan uses: channel start times are scheduled up front, so every channel
+  /// can evaluate its own artifact concurrently on the shared (const) mux.
+  double artifact_current(double now, double switch_time) const;
+
+  /// Instant of the most recent actual channel change (-inf-like before the
+  /// first switch, matching a mux that has been settled forever).
+  double last_switch() const { return last_switch_; }
+
   /// Current leaking in from one off channel carrying i_off [A].
   double crosstalk_current(double i_off) const { return spec_.crosstalk * i_off; }
 

@@ -79,6 +79,10 @@ double CypProbe::cv_response(std::size_t k, double c) {
   const double rate = 0.020;  // the cell-faithful 20 mV/s
   const double dt = 0.020;    // 0.4 mV per step
   std::vector<double> es, is;
+  const auto n_sweep =
+      static_cast<std::size_t>((e_start - e_stop) / (rate * dt)) + 2;
+  es.reserve(n_sweep);
+  is.reserve(n_sweep);
   double e = e_start;
   while (e > e_stop) {
     is.push_back(step(e, dt) - params_.background_current);

@@ -14,6 +14,15 @@ namespace idp::chem {
 DiffusionField::DiffusionField(Grid1D grid, std::vector<double> diffusivity,
                                double c_init)
     : grid_(std::move(grid)), d_(std::move(diffusivity)) {
+  init(c_init);
+}
+
+DiffusionField::DiffusionField(Grid1D grid, double diffusivity, double c_init)
+    : grid_(std::move(grid)), d_(grid_.size(), diffusivity) {
+  init(c_init);
+}
+
+void DiffusionField::init(double c_init) {
   util::require(d_.size() == grid_.size(), "diffusivity size mismatch");
   for (double d : d_) util::require(d > 0.0, "diffusivity must be positive");
   util::require(c_init >= 0.0, "negative concentration");
@@ -29,11 +38,8 @@ DiffusionField::DiffusionField(Grid1D grid, std::vector<double> diffusivity,
   diag_.resize(n);
   upper_.resize(n);
   rhs_.resize(n);
+  scratch_.resize(n);
 }
-
-DiffusionField::DiffusionField(Grid1D grid, double diffusivity, double c_init)
-    : DiffusionField(grid, std::vector<double>(grid.size(), diffusivity),
-                     c_init) {}
 
 void DiffusionField::set_bulk_concentration(double c) {
   util::require(c >= 0.0, "negative concentration");
@@ -101,7 +107,7 @@ double DiffusionField::step(double dt) {
     rhs_[n - 1] = c_[n - 1] + dt * source_[n - 1];
   }
 
-  c_ = solve_tridiagonal(lower_, diag_, upper_, rhs_);
+  solve_tridiagonal_inplace(lower_, diag_, upper_, rhs_, scratch_, c_);
   // Implicit diffusion keeps concentrations non-negative for non-negative
   // inputs, but explicit sink sources can undershoot; clamp defensively.
   for (double& c : c_) c = std::max(c, 0.0);

@@ -70,6 +70,10 @@ class DiffusionField {
   double total_per_area() const;
 
  private:
+  /// Shared validation + buffer setup of both constructors (grid_ and d_
+  /// must already be initialised).
+  void init(double c_init);
+
   Grid1D grid_;
   std::vector<double> d_;        ///< per-node diffusivity
   std::vector<double> d_face_;   ///< harmonic-mean interface diffusivity
@@ -82,8 +86,9 @@ class DiffusionField {
   double k_het_ = 0.0;
   double injection_ = 0.0;
 
-  // scratch buffers for the tridiagonal assembly
-  std::vector<double> lower_, diag_, upper_, rhs_;
+  // persistent buffers for the tridiagonal assembly and solve; step() reuses
+  // them so steady-state stepping performs zero heap allocations
+  std::vector<double> lower_, diag_, upper_, rhs_, scratch_;
 };
 
 /// Build a per-node diffusivity vector for a membrane+bulk grid: nodes inside

@@ -5,36 +5,70 @@
 #include "chem/tridiag.hpp"
 
 #include <cmath>
+#include <functional>
 
 #include "util/error.hpp"
 
 namespace idp::chem {
 
-std::vector<double> solve_tridiagonal(std::span<const double> lower,
-                                      std::span<const double> diag,
-                                      std::span<const double> upper,
-                                      std::span<const double> rhs) {
+namespace {
+
+/// True when the two spans share any element (partial overlaps included).
+/// std::less gives the total pointer order the raw < lacks across objects.
+bool overlaps(std::span<const double> a, std::span<const double> b) {
+  const std::less<const double*> lt;
+  return lt(a.data(), b.data() + b.size()) && lt(b.data(), a.data() + a.size());
+}
+
+}  // namespace
+
+void solve_tridiagonal_inplace(std::span<const double> lower,
+                               std::span<const double> diag,
+                               std::span<const double> upper,
+                               std::span<const double> rhs,
+                               std::span<double> scratch,
+                               std::span<double> out) {
   const std::size_t n = diag.size();
   util::require(n >= 1, "empty system");
   util::require(lower.size() == n && upper.size() == n && rhs.size() == n,
                 "band size mismatch");
+  util::require(scratch.size() == n && out.size() == n,
+                "scratch/out size mismatch");
+  util::require(!overlaps(scratch, out) && !overlaps(scratch, rhs) &&
+                    !overlaps(scratch, lower) && !overlaps(scratch, diag) &&
+                    !overlaps(scratch, upper),
+                "scratch must not alias any other argument");
+  util::require(!overlaps(out, lower) && !overlaps(out, diag) &&
+                    !overlaps(out, upper),
+                "out must not alias a band");
+  util::require(rhs.data() == out.data() || !overlaps(out, rhs),
+                "rhs/out must alias exactly or not at all");
 
-  std::vector<double> c_prime(n), d_prime(n);
+  // Forward elimination: scratch holds the modified upper band (c'),
+  // out holds the modified right-hand side (d'). rhs[i] is consumed before
+  // out[i] is written, so rhs == out aliasing is safe.
   double denom = diag[0];
   util::ensure(std::fabs(denom) > 0.0, "singular tridiagonal system");
-  c_prime[0] = upper[0] / denom;
-  d_prime[0] = rhs[0] / denom;
+  scratch[0] = upper[0] / denom;
+  out[0] = rhs[0] / denom;
   for (std::size_t i = 1; i < n; ++i) {
-    denom = diag[i] - lower[i] * c_prime[i - 1];
+    denom = diag[i] - lower[i] * scratch[i - 1];
     util::ensure(std::fabs(denom) > 0.0, "singular tridiagonal system");
-    c_prime[i] = upper[i] / denom;
-    d_prime[i] = (rhs[i] - lower[i] * d_prime[i - 1]) / denom;
+    scratch[i] = upper[i] / denom;
+    out[i] = (rhs[i] - lower[i] * out[i - 1]) / denom;
   }
-  std::vector<double> x(n);
-  x[n - 1] = d_prime[n - 1];
+  // Backward substitution in place.
   for (std::size_t i = n - 1; i-- > 0;) {
-    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+    out[i] -= scratch[i] * out[i + 1];
   }
+}
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs) {
+  std::vector<double> scratch(diag.size()), x(diag.size());
+  solve_tridiagonal_inplace(lower, diag, upper, rhs, scratch, x);
   return x;
 }
 

@@ -10,9 +10,27 @@ namespace idp::chem {
 
 /// Solve the tridiagonal system
 ///   lower[i]*x[i-1] + diag[i]*x[i] + upper[i]*x[i+1] = rhs[i]
-/// (lower[0] and upper[n-1] are ignored). All spans must have equal size
-/// >= 1; the matrix must be non-singular (diagonally dominant in our use).
-/// Returns the solution vector.
+/// (lower[0] and upper[n-1] are ignored) without allocating: the forward
+/// elimination stores the modified upper band in `scratch` and the modified
+/// right-hand side directly in `out`, which the backward pass then overwrites
+/// with the solution. `rhs` and `out` may alias the same storage (each rhs
+/// element is read before its slot is written); `scratch` must not alias any
+/// other argument and `out` must not alias a band (both enforced). All spans
+/// must have equal size >= 1; the matrix must be non-singular (diagonally
+/// dominant in our use).
+///
+/// This is the zero-allocation kernel the simulation hot path runs once per
+/// species per time step; DiffusionField owns persistent scratch/output
+/// buffers so steady-state stepping never touches the heap.
+void solve_tridiagonal_inplace(std::span<const double> lower,
+                               std::span<const double> diag,
+                               std::span<const double> upper,
+                               std::span<const double> rhs,
+                               std::span<double> scratch,
+                               std::span<double> out);
+
+/// Allocating convenience wrapper around solve_tridiagonal_inplace; returns
+/// the solution vector. Prefer the in-place form in per-step code.
 std::vector<double> solve_tridiagonal(std::span<const double> lower,
                                       std::span<const double> diag,
                                       std::span<const double> upper,

@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "core/constraints.hpp"
 #include "dsp/peaks.hpp"
+#include "sim/batch.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -59,22 +61,27 @@ ElaboratedPlatform::ElaboratedPlatform(PlatformCandidate candidate,
       catalog.mux_for(std::max<std::size_t>(candidate_.electrodes.size(), 1))
           .model;
 
-  for (std::size_t i = 0; i < candidate_.electrodes.size(); ++i) {
+  // Probe construction runs the expensive secant calibration sweeps; each
+  // electrode's probe is independent, so build them concurrently into
+  // pre-assigned slots (bitwise identical to sequential construction).
+  probes_.resize(candidate_.electrodes.size());
+  const sim::BatchRunner builder(options_.parallelism);
+  builder.run(candidate_.electrodes.size(), [&](std::size_t i) {
     const WorkingElectrodePlan& plan = candidate_.electrodes[i];
     util::require(!plan.targets.empty(), "electrode plan without targets");
-
-    // --- probe -----------------------------------------------------------
     const double gain =
         plan_sensitivity_gain(plan, plan.targets.front(), catalog);
     if (plan.targets.size() > 1 ||
         bio::spec(plan.targets.front()).family ==
             bio::ProbeFamily::kCytochromeP450) {
-      probes_.push_back(
-          bio::make_cyp_probe(plan.targets, pad_area_m2_, gain));
+      probes_[i] = bio::make_cyp_probe(plan.targets, pad_area_m2_, gain);
     } else {
-      probes_.push_back(
-          bio::make_probe(plan.targets.front(), pad_area_m2_, gain));
+      probes_[i] = bio::make_probe(plan.targets.front(), pad_area_m2_, gain);
     }
+  });
+
+  for (std::size_t i = 0; i < candidate_.electrodes.size(); ++i) {
+    const WorkingElectrodePlan& plan = candidate_.electrodes[i];
 
     // --- physical electrode ------------------------------------------------
     const chem::Electrode electrode(
@@ -140,8 +147,22 @@ double ElaboratedPlatform::response_of(bio::TargetId target,
                                     0.05);
 }
 
+std::size_t ElaboratedPlatform::calibration_run_count(
+    std::size_t n_points) const {
+  return static_cast<std::size_t>(std::max(options_.blank_measurements, 0)) +
+         n_points;
+}
+
 dsp::CalibrationCurve ElaboratedPlatform::calibrate(
     bio::TargetId target, std::span<const double> concentrations) {
+  return calibrate_seeded(
+      target, concentrations,
+      engine_.reserve_run_ids(calibration_run_count(concentrations.size())));
+}
+
+dsp::CalibrationCurve ElaboratedPlatform::calibrate_seeded(
+    bio::TargetId target, std::span<const double> concentrations,
+    std::uint64_t run_id_base) {
   const std::size_t e = electrode_of(target);
   bio::Probe& probe = *probes_[e];
   ElectrodeRuntime& rt = runtimes_[e];
@@ -150,17 +171,19 @@ dsp::CalibrationCurve ElaboratedPlatform::calibrate(
   // Zero every co-target so calibrations are independent.
   for (const auto& t : probe.targets()) probe.set_bulk_concentration(t, 0.0);
 
+  std::uint64_t next_id = run_id_base;
   auto run_once = [&]() -> double {
+    const std::uint64_t run_id = ++next_id;
     const sim::Channel channel{&probe, &rt.electrode};
     if (std::holds_alternative<sim::ChronoamperometryProtocol>(rt.protocol)) {
       const auto& p = std::get<sim::ChronoamperometryProtocol>(rt.protocol);
-      const sim::Trace trace =
-          engine_.run_chronoamperometry(channel, p, rt.frontend);
+      const sim::Trace trace = engine_.run_chronoamperometry_seeded(
+          run_id, channel, p, rt.frontend);
       return response_of(target, e, trace, sim::CvCurve{});
     }
     const auto& p = std::get<sim::CyclicVoltammetryProtocol>(rt.protocol);
-    const sim::CvCurve curve =
-        engine_.run_cyclic_voltammetry(channel, p, rt.frontend);
+    const sim::CvCurve curve = engine_.run_cyclic_voltammetry_seeded(
+        run_id, channel, p, rt.frontend);
     return response_of(target, e, sim::Trace{}, curve);
   };
 
@@ -179,6 +202,14 @@ dsp::CalibrationCurve ElaboratedPlatform::calibrate(
 
 TargetValidation ElaboratedPlatform::validate_target(
     const TargetRequirement& requirement) {
+  const std::size_t n_points =
+      static_cast<std::size_t>(std::max(options_.calibration_points, 3));
+  return validate_target_seeded(
+      requirement, engine_.reserve_run_ids(calibration_run_count(n_points)));
+}
+
+TargetValidation ElaboratedPlatform::validate_target_seeded(
+    const TargetRequirement& requirement, std::uint64_t run_id_base) {
   TargetValidation v;
   v.target = requirement.target;
   v.electrode = electrode_of(requirement.target);
@@ -194,7 +225,8 @@ TargetValidation ElaboratedPlatform::validate_target(
     concentrations.push_back(lo + f * (hi - lo));  // mM == mol/m^3
   }
 
-  dsp::CalibrationCurve curve = calibrate(requirement.target, concentrations);
+  dsp::CalibrationCurve curve =
+      calibrate_seeded(requirement.target, concentrations, run_id_base);
   // Noise-aware linearity tolerance: with sigma_b of blank noise on every
   // point, residuals below ~2.5 sigma are indistinguishable from noise.
   double tolerance = 0.07;
@@ -227,10 +259,36 @@ TargetValidation ElaboratedPlatform::validate_target(
 }
 
 ValidationReport ElaboratedPlatform::validate_panel(const PanelSpec& panel) {
+  const std::size_t n = panel.targets.size();
   ValidationReport report;
-  for (const auto& r : panel.targets) {
-    report.targets.push_back(validate_target(r));
+  report.targets.resize(n);
+
+  // Reserve run-id blocks in panel order -- exactly the ids the sequential
+  // loop would consume -- then group targets by electrode: runs on one
+  // electrode share its probe and front-end sample stream and stay
+  // sequential in panel order, while distinct electrodes are independent
+  // and validate concurrently.
+  const std::size_t n_points =
+      static_cast<std::size_t>(std::max(options_.calibration_points, 3));
+  std::vector<std::uint64_t> bases(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bases[i] = engine_.reserve_run_ids(calibration_run_count(n_points));
   }
+  std::vector<std::vector<std::size_t>> groups;
+  std::map<std::size_t, std::size_t> group_of_electrode;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t e = electrode_of(panel.targets[i].target);
+    const auto [it, inserted] = group_of_electrode.try_emplace(e, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+
+  const sim::BatchRunner runner(options_.parallelism);
+  runner.run(groups.size(), [&](std::size_t g) {
+    for (std::size_t i : groups[g]) {
+      report.targets[i] = validate_target_seeded(panel.targets[i], bases[i]);
+    }
+  });
   return report;
 }
 
@@ -249,7 +307,8 @@ sim::PanelScanResult ElaboratedPlatform::scan(
     frontends.push_back(&runtimes_[i].frontend);
   }
   afe::AnalogMux mux(mux_model_);
-  return engine_.run_panel(channels, protocols, frontends, mux);
+  return engine_.run_panel(channels, protocols, frontends, mux,
+                           options_.parallelism);
 }
 
 }  // namespace idp::plat

@@ -48,6 +48,11 @@ struct ElaborationOptions {
   /// Use the lab-grade bench readout instead of the candidate's integrated
   /// channels (how the paper's Table III numbers were obtained).
   bool lab_grade_readout = false;
+  /// Worker threads for probe construction, panel validation and panel
+  /// scans: 0 = hardware concurrency, 1 = strictly sequential. Run ids and
+  /// per-front-end sample streams are scheduled up front, so results are
+  /// bitwise identical at every parallelism level.
+  std::size_t parallelism = 0;
 };
 
 /// A runnable virtual platform.
@@ -87,6 +92,20 @@ class ElaboratedPlatform {
 
   double response_of(bio::TargetId target, std::size_t electrode_index,
                      const sim::Trace& ca, const sim::CvCurve& cv) const;
+
+  /// Number of engine runs one calibration consumes (blanks + points).
+  std::size_t calibration_run_count(std::size_t n_points) const;
+
+  /// Calibration with a pre-reserved run-id block (ids base+1 .. base+n);
+  /// thread-safe across electrodes because each electrode owns its probe and
+  /// front end exclusively.
+  dsp::CalibrationCurve calibrate_seeded(bio::TargetId target,
+                                         std::span<const double> concentrations,
+                                         std::uint64_t run_id_base);
+
+  /// validate_target against a pre-reserved run-id block.
+  TargetValidation validate_target_seeded(const TargetRequirement& requirement,
+                                          std::uint64_t run_id_base);
 
   PlatformCandidate candidate_;
   ElaborationOptions options_;

@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 
+#include "sim/batch.hpp"
 #include "util/error.hpp"
 
 namespace idp::plat {
@@ -131,6 +132,7 @@ ExplorationResult explore(const PanelSpec& panel,
   const std::vector<bool> bool_space{false, true};
   ExplorationResult result;
   std::set<std::string> seen;
+  std::vector<PlatformCandidate> candidates;
 
   for (const auto& grouping : groupings) {
     for (StructureKind structure : {StructureKind::kSingleChamberSharedRef,
@@ -168,31 +170,7 @@ ExplorationResult explore(const PanelSpec& panel,
                 }
 
                 if (!seen.insert(candidate_key(cand)).second) continue;
-
-                CandidateEvaluation eval;
-                eval.violations = check_candidate(cand, panel, catalog);
-                eval.cost = estimate_cost(cand, panel, catalog);
-                if (eval.cost.area_mm2 > panel.max_area_mm2) {
-                  eval.violations.push_back(
-                      {ViolationKind::kAreaBudget,
-                       "area " + std::to_string(eval.cost.area_mm2) +
-                           " mm^2 over budget"});
-                }
-                if (eval.cost.power_uw > panel.max_power_uw) {
-                  eval.violations.push_back(
-                      {ViolationKind::kPowerBudget,
-                       "power " + std::to_string(eval.cost.power_uw) +
-                           " uW over budget"});
-                }
-                if (eval.cost.panel_time_s > panel.max_panel_time_s) {
-                  eval.violations.push_back(
-                      {ViolationKind::kTimeBudget,
-                       "panel time " +
-                           std::to_string(eval.cost.panel_time_s) +
-                           " s over budget"});
-                }
-                eval.candidate = std::move(cand);
-                result.evaluations.push_back(std::move(eval));
+                candidates.push_back(std::move(cand));
               }
             }
           }
@@ -200,6 +178,36 @@ ExplorationResult explore(const PanelSpec& panel,
       }
     }
   }
+
+  // Evaluate the de-duplicated candidates. Design-rule checks and cost
+  // estimation are pure functions of (candidate, panel, catalog), so each
+  // candidate evaluates into its pre-assigned slot, concurrently when the
+  // parallelism knob allows -- the result order stays the enumeration order.
+  result.evaluations.resize(candidates.size());
+  const sim::BatchRunner runner(options.parallelism);
+  runner.run(candidates.size(), [&](std::size_t i) {
+    CandidateEvaluation eval;
+    eval.violations = check_candidate(candidates[i], panel, catalog);
+    eval.cost = estimate_cost(candidates[i], panel, catalog);
+    if (eval.cost.area_mm2 > panel.max_area_mm2) {
+      eval.violations.push_back(
+          {ViolationKind::kAreaBudget,
+           "area " + std::to_string(eval.cost.area_mm2) + " mm^2 over budget"});
+    }
+    if (eval.cost.power_uw > panel.max_power_uw) {
+      eval.violations.push_back(
+          {ViolationKind::kPowerBudget,
+           "power " + std::to_string(eval.cost.power_uw) + " uW over budget"});
+    }
+    if (eval.cost.panel_time_s > panel.max_panel_time_s) {
+      eval.violations.push_back(
+          {ViolationKind::kTimeBudget,
+           "panel time " + std::to_string(eval.cost.panel_time_s) +
+               " s over budget"});
+    }
+    eval.candidate = std::move(candidates[i]);
+    result.evaluations[i] = std::move(eval);
+  });
 
   // Pareto front over (area, power, time) among feasible candidates.
   for (std::size_t i = 0; i < result.evaluations.size(); ++i) {

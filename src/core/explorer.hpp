@@ -26,6 +26,11 @@ struct ExplorerOptions {
   double weight_area = 1.0;
   double weight_power = 1.0;
   double weight_time = 1.0;
+  /// Worker threads for candidate evaluation: 0 = hardware concurrency,
+  /// 1 = sequential. Candidates are enumerated and de-duplicated first and
+  /// each is evaluated into its pre-assigned slot, so the result is
+  /// identical at every parallelism level.
+  std::size_t parallelism = 0;
 };
 
 /// One evaluated candidate.

@@ -1,0 +1,68 @@
+/// \file batch.cpp
+/// Batch runtime implementation: inline sequential execution at parallelism
+/// 1, thread-pool fan-out with deterministic exception selection otherwise.
+
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/thread_pool.hpp"
+
+namespace idp::sim {
+
+BatchRunner::BatchRunner(std::size_t parallelism)
+    : parallelism_(parallelism == 0 ? util::ThreadPool::default_parallelism()
+                                    : parallelism) {}
+
+void BatchRunner::run(std::size_t n,
+                      const std::function<void(std::size_t)>& job) const {
+  if (n == 0) return;
+  const std::size_t workers = std::min(parallelism_, n);
+  if (workers <= 1) {
+    // Legacy sequential path: strict index order on the calling thread.
+    // Failed jobs do not stop later ones, matching the parallel path's
+    // contract (all jobs execute, lowest-index exception wins).
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        job(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  // Dynamic dispatch over a shared index counter. Scheduling order is
+  // irrelevant to the results: jobs only write to their own slots.
+  // The pool is per-run on purpose: a process-wide shared pool would
+  // deadlock when a job itself runs a nested batch (the outer worker would
+  // wait_idle on workers it occupies), and spawning workers costs
+  // microseconds against measurement jobs that run for milliseconds to
+  // seconds.
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  util::ThreadPool pool(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          job(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace idp::sim

@@ -1,0 +1,47 @@
+/// \file batch.hpp
+/// Deterministic parallel batch runtime for independent simulation runs.
+///
+/// Panel scans, calibration sweeps and design-space evaluations are
+/// embarrassingly parallel: every job owns its probe/front-end state and all
+/// randomness is derived from an explicit run id assigned *before* execution
+/// (never from submission or completion order). BatchRunner therefore
+/// guarantees that results are bitwise identical at any parallelism level:
+/// parallelism 1 runs the jobs inline in index order (the legacy sequential
+/// path), parallelism N fans them out over a util::ThreadPool with each job
+/// writing to its pre-assigned output slot.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace idp::sim {
+
+/// Runs an indexed set of independent jobs, sequentially or in parallel.
+class BatchRunner {
+ public:
+  /// \param parallelism  worker count; 0 means hardware concurrency,
+  ///                     1 executes inline on the calling thread.
+  explicit BatchRunner(std::size_t parallelism = 0);
+
+  std::size_t parallelism() const { return parallelism_; }
+
+  /// Execute job(0) .. job(n-1). Jobs must be independent (no shared
+  /// mutable state). If any job throws, the exception of the lowest-index
+  /// failing job is rethrown after all jobs finished -- deterministic
+  /// regardless of scheduling.
+  void run(std::size_t n, const std::function<void(std::size_t)>& job) const;
+
+  /// Map convenience: collect job(i) results in index order.
+  template <typename R, typename F>
+  std::vector<R> map(std::size_t n, F&& job) const {
+    std::vector<R> out(n);
+    run(n, [&](std::size_t i) { out[i] = job(i); });
+    return out;
+  }
+
+ private:
+  std::size_t parallelism_;
+};
+
+}  // namespace idp::sim

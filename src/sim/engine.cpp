@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "afe/waveform.hpp"
+#include "sim/batch.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
 
@@ -52,26 +53,44 @@ MeasurementEngine::MeasurementEngine(EngineConfig config) : config_(config) {
 
 namespace {
 
+/// Sampling instants are derived from an integer sample counter so that the
+/// k-th sample lands at exactly (k+1)*period -- accumulating `next += period`
+/// drifts by one ulp per sample over long runs.
 struct SamplingClock {
   double period;
-  double next;
-  explicit SamplingClock(double rate) : period(1.0 / rate), next(1.0 / rate) {}
-  bool due(double t) const { return t >= next; }
-  void advance() { next += period; }
+  std::size_t samples = 0;
+  explicit SamplingClock(double rate) : period(1.0 / rate) {}
+  double next() const { return static_cast<double>(samples + 1) * period; }
+  bool due(double t) const { return t >= next(); }
+  void advance() { ++samples; }
 };
 
 }  // namespace
 
+std::uint64_t MeasurementEngine::reserve_run_ids(std::size_t n) {
+  const std::uint64_t base = run_counter_;
+  run_counter_ += n;
+  return base;
+}
+
 Trace MeasurementEngine::run_chronoamperometry(
     Channel channel, const ChronoamperometryProtocol& protocol,
     afe::AnalogFrontEnd& fe, std::span<const InjectionEvent> injections) {
+  return run_chronoamperometry_seeded(++run_counter_, channel, protocol, fe,
+                                      injections);
+}
+
+Trace MeasurementEngine::run_chronoamperometry_seeded(
+    std::uint64_t run_id, Channel channel,
+    const ChronoamperometryProtocol& protocol, afe::AnalogFrontEnd& fe,
+    std::span<const InjectionEvent> injections) const {
   util::require(channel.probe != nullptr, "channel has no probe");
   util::require(protocol.duration > 0.0 && protocol.sample_rate > 0.0,
                 "invalid protocol");
   bio::Probe& probe = *channel.probe;
   probe.reset();
 
-  NoiseState noise(config_, probe, ++run_counter_);
+  NoiseState noise(config_, probe, run_id);
   afe::Potentiostat pstat(config_.potentiostat);
 
   std::vector<InjectionEvent> pending(injections.begin(), injections.end());
@@ -80,6 +99,9 @@ Trace MeasurementEngine::run_chronoamperometry(
   std::size_t next_injection = 0;
 
   Trace trace;
+  trace.reserve(static_cast<std::size_t>(
+                    std::ceil(protocol.duration * protocol.sample_rate)) +
+                1);
   SamplingClock clock(protocol.sample_rate);
   const double dt = config_.chem_dt;
   double i_prev = 0.0;
@@ -108,7 +130,7 @@ Trace MeasurementEngine::run_chronoamperometry(
                              probe.blank_signal_fraction() *
                                  (i_far - probe.blank_current()) +
                              noise.blank_white() + drift;
-      trace.push(clock.next, fe.sample(i_sig, i_blank));
+      trace.push(clock.next(), fe.sample(i_sig, i_blank));
       clock.advance();
     }
   }
@@ -118,17 +140,26 @@ Trace MeasurementEngine::run_chronoamperometry(
 CvCurve MeasurementEngine::run_cyclic_voltammetry(
     Channel channel, const CyclicVoltammetryProtocol& protocol,
     afe::AnalogFrontEnd& fe) {
+  return run_cyclic_voltammetry_seeded(++run_counter_, channel, protocol, fe);
+}
+
+CvCurve MeasurementEngine::run_cyclic_voltammetry_seeded(
+    std::uint64_t run_id, Channel channel,
+    const CyclicVoltammetryProtocol& protocol, afe::AnalogFrontEnd& fe) const {
   util::require(channel.probe != nullptr, "channel has no probe");
   util::require(protocol.sample_rate > 0.0, "invalid protocol");
   bio::Probe& probe = *channel.probe;
   probe.reset();
 
-  NoiseState noise(config_, probe, ++run_counter_);
+  NoiseState noise(config_, probe, run_id);
   afe::Potentiostat pstat(config_.potentiostat);
   const afe::TriangleWaveform wf(protocol.e_start, protocol.e_vertex,
                                  protocol.scan_rate, protocol.cycles);
 
   CvCurve curve;
+  curve.reserve(
+      static_cast<std::size_t>(std::ceil(wf.duration() * protocol.sample_rate)) +
+      1);
   SamplingClock clock(protocol.sample_rate);
   const double dt = config_.chem_dt;
   double i_prev = 0.0;
@@ -152,72 +183,100 @@ CvCurve MeasurementEngine::run_cyclic_voltammetry(
                              probe.blank_signal_fraction() *
                                  (i_true - probe.blank_current()) +
                              noise.blank_white() + drift;
-      curve.push(clock.next, wf.value(clock.next), fe.sample(i_sig, i_blank));
+      const double t_sample = clock.next();
+      curve.push(t_sample, wf.value(t_sample), fe.sample(i_sig, i_blank));
       clock.advance();
     }
   }
   return curve;
 }
 
+PanelEntryResult MeasurementEngine::run_panel_entry(
+    std::uint64_t run_id, Channel channel, const ChannelProtocol& protocol,
+    afe::AnalogFrontEnd& fe, const afe::AnalogMux& mux,
+    const PanelSlot& slot) const {
+  PanelEntryResult entry;
+  entry.probe_name = channel.probe->name();
+  entry.technique = channel.probe->technique();
+  entry.start_time = slot.t_start;
+  entry.stop_time = slot.t_stop;
+
+  // The charge-injection artifact decays from the switch instant; fold it
+  // into the digitised samples while shifting the channel-local timeline
+  // onto the global one -- in place, no copy of the trace.
+  const double settle = mux.spec().settle_time;
+  if (std::holds_alternative<ChronoamperometryProtocol>(protocol)) {
+    const auto& p = std::get<ChronoamperometryProtocol>(protocol);
+    Trace raw = run_chronoamperometry_seeded(run_id, channel, p, fe);
+    std::vector<double>& time = raw.time_mut();
+    std::vector<double>& value = raw.value_mut();
+    for (std::size_t i = 0; i < time.size(); ++i) {
+      const double local_t = time[i];
+      value[i] += mux.artifact_current(slot.t_start + local_t - settle,
+                                       slot.t_switch);
+      time[i] = slot.t_start + local_t;
+    }
+    entry.amperogram = std::move(raw);
+  } else {
+    const auto& p = std::get<CyclicVoltammetryProtocol>(protocol);
+    CvCurve raw = run_cyclic_voltammetry_seeded(run_id, channel, p, fe);
+    std::vector<double>& time = raw.time_mut();
+    std::vector<double>& current = raw.current_mut();
+    for (std::size_t i = 0; i < time.size(); ++i) {
+      const double local_t = time[i];
+      current[i] += mux.artifact_current(slot.t_start + local_t - settle,
+                                         slot.t_switch);
+      time[i] = slot.t_start + local_t;
+    }
+    entry.voltammogram = std::move(raw);
+  }
+  return entry;
+}
+
 PanelScanResult MeasurementEngine::run_panel(
     std::span<const Channel> channels,
     std::span<const ChannelProtocol> protocols,
-    std::span<afe::AnalogFrontEnd* const> frontends, afe::AnalogMux& mux) {
+    std::span<afe::AnalogFrontEnd* const> frontends, afe::AnalogMux& mux,
+    std::size_t parallelism) {
   util::require(channels.size() == protocols.size(),
                 "one protocol per channel required");
   util::require(channels.size() == frontends.size(),
                 "one front end per channel required");
   util::require(channels.size() <= mux.spec().channels,
                 "more channels than the mux supports");
+  const std::size_t n = channels.size();
 
-  PanelScanResult result;
+  // Schedule the scan up front: mux switch instants, channel start/stop
+  // times and run ids are all fixed before any chemistry runs, so the
+  // channel measurements are independent jobs.
+  const std::uint64_t base_id = reserve_run_ids(n);
+  std::vector<PanelSlot> slots(n);
   double t_global = 0.0;
-  for (std::size_t c = 0; c < channels.size(); ++c) {
+  for (std::size_t c = 0; c < n; ++c) {
     mux.select(c, t_global);
+    slots[c].t_switch = mux.last_switch();
     t_global += mux.spec().settle_time;
-
-    PanelEntryResult entry;
-    entry.probe_name = channels[c].probe->name();
-    entry.technique = channels[c].probe->technique();
-    entry.start_time = t_global;
-
-    // The charge-injection artifact decays from the switch instant; add it
-    // to the digitised samples by re-running through a thin adapter: the
-    // simplest faithful model is to fold it into the blank-corrected signal
-    // after the run, so we temporarily wrap the front end sampling here.
-    afe::AnalogFrontEnd& fe = *frontends[c];
+    slots[c].t_start = t_global;
     if (std::holds_alternative<ChronoamperometryProtocol>(protocols[c])) {
-      const auto& p = std::get<ChronoamperometryProtocol>(protocols[c]);
-      Trace raw = run_chronoamperometry(channels[c], p, fe);
-      Trace shifted;
-      for (std::size_t i = 0; i < raw.size(); ++i) {
-        const double local_t = raw.time_at(i);
-        const double artifact = mux.artifact_current(t_global + local_t -
-                                                     mux.spec().settle_time);
-        shifted.push(t_global + local_t, raw.value_at(i) + artifact);
-      }
-      entry.amperogram = std::move(shifted);
-      t_global += p.duration;
+      t_global += std::get<ChronoamperometryProtocol>(protocols[c]).duration;
     } else {
       const auto& p = std::get<CyclicVoltammetryProtocol>(protocols[c]);
-      CvCurve raw = run_cyclic_voltammetry(channels[c], p, fe);
-      CvCurve shifted;
-      for (std::size_t i = 0; i < raw.size(); ++i) {
-        const double local_t = raw.time()[i];
-        const double artifact = mux.artifact_current(t_global + local_t -
-                                                     mux.spec().settle_time);
-        shifted.push(t_global + local_t, raw.potential()[i],
-                     raw.current()[i] + artifact);
-      }
-      entry.voltammogram = std::move(shifted);
       const afe::TriangleWaveform wf(p.e_start, p.e_vertex, p.scan_rate,
                                      p.cycles);
       t_global += wf.duration();
     }
-    entry.stop_time = t_global;
-    result.entries.push_back(std::move(entry));
+    slots[c].t_stop = t_global;
   }
+
+  PanelScanResult result;
+  result.entries.resize(n);
   result.total_time = t_global;
+  const BatchRunner runner(parallelism);
+  runner.run(n, [&](std::size_t c) {
+    result.entries[c] = run_panel_entry(base_id + c + 1, channels[c],
+                                        protocols[c], *frontends[c], mux,
+                                        slots[c]);
+  });
   return result;
 }
 

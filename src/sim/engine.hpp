@@ -65,6 +65,15 @@ struct EngineConfig {
 };
 
 /// Executes protocols against channels through an analog front end.
+///
+/// Concurrency model: every measurement derives its noise realisation from
+/// an explicit *run id* (seed = config.seed + run_id * stride). The
+/// convenience overloads draw ids from an internal counter -- the legacy
+/// sequential behaviour -- while the `_seeded` variants take the id from the
+/// caller and are `const`, so independent measurements (distinct probes and
+/// front ends) can execute concurrently on one engine. `reserve_run_ids`
+/// hands out a contiguous id block up front, which keeps batched results
+/// bitwise identical to sequential execution at any parallelism.
 class MeasurementEngine {
  public:
   explicit MeasurementEngine(EngineConfig config = EngineConfig{});
@@ -82,20 +91,52 @@ class MeasurementEngine {
                                  const CyclicVoltammetryProtocol& protocol,
                                  afe::AnalogFrontEnd& fe);
 
-  /// Sequentially activate every channel through a shared mux (the Fig. 4
-  /// five-electrode platform). Channels run their own protocol through their
-  /// own front end (oxidase- and CYP-grade readouts coexist on one
-  /// platform); mux settling time is inserted between channels and the
-  /// charge-injection artifact corrupts the first samples after each switch.
+  /// Explicit-run-id variants (thread-safe w.r.t. the engine: channel,
+  /// probe and front end still belong exclusively to the caller).
+  Trace run_chronoamperometry_seeded(
+      std::uint64_t run_id, Channel channel,
+      const ChronoamperometryProtocol& protocol, afe::AnalogFrontEnd& fe,
+      std::span<const InjectionEvent> injections = {}) const;
+  CvCurve run_cyclic_voltammetry_seeded(
+      std::uint64_t run_id, Channel channel,
+      const CyclicVoltammetryProtocol& protocol,
+      afe::AnalogFrontEnd& fe) const;
+
+  /// Reserve `n` consecutive run ids; returns the pre-reservation counter
+  /// value, so the reserved ids are base+1 .. base+n -- exactly what the
+  /// counter-based overloads would have consumed sequentially.
+  std::uint64_t reserve_run_ids(std::size_t n);
+
+  /// Activate every channel through a shared mux (the Fig. 4 five-electrode
+  /// platform). Channels run their own protocol through their own front end
+  /// (oxidase- and CYP-grade readouts coexist on one platform); mux settling
+  /// time is inserted between channels and the charge-injection artifact
+  /// corrupts the first samples after each switch. The scan timeline and all
+  /// run ids are scheduled up front, so with `parallelism` > 1 the channel
+  /// measurements execute concurrently with results bitwise identical to the
+  /// sequential scan (parallelism 0 means hardware concurrency).
   PanelScanResult run_panel(std::span<const Channel> channels,
                             std::span<const ChannelProtocol> protocols,
                             std::span<afe::AnalogFrontEnd* const> frontends,
-                            afe::AnalogMux& mux);
+                            afe::AnalogMux& mux, std::size_t parallelism = 1);
 
   const EngineConfig& config() const { return config_; }
 
  private:
   struct NoiseState;
+  /// Precomputed panel-scan timeline of one channel.
+  struct PanelSlot {
+    double t_switch = 0.0;  ///< mux switch instant seen by the artifact model
+    double t_start = 0.0;   ///< first chemistry step (after settling)
+    double t_stop = 0.0;    ///< end of the channel's protocol
+  };
+
+  PanelEntryResult run_panel_entry(std::uint64_t run_id, Channel channel,
+                                   const ChannelProtocol& protocol,
+                                   afe::AnalogFrontEnd& fe,
+                                   const afe::AnalogMux& mux,
+                                   const PanelSlot& slot) const;
+
   EngineConfig config_;
   std::uint64_t run_counter_ = 0;
 };

@@ -11,6 +11,11 @@
 
 namespace idp::sim {
 
+void Trace::reserve(std::size_t n) {
+  time_.reserve(n);
+  value_.reserve(n);
+}
+
 void Trace::push(double t, double value) {
   util::require(time_.empty() || t > time_.back(),
                 "trace times must be strictly increasing");
@@ -42,6 +47,12 @@ void Trace::to_csv(const std::string& path,
     const double row[] = {time_[i], value_[i]};
     csv.write_row(row);
   }
+}
+
+void CvCurve::reserve(std::size_t n) {
+  time_.reserve(n);
+  potential_.reserve(n);
+  current_.reserve(n);
 }
 
 void CvCurve::push(double t, double potential, double current) {

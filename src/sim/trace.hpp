@@ -17,8 +17,18 @@ class Trace {
   std::size_t size() const { return time_.size(); }
   bool empty() const { return time_.empty(); }
 
+  /// Pre-size the backing storage (the engine knows the sample count from
+  /// the protocol, so acquisition loops never reallocate).
+  void reserve(std::size_t n);
+
   const std::vector<double>& time() const { return time_; }
   const std::vector<double>& value() const { return value_; }
+
+  /// Mutable sample access for in-place post-processing (the panel scan
+  /// shifts local times onto the global timeline and adds the mux artifact
+  /// without copying). Callers must keep times strictly increasing.
+  std::vector<double>& time_mut() { return time_; }
+  std::vector<double>& value_mut() { return value_; }
 
   double time_at(std::size_t i) const { return time_.at(i); }
   double value_at(std::size_t i) const { return value_.at(i); }
@@ -47,9 +57,16 @@ class CvCurve {
   std::size_t size() const { return time_.size(); }
   bool empty() const { return time_.empty(); }
 
+  /// Pre-size the backing storage for a known sample count.
+  void reserve(std::size_t n);
+
   const std::vector<double>& time() const { return time_; }
   const std::vector<double>& potential() const { return potential_; }
   const std::vector<double>& current() const { return current_; }
+
+  /// Mutable sample access for in-place post-processing (see Trace).
+  std::vector<double>& time_mut() { return time_; }
+  std::vector<double>& current_mut() { return current_; }
 
   /// Indices [first, last) of sweep segment `k` (0 = first half-sweep of the
   /// first cycle, 1 = its return branch, ...). Segments are detected from

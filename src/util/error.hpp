@@ -17,6 +17,16 @@ class Error : public std::runtime_error {
 };
 
 /// Validate a caller-supplied argument; throws std::invalid_argument.
+/// The const char* overload keeps the passing path allocation-free (checks
+/// sit inside per-step solver loops); message formatting happens only on
+/// failure.
+inline void require(bool condition, const char* message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::invalid_argument(std::string(loc.function_name()) + ": " + message);
+  }
+}
+
 inline void require(bool condition, const std::string& message,
                     std::source_location loc = std::source_location::current()) {
   if (!condition) {
@@ -25,6 +35,13 @@ inline void require(bool condition, const std::string& message,
 }
 
 /// Validate an internal invariant; throws idp::util::Error.
+inline void ensure(bool condition, const char* message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(std::string(loc.function_name()) + ": " + message);
+  }
+}
+
 inline void ensure(bool condition, const std::string& message,
                    std::source_location loc = std::source_location::current()) {
   if (!condition) {

@@ -1,0 +1,57 @@
+/// \file thread_pool.hpp
+/// A small fixed-size worker pool for the parallel batch runtime.
+///
+/// The pool is deliberately minimal: FIFO task queue, no futures, no work
+/// stealing. Determinism of the simulation results never depends on the
+/// scheduling order -- callers (sim::BatchRunner) make every task write to a
+/// pre-assigned slot and derive all randomness from explicit run ids.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace idp::util {
+
+/// Fixed-size thread pool with a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// \param threads  worker count; 0 means default_parallelism().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw (wrap exceptions yourself);
+  /// an escaping exception terminates the process.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no task is running.
+  void wait_idle();
+
+  /// Hardware concurrency, never less than 1.
+  static std::size_t default_parallelism();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace idp::util

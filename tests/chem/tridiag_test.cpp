@@ -71,5 +71,71 @@ TEST_P(TridiagResidual, ResidualNearZero) {
 INSTANTIATE_TEST_SUITE_P(Sizes, TridiagResidual,
                          ::testing::Values(2, 3, 10, 64, 301));
 
+/// Build a random diagonally dominant system of size n.
+struct System {
+  std::vector<double> lower, diag, upper, rhs;
+};
+
+System random_system(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  System s;
+  s.lower.resize(n);
+  s.diag.resize(n);
+  s.upper.resize(n);
+  s.rhs.resize(n);
+  for (int i = 0; i < n; ++i) {
+    s.lower[i] = (i > 0) ? rng.uniform(-1.0, 0.0) : 0.0;
+    s.upper[i] = (i < n - 1) ? rng.uniform(-1.0, 0.0) : 0.0;
+    s.diag[i] = 2.5 + rng.uniform(0.0, 1.0);
+    s.rhs[i] = rng.uniform(-10.0, 10.0);
+  }
+  return s;
+}
+
+class TridiagInplace : public ::testing::TestWithParam<int> {};
+
+TEST_P(TridiagInplace, MatchesReferenceSolverBitwise) {
+  const int n = GetParam();
+  const System s = random_system(n, static_cast<std::uint64_t>(100 + n));
+  const auto reference = solve_tridiagonal(s.lower, s.diag, s.upper, s.rhs);
+  std::vector<double> scratch(n), out(n);
+  solve_tridiagonal_inplace(s.lower, s.diag, s.upper, s.rhs, scratch, out);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], reference[i]) << "node " << i;
+  }
+}
+
+TEST_P(TridiagInplace, AliasedRhsAndOutMatches) {
+  const int n = GetParam();
+  const System s = random_system(n, static_cast<std::uint64_t>(200 + n));
+  const auto reference = solve_tridiagonal(s.lower, s.diag, s.upper, s.rhs);
+  std::vector<double> scratch(n);
+  std::vector<double> inout = s.rhs;  // solve with rhs == out
+  solve_tridiagonal_inplace(s.lower, s.diag, s.upper, inout, scratch, inout);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(inout[i], reference[i]) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagInplace,
+                         ::testing::Values(1, 2, 3, 10, 64, 301));
+
+TEST(TridiagInplaceErrors, RejectsBadScratchOrAliasing) {
+  const std::vector<double> band{0.0, 0.0, 0.0};
+  const std::vector<double> diag{1.0, 1.0, 1.0};
+  std::vector<double> rhs{1.0, 2.0, 3.0};
+  std::vector<double> scratch(3), out(3), small(2);
+  EXPECT_THROW(
+      solve_tridiagonal_inplace(band, diag, band, rhs, small, out),
+      std::invalid_argument);
+  // scratch must not alias out or rhs
+  EXPECT_THROW(
+      solve_tridiagonal_inplace(band, diag, band, rhs, out, out),
+      std::invalid_argument);
+  EXPECT_THROW(
+      solve_tridiagonal_inplace(band, diag, band, rhs, rhs, out),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace idp::chem

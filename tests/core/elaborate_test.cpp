@@ -122,5 +122,42 @@ TEST(Elaborate, RejectsEmptyCandidate) {
   EXPECT_THROW(ElaboratedPlatform(empty, kCat), std::invalid_argument);
 }
 
+TEST(Elaborate, ValidatePanelIsIdenticalAtAnyParallelism) {
+  // Run ids and per-front-end sample streams are scheduled before any
+  // measurement runs, so concurrent validation must reproduce the
+  // sequential results exactly.
+  PanelSpec panel;
+  panel.targets.push_back(TargetRequirement{.target = bio::TargetId::kGlucose});
+  panel.targets.push_back(
+      TargetRequirement{.target = bio::TargetId::kCholesterol});
+
+  auto run = [&](std::size_t parallelism) {
+    ElaborationOptions o = quick_options();
+    o.ca_duration_s = 10.0;
+    o.calibration_points = 3;
+    o.blank_measurements = 2;
+    o.parallelism = parallelism;
+    ElaboratedPlatform platform(make_fig4_candidate(kCat), kCat, o);
+    return platform.validate_panel(panel);
+  };
+
+  const ValidationReport sequential = run(1);
+  const ValidationReport parallel = run(4);
+  ASSERT_EQ(sequential.targets.size(), parallel.targets.size());
+  for (std::size_t i = 0; i < sequential.targets.size(); ++i) {
+    const TargetValidation& s = sequential.targets[i];
+    const TargetValidation& p = parallel.targets[i];
+    EXPECT_EQ(s.target, p.target);
+    EXPECT_EQ(s.electrode, p.electrode);
+    EXPECT_DOUBLE_EQ(s.sensitivity_uA_mM_cm2, p.sensitivity_uA_mM_cm2);
+    EXPECT_DOUBLE_EQ(s.lod_uM, p.lod_uM);
+    EXPECT_DOUBLE_EQ(s.linear_lo_mM, p.linear_lo_mM);
+    EXPECT_DOUBLE_EQ(s.linear_hi_mM, p.linear_hi_mM);
+    EXPECT_DOUBLE_EQ(s.r_squared, p.r_squared);
+    EXPECT_EQ(s.meets_lod, p.meets_lod);
+    EXPECT_EQ(s.covers_range, p.covers_range);
+  }
+}
+
 }  // namespace
 }  // namespace idp::plat

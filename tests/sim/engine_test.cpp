@@ -45,6 +45,27 @@ TEST(Engine, ChronoamperometryProducesSampledTrace) {
   EXPECT_LE(t.time().back(), 20.0 + 0.2);
 }
 
+TEST(Engine, SamplingInstantsAreExactGridMultiples) {
+  // The sampling clock derives instants from an integer counter, so the
+  // k-th sample sits at exactly (k+1)*period even over long runs (a naive
+  // `next += period` accumulator drifts by an ulp per sample).
+  MeasurementEngine engine(quiet_config());
+  auto probe = bio::make_probe(bio::TargetId::kGlucose);
+  probe->set_bulk_concentration("glucose", 1.0);
+  afe::AnalogFrontEnd fe = lab_frontend();
+  ChronoamperometryProtocol p;
+  p.potential = 550_mV;
+  p.duration = 120.0;
+  p.sample_rate = 10.0;
+  const Trace t =
+      engine.run_chronoamperometry(Channel{probe.get(), nullptr}, p, fe);
+  ASSERT_GE(t.size(), 1000u);
+  const double period = 1.0 / p.sample_rate;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ASSERT_EQ(t.time_at(i), static_cast<double>(i + 1) * period);
+  }
+}
+
 TEST(Engine, CurrentRisesAfterInjection) {
   MeasurementEngine engine(quiet_config());
   auto probe = bio::make_probe(bio::TargetId::kGlucose);

@@ -1,0 +1,68 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace idp::util {
+namespace {
+
+TEST(ThreadPool, DefaultParallelismIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_parallelism(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, TasksWriteToDistinctSlots) {
+  ThreadPool pool(3);
+  std::vector<int> slots(64, 0);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    pool.submit([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.wait_idle();  // no tasks: returns immediately
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace idp::util
