@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "afe/frontend.hpp"
 #include "sim/engine.hpp"
@@ -40,6 +42,25 @@ inline int run_benchmarks(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
+}
+
+/// run_benchmarks with a default JSON trajectory output (the BENCH_*.json
+/// files CI uploads); an explicit --benchmark_out on the command line wins.
+inline int run_benchmarks_with_default_out(int argc, char** argv,
+                                           const std::string& default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=" + default_out;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  return run_benchmarks(n, args.data());
 }
 
 inline void banner(const std::string& title) {

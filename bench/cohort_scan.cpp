@@ -1,0 +1,123 @@
+/// \file cohort_scan.cpp
+/// Cohort-scan performance trajectory: throughput of the longitudinal
+/// scenario engine (patients x timepoints x channels quantified panel
+/// measurements) at several parallelism levels, plus the calibration
+/// campaign build. Writes google-benchmark JSON to BENCH_cohort.json
+/// (override with --benchmark_out=...) so successive PRs accumulate a
+/// comparable cohort-workload measurement.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "scenario/longitudinal.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace idp;
+
+quant::CampaignConfig bench_campaign() {
+  quant::CampaignConfig config;
+  config.calibration_points = 4;
+  config.blank_measurements = 4;
+  config.ca_duration_s = 10.0;
+  return config;
+}
+
+std::vector<scenario::AnalytePlan> bench_plans() {
+  // Two chronoamperometric metabolite channels: the cohort sweep is then
+  // purely CPU-bound chemistry, the honest scaling measurement.
+  scenario::AnalytePlan glucose;
+  glucose.target = bio::TargetId::kGlucose;
+  glucose.pk.volume_of_distribution_l = 15.0;
+  glucose.pk.elimination_half_life_h = 1.5;
+  glucose.pk.absorption_half_life_h = 0.4;
+  glucose.pk.bioavailability = 0.8;
+  glucose.pk.molar_mass_g_per_mol = 180.2;
+  glucose.regimen =
+      scenario::repeated_regimen(0.5, 6.0, 2, 6000.0, scenario::Route::kOral);
+  glucose.baseline_mM = 1.2;
+
+  scenario::AnalytePlan lactate;
+  lactate.target = bio::TargetId::kLactate;
+  lactate.pk.volume_of_distribution_l = 30.0;
+  lactate.pk.elimination_half_life_h = 0.8;
+  lactate.pk.absorption_half_life_h = 0.2;
+  lactate.pk.bioavailability = 1.0;
+  lactate.pk.molar_mass_g_per_mol = 90.1;
+  lactate.regimen = {scenario::DoseEvent{1.0, 4000.0,
+                                         scenario::Route::kIvBolus}};
+  lactate.baseline_mM = 0.8;
+  return {glucose, lactate};
+}
+
+/// Cohort scan at a given parallelism: 6 patients x 4 timepoints x 2
+/// channels = 48 quantified measurements per iteration. The calibration
+/// store is pre-built (campaigns are a one-time cost measured separately).
+void BM_CohortScan(benchmark::State& state) {
+  static const std::vector<scenario::AnalytePlan> plans = bench_plans();
+  static quant::CalibrationStore store(bench_campaign());
+  // Build the campaigns up front so the timed loop measures only scans
+  // (the one-time campaign cost has its own benchmark below).
+  static const bool campaigns_built = [] {
+    for (const scenario::AnalytePlan& plan : plans) {
+      (void)store.quantifier(plan.target);
+    }
+    return true;
+  }();
+  (void)campaigns_built;
+  static const std::vector<scenario::VirtualPatient> cohort = [] {
+    scenario::CohortSpec spec;
+    spec.patients = 6;
+    spec.seed = 7;
+    return scenario::generate_cohort(spec, plans);
+  }();
+
+  scenario::LongitudinalConfig config;
+  config.sample_times_h = {0.0, 1.0, 2.5, 6.5};
+  config.engine_seed = 99;
+  config.parallelism = static_cast<std::size_t>(state.range(0));
+  const scenario::LongitudinalRunner runner(store, config);
+
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    const scenario::CohortReport report = runner.run(plans, cohort);
+    samples += report.sample_count();
+    benchmark::DoNotOptimize(report.patients.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+  state.SetLabel("6 patients x 4 timepoints x 2 channels");
+}
+BENCHMARK(BM_CohortScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->ArgName("parallelism")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// One-time cost the scans amortise: a full campaign (blanks +
+/// concentration sweep + fit + inversion) for one oxidase target.
+void BM_CalibrationCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    quant::CalibrationStore store(bench_campaign());
+    benchmark::DoNotOptimize(&store.quantifier(bio::TargetId::kGlucose));
+  }
+  state.SetLabel("4 blanks + 4 points x 10 s virtual measurements");
+}
+BENCHMARK(BM_CalibrationCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("hardware threads: %zu\n",
+              idp::util::ThreadPool::default_parallelism());
+  // CI uploads BENCH_cohort.json next to BENCH_hot_path.json.
+  return idp::bench::run_benchmarks_with_default_out(argc, argv,
+                                                     "BENCH_cohort.json");
+}

@@ -182,21 +182,9 @@ BENCHMARK(BM_ExplorerEvaluate)->Arg(1)->Arg(0)->ArgName("parallelism")->UseRealT
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Default the JSON trajectory output unless the caller overrides it; the
-  // CI perf job uploads BENCH_hot_path.json as the measurement baseline.
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_hot_path.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
-  }
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int n = static_cast<int>(args.size());
   std::printf("hardware threads: %zu\n",
               idp::util::ThreadPool::default_parallelism());
-  return idp::bench::run_benchmarks(n, args.data());
+  // CI uploads BENCH_hot_path.json as the measurement baseline.
+  return idp::bench::run_benchmarks_with_default_out(argc, argv,
+                                                     "BENCH_hot_path.json");
 }

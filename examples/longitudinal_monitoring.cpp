@@ -1,0 +1,105 @@
+/// \file longitudinal_monitoring.cpp
+/// The closed diagnostic loop over time: a virtual cohort takes a repeated
+/// oral drug regimen while eating meals; at every timepoint the platform
+/// scans a two-channel panel (glucose chronoamperometry + benzphetamine CYP
+/// voltammetry), inverts each response through a CalibrationStore-built
+/// curve and reports concentration estimates with confidence intervals --
+/// the paper's Section I-A scenario (patients metabolise the same dose very
+/// differently, so the doctor needs measured levels, not assumptions).
+#include <cstdio>
+#include <iostream>
+
+#include "scenario/longitudinal.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace idp;
+
+  std::cout << "IDP example: longitudinal cohort monitoring "
+               "(drug + metabolite panel over 24 h)\n\n";
+
+  // --- the monitored panel --------------------------------------------------
+  // Glucose: meals as oral "doses" on a fasting baseline, one-compartment.
+  scenario::AnalytePlan glucose;
+  glucose.target = bio::TargetId::kGlucose;
+  glucose.pk.volume_of_distribution_l = 15.0;
+  glucose.pk.elimination_half_life_h = 1.5;
+  glucose.pk.absorption_half_life_h = 0.4;
+  glucose.pk.bioavailability = 0.8;
+  glucose.pk.molar_mass_g_per_mol = 180.2;
+  glucose.regimen =
+      scenario::repeated_regimen(0.5, 6.0, 3, 6000.0, scenario::Route::kOral);
+  glucose.baseline_mM = 1.5;
+
+  // Benzphetamine: 2-compartment disposition, one oral dose every 12 h,
+  // sized to cruise inside the CYP2B4 probe's 0.2-1.2 mM calibrated range.
+  scenario::AnalytePlan drug;
+  drug.target = bio::TargetId::kBenzphetamine;
+  drug.pk.volume_of_distribution_l = 40.0;
+  drug.pk.elimination_half_life_h = 8.0;
+  drug.pk.absorption_half_life_h = 0.6;
+  drug.pk.bioavailability = 0.7;
+  drug.pk.peripheral_volume_l = 50.0;
+  drug.pk.intercompartment_clearance_l_per_h = 8.0;
+  drug.pk.molar_mass_g_per_mol = 239.4;
+  drug.regimen =
+      scenario::repeated_regimen(0.0, 12.0, 2, 9000.0, scenario::Route::kOral);
+  const std::vector<scenario::AnalytePlan> plans{glucose, drug};
+
+  // --- cohort and timeline --------------------------------------------------
+  scenario::CohortSpec cohort_spec;
+  cohort_spec.patients = 4;
+  cohort_spec.seed = 2026;
+  const auto cohort = scenario::generate_cohort(cohort_spec, plans);
+
+  quant::CampaignConfig campaign;
+  campaign.calibration_points = 5;
+  campaign.blank_measurements = 6;
+  campaign.ca_duration_s = 15.0;
+  quant::CalibrationStore store(campaign);
+
+  scenario::LongitudinalConfig config;
+  config.sample_times_h = {0.0, 1.0, 2.0, 4.0, 8.0, 12.0, 13.0, 16.0, 24.0};
+  config.engine_seed = 42;
+  config.parallelism = 0;  // hardware concurrency, bitwise == sequential
+  const scenario::LongitudinalRunner runner(store, config);
+
+  const scenario::CohortReport report = runner.run(plans, cohort);
+
+  // --- population view ------------------------------------------------------
+  std::cout << "Cohort: " << cohort.size() << " virtual patients, "
+            << config.sample_times_h.size() << " timepoints, "
+            << plans.size() << " channels ("
+            << report.sample_count() << " quantified samples)\n\n";
+
+  util::ConsoleTable drug_table({"t (h)", "true p50 (mM)", "est p10",
+                                 "est p50", "est p90"});
+  for (std::size_t t = 0; t < report.sample_times_h.size(); ++t) {
+    drug_table.add_row(
+        {util::format_fixed(report.sample_times_h[t], 1),
+         util::format_fixed(report.truth_percentiles[1][t].p50, 3),
+         util::format_fixed(report.estimate_percentiles[1][t].p10, 3),
+         util::format_fixed(report.estimate_percentiles[1][t].p50, 3),
+         util::format_fixed(report.estimate_percentiles[1][t].p90, 3)});
+  }
+  std::cout << "Benzphetamine population time-course (CYP2B4 channel):\n";
+  drug_table.print(std::cout);
+
+  std::printf(
+      "\nglucose RMS error: %.3f mM | drug RMS error: %.3f mM\n"
+      "CI coverage: %.0f%% of samples | flags: %zu below-LOD, %zu "
+      "out-of-range\n",
+      report.rms_error_mM(0), report.rms_error_mM(1),
+      100.0 * report.ci_coverage(),
+      report.flag_count(quant::QuantFlag::kBelowLod),
+      report.flag_count(quant::QuantFlag::kBelowRange |
+                        quant::QuantFlag::kAboveRange));
+
+  const std::string csv = "longitudinal_monitoring.csv";
+  report.to_csv(csv);
+  std::cout << "\nPer-sample time-courses written to " << csv
+            << " (patient, channel, time, truth, estimate, CI, flags).\n"
+            << "Every estimate came from inverting a cached calibration "
+               "campaign -- raw current traces never leave the platform.\n";
+  return 0;
+}

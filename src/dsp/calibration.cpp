@@ -23,6 +23,15 @@ void CalibrationCurve::add_blank(double response) {
   blanks_.push_back(response);
 }
 
+std::size_t CalibrationCurve::distinct_concentration_count() const {
+  // c_ is kept sorted, so distinct values are adjacent.
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (i == 0 || c_[i] > c_[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
 double CalibrationCurve::blank_mean() const {
   util::require(!blanks_.empty(), "no blank measurements");
   return util::mean(blanks_);
@@ -38,6 +47,8 @@ double CalibrationCurve::lod_signal() const {
 }
 
 util::LinearFit CalibrationCurve::fit() const {
+  util::require(distinct_concentration_count() >= 2,
+                "need >= 2 distinct concentrations for a fit");
   return util::linear_fit(c_, v_);
 }
 
@@ -72,12 +83,22 @@ LinearRange CalibrationCurve::linear_range(double tolerance) const {
   LinearRange best;
   const std::size_t n = c_.size();
   if (n < 3) return best;
+  // Running count of distinct concentrations up to each index (c_ sorted):
+  // the window [first, last] holds distinct[last] - distinct[first] + 1
+  // distinct values. Windows with fewer than 3 cannot certify linearity --
+  // two distinct abscissae always fit a line exactly, so replicates at the
+  // ends of a 3+ point window must not masquerade as a linear range.
+  std::vector<std::size_t> distinct(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    distinct[i] = (i == 0) ? 1 : distinct[i - 1] + (c_[i] > c_[i - 1] ? 1 : 0);
+  }
   for (std::size_t first = 0; first + 2 < n; ++first) {
     for (std::size_t last = first + 2; last < n; ++last) {
       const std::size_t count = last - first + 1;
       const std::span<const double> xs(c_.data() + first, count);
       const std::span<const double> ys(v_.data() + first, count);
       if (xs.back() <= xs.front()) continue;
+      if (distinct[last] - distinct[first] + 1 < 3) continue;
       const util::LinearFit f = util::linear_fit(xs, ys);
       const double span =
           *std::max_element(ys.begin(), ys.end()) -

@@ -35,6 +35,10 @@ class CalibrationCurve {
 
   std::size_t point_count() const { return c_.size(); }
   std::size_t blank_count() const { return blanks_.size(); }
+  /// Number of *distinct* concentration values among the points (replicate
+  /// measurements at one concentration count once). Fitting needs >= 2,
+  /// linear-range certification >= 3.
+  std::size_t distinct_concentration_count() const;
   const std::vector<double>& concentrations() const { return c_; }
   const std::vector<double>& responses() const { return v_; }
 
@@ -45,7 +49,9 @@ class CalibrationCurve {
   /// Eq. 5: the LOD expressed in *signal* units, Vb + 3 sigma_b.
   double lod_signal() const;
 
-  /// Least-squares fit over all points (requires >= 2 points).
+  /// Least-squares fit over all points. Requires >= 2 points at >= 2
+  /// distinct concentrations (replicate-only data has no slope and throws
+  /// std::invalid_argument instead of producing a degenerate fit).
   util::LinearFit fit() const;
   /// Regression sensitivity: slope of fit() [signal / (mol/m^3)].
   double sensitivity() const { return fit().slope; }
@@ -63,8 +69,9 @@ class CalibrationCurve {
   /// available, the global fit otherwise.
   double lod_concentration(double linear_tolerance = 0.05) const;
 
-  /// Longest contiguous window (>= 3 points) whose fit residuals stay below
-  /// `tolerance` times the response span of the window.
+  /// Longest contiguous window (>= 3 points at >= 3 *distinct*
+  /// concentrations -- replicates alone cannot certify linearity) whose fit
+  /// residuals stay below `tolerance` times the response span of the window.
   LinearRange linear_range(double tolerance = 0.05) const;
 
  private:

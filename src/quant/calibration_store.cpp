@@ -1,0 +1,224 @@
+/// \file calibration_store.cpp
+/// Calibration campaign execution and the per-(target, protocol) cache.
+
+#include "quant/calibration_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dsp/peaks.hpp"
+#include "sim/batch.hpp"
+#include "util/error.hpp"
+
+namespace idp::quant {
+
+namespace {
+
+/// Disjoint run-id block per target: ids depend on the *target*, never on
+/// build order or cache state, which is what makes campaigns reproducible.
+constexpr std::uint64_t kRunsPerTarget = 4096;
+
+std::uint64_t target_index(bio::TargetId id) {
+  return static_cast<std::uint64_t>(id);
+}
+
+double ca_potential_for(const bio::TargetSpec& spec) {
+  // Direct oxidisers are driven 250 mV past their formal potential.
+  return spec.family == bio::ProbeFamily::kDirectOxidation
+             ? spec.operating_potential + 0.25
+             : spec.operating_potential;
+}
+
+}  // namespace
+
+bio::ProbePtr make_campaign_probe(const CampaignConfig& config,
+                                  bio::TargetId target) {
+  const double gain =
+      bio::spec(target).family == bio::ProbeFamily::kCytochromeP450
+          ? config.cyp_sensitivity_gain
+          : 1.0;
+  return bio::make_probe(target, config.probe_area_m2, gain);
+}
+
+afe::AfeConfig campaign_frontend_config(const CampaignConfig& config,
+                                        std::uint64_t seed) {
+  afe::AfeConfig fe;
+  fe.tia = afe::lab_grade_tia();
+  fe.adc = afe::AdcSpec{.bits = 16, .v_low = -10.0, .v_high = 10.0,
+                        .sample_rate = config.sample_rate_hz};
+  fe.seed = seed;
+  return fe;
+}
+
+sim::ChannelProtocol default_protocol_for(const CampaignConfig& config,
+                                          bio::TargetId target) {
+  const bio::TargetSpec& spec = bio::spec(target);
+  if (spec.family == bio::ProbeFamily::kCytochromeP450) {
+    sim::CyclicVoltammetryProtocol cv;
+    cv.e_start = 0.1;
+    cv.e_vertex = spec.operating_potential - 0.25;
+    cv.scan_rate = 0.02;  // the cell-faithful limit
+    cv.cycles = 1;
+    cv.sample_rate = config.sample_rate_hz;
+    return cv;
+  }
+  sim::ChronoamperometryProtocol ca;
+  ca.potential = ca_potential_for(spec);
+  ca.duration = config.ca_duration_s;
+  ca.sample_rate = config.sample_rate_hz;
+  return ca;
+}
+
+double panel_response(bio::TargetId target, const sim::Trace& ca,
+                      const sim::CvCurve& cv) {
+  if (!ca.empty()) {
+    const double t_end = ca.time().back();
+    return ca.mean_in_window(0.8 * t_end, t_end);
+  }
+  return dsp::reduction_response_at(cv, bio::spec(target).operating_potential,
+                                    0.05);
+}
+
+std::string protocol_key(const sim::ChannelProtocol& protocol) {
+  // %.17g is round-trip precision for double: distinct protocols can never
+  // collide to one cache key.
+  char buf[192];
+  if (std::holds_alternative<sim::ChronoamperometryProtocol>(protocol)) {
+    const auto& p = std::get<sim::ChronoamperometryProtocol>(protocol);
+    std::snprintf(buf, sizeof buf, "ca|%.17g|%.17g|%.17g", p.potential,
+                  p.duration, p.sample_rate);
+  } else {
+    const auto& p = std::get<sim::CyclicVoltammetryProtocol>(protocol);
+    std::snprintf(buf, sizeof buf, "cv|%.17g|%.17g|%.17g|%d|%.17g", p.e_start,
+                  p.e_vertex, p.scan_rate, p.cycles, p.sample_rate);
+  }
+  return buf;
+}
+
+namespace {
+
+sim::EngineConfig campaign_engine_config(std::uint64_t seed) {
+  sim::EngineConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+CalibrationStore::CalibrationStore(CampaignConfig config)
+    : config_(config), engine_(campaign_engine_config(config.seed)) {
+  util::require(config_.calibration_points >= 3,
+                "campaign needs >= 3 calibration points");
+  util::require(config_.blank_measurements >= 2,
+                "campaign needs >= 2 blanks for Eq. 5");
+  util::require(
+      static_cast<std::uint64_t>(config_.calibration_points) +
+              static_cast<std::uint64_t>(config_.blank_measurements) <
+          kRunsPerTarget,
+      "campaign exceeds the per-target run-id block");
+}
+
+CalibrationStore::Entry CalibrationStore::build_entry(
+    bio::TargetId target, const sim::ChannelProtocol& protocol) const {
+  const bio::TargetSpec& spec = bio::spec(target);
+  bio::ProbePtr probe = make_campaign_probe(config_, target);
+  afe::AnalogFrontEnd frontend(campaign_frontend_config(
+      config_, config_.seed + 1000003 * (target_index(target) + 1)));
+  const std::string name = bio::to_string(target);
+
+  std::uint64_t next_id = target_index(target) * kRunsPerTarget;
+  auto run_once = [&]() -> double {
+    const std::uint64_t run_id = ++next_id;
+    const sim::Channel channel{probe.get(), nullptr};
+    if (std::holds_alternative<sim::ChronoamperometryProtocol>(protocol)) {
+      const auto& p = std::get<sim::ChronoamperometryProtocol>(protocol);
+      const sim::Trace trace =
+          engine_.run_chronoamperometry_seeded(run_id, channel, p, frontend);
+      return panel_response(target, trace, sim::CvCurve{});
+    }
+    const auto& p = std::get<sim::CyclicVoltammetryProtocol>(protocol);
+    const sim::CvCurve curve =
+        engine_.run_cyclic_voltammetry_seeded(run_id, channel, p, frontend);
+    return panel_response(target, sim::Trace{}, curve);
+  };
+
+  Entry entry;
+  probe->set_bulk_concentration(name, 0.0);
+  for (int b = 0; b < config_.blank_measurements; ++b) {
+    entry.curve.add_blank(run_once());
+  }
+
+  // Concentration sweep across the probe's specified linear range
+  // (mM == mol/m^3), endpoints included.
+  const double lo = std::max(spec.linear_lo_mM, 1e-6);
+  const double hi = spec.linear_hi_mM;
+  util::ensure(hi > lo, "probe spec has a degenerate linear range");
+  const int n = config_.calibration_points;
+  for (int i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(n - 1);
+    const double c = lo + f * (hi - lo);
+    probe->set_bulk_concentration(name, c);
+    entry.curve.add_point(c, run_once());
+  }
+
+  entry.quantifier = Quantifier(entry.curve, config_.quantifier);
+  return entry;
+}
+
+const CalibrationStore::Entry& CalibrationStore::entry(
+    bio::TargetId target, const sim::ChannelProtocol& protocol) {
+  const Key key{target, protocol_key(protocol)};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return *it->second;
+  }
+  // Build outside the lock (campaigns are seconds of simulated chemistry).
+  // A concurrent builder of the same key produces a bitwise identical
+  // entry; the first insert wins and the duplicate is discarded.
+  auto built = std::make_unique<Entry>(build_entry(target, protocol));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = cache_.try_emplace(key, std::move(built));
+  return *it->second;
+}
+
+const Quantifier& CalibrationStore::quantifier(bio::TargetId target) {
+  return quantifier(target, default_protocol_for(config_, target));
+}
+
+const dsp::CalibrationCurve& CalibrationStore::curve(bio::TargetId target) {
+  return curve(target, default_protocol_for(config_, target));
+}
+
+const Quantifier& CalibrationStore::quantifier(
+    bio::TargetId target, const sim::ChannelProtocol& protocol) {
+  return entry(target, protocol).quantifier;
+}
+
+const dsp::CalibrationCurve& CalibrationStore::curve(
+    bio::TargetId target, const sim::ChannelProtocol& protocol) {
+  return entry(target, protocol).curve;
+}
+
+void CalibrationStore::prepare(std::span<const bio::TargetId> targets,
+                               std::size_t parallelism) {
+  // Dedupe while preserving order, then fan the campaigns out.
+  std::vector<bio::TargetId> todo;
+  for (bio::TargetId t : targets) {
+    if (std::find(todo.begin(), todo.end(), t) == todo.end()) {
+      todo.push_back(t);
+    }
+  }
+  const sim::BatchRunner runner(parallelism);
+  runner.run(todo.size(), [&](std::size_t i) {
+    (void)entry(todo[i], default_protocol_for(config_, todo[i]));
+  });
+}
+
+std::size_t CalibrationStore::cached_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace idp::quant

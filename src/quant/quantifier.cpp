@@ -1,0 +1,80 @@
+/// \file quantifier.cpp
+/// Monotone linear-range inversion of a calibration curve with uncertainty
+/// propagated from blank sigma and fit residuals.
+
+#include "quant/quantifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::quant {
+
+Quantifier::Quantifier(const dsp::CalibrationCurve& curve,
+                       QuantifierOptions options)
+    : coverage_z_(options.coverage_z) {
+  util::require(options.coverage_z > 0.0, "coverage_z must be positive");
+  util::require(curve.distinct_concentration_count() >= 2,
+                "need >= 2 distinct concentrations to invert");
+
+  const dsp::LinearRange range = curve.linear_range(options.linear_tolerance);
+  if (range.found) {
+    fit_ = range.fit;
+    from_linear_range_ = true;
+    c_low_ = range.c_low;
+    c_high_ = range.c_high;
+  } else {
+    fit_ = curve.fit();
+    c_low_ = curve.concentrations().front();
+    c_high_ = curve.concentrations().back();
+  }
+  util::require(std::fabs(fit_.slope) > 0.0,
+                "zero-sensitivity curve is not invertible");
+
+  // Response uncertainty on a *single* future measurement: the blank noise
+  // floor plus the scatter of the calibration points about the fit. The two
+  // are close to independent, so they add in quadrature.
+  const double sigma_b = curve.blank_count() >= 2 ? curve.blank_sigma() : 0.0;
+  response_sigma_ =
+      std::sqrt(sigma_b * sigma_b + fit_.residual_rms * fit_.residual_rms);
+
+  if (curve.blank_count() >= 2) {
+    lod_known_ = true;
+    blank_mean_ = curve.blank_mean();
+    lod_signal_ = curve.lod_signal();
+  }
+  valid_ = true;
+}
+
+ConcentrationEstimate Quantifier::quantify(double response) const {
+  util::require(valid_, "quantifier not built from a curve");
+  ConcentrationEstimate est;
+
+  // Monotone inversion of the straight fit.
+  const double raw = (response - fit_.intercept) / fit_.slope;
+  est.value = std::clamp(raw, c_low_, c_high_);
+  if (raw < c_low_) est.flags |= QuantFlag::kBelowRange;
+  if (raw > c_high_) est.flags |= QuantFlag::kAboveRange;
+  if (!from_linear_range_) est.flags |= QuantFlag::kGlobalFit;
+
+  // CI around the unclamped inversion, propagated through the slope and
+  // floored at zero (concentrations are non-negative).
+  const double half_width =
+      coverage_z_ * response_sigma_ / std::fabs(fit_.slope);
+  est.ci_low = std::max(0.0, raw - half_width);
+  est.ci_high = std::max(0.0, raw + half_width);
+
+  // Eq. 5 detection decision: the signal excursion above the blank (in the
+  // direction the sensitivity points) must clear 3 sigma_b.
+  if (lod_known_) {
+    const double excursion = (response - blank_mean_) *
+                             (fit_.slope >= 0.0 ? 1.0 : -1.0);
+    if (excursion < lod_signal_ - blank_mean_) {
+      est.flags |= QuantFlag::kBelowLod;
+    }
+  }
+  return est;
+}
+
+}  // namespace idp::quant

@@ -1,0 +1,115 @@
+/// \file quantifier.hpp
+/// Inverse quantification: the diagnostic read-back step the platform exists
+/// for. A calibration curve maps concentration -> response; the Quantifier
+/// inverts its certified linear range so a measured panel response becomes a
+/// concentration *estimate with uncertainty* -- what the clinician actually
+/// receives. Out-of-range responses clamp to the calibrated window and are
+/// flagged rather than silently extrapolated.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/calibration.hpp"
+
+namespace idp::quant {
+
+/// Why an estimate should (not) be trusted. Flags are a bitmask: one sample
+/// can simultaneously sit below the LOD and below the calibrated range.
+enum class QuantFlag : std::uint32_t {
+  kNone = 0,
+  kBelowRange = 1u << 0,  ///< response under the linear range; value clamped
+  kAboveRange = 1u << 1,  ///< response over the linear range; value clamped
+  kBelowLod = 1u << 2,    ///< signal excursion within Vb + 3 sigma_b (Eq. 5)
+  kGlobalFit = 1u << 3,   ///< no certified linear range; global fit inverted
+};
+
+constexpr QuantFlag operator|(QuantFlag a, QuantFlag b) {
+  return static_cast<QuantFlag>(static_cast<std::uint32_t>(a) |
+                                static_cast<std::uint32_t>(b));
+}
+constexpr QuantFlag operator&(QuantFlag a, QuantFlag b) {
+  return static_cast<QuantFlag>(static_cast<std::uint32_t>(a) &
+                                static_cast<std::uint32_t>(b));
+}
+inline QuantFlag& operator|=(QuantFlag& a, QuantFlag b) { return a = a | b; }
+constexpr bool has_flag(QuantFlag flags, QuantFlag bit) {
+  return (flags & bit) != QuantFlag::kNone;
+}
+
+/// A concentration read back from one measured response [mol/m^3 == mM].
+/// The confidence interval is centred on the *unclamped* inversion (so a
+/// truth just outside the calibrated window can still be covered) and
+/// floored at zero concentration.
+struct ConcentrationEstimate {
+  double value = 0.0;    ///< clamped to the calibrated range
+  double ci_low = 0.0;   ///< lower confidence bound
+  double ci_high = 0.0;  ///< upper confidence bound
+  QuantFlag flags = QuantFlag::kNone;
+
+  bool ok() const { return flags == QuantFlag::kNone; }
+  bool clamped() const {
+    return has_flag(flags, QuantFlag::kBelowRange) ||
+           has_flag(flags, QuantFlag::kAboveRange);
+  }
+  bool below_lod() const { return has_flag(flags, QuantFlag::kBelowLod); }
+};
+
+/// Quantifier construction knobs.
+struct QuantifierOptions {
+  /// Linear-range detection tolerance handed to CalibrationCurve.
+  double linear_tolerance = 0.07;
+  /// Half-width of the confidence interval in units of the propagated
+  /// response sigma. 3.0 matches the paper's 3 sigma_b LOD convention
+  /// (Eq. 5), so "truth inside the CI" and "signal above the LOD" make the
+  /// same statistical promise.
+  double coverage_z = 3.0;
+};
+
+/// Inverts one probe's calibration curve. The constructor extracts
+/// everything it needs (fit, range, blank statistics), so a Quantifier is a
+/// small value type independent of the curve's lifetime, and quantify() is
+/// const and thread-safe.
+class Quantifier {
+ public:
+  /// Invalid quantifier (valid() == false); quantify() throws.
+  Quantifier() = default;
+
+  /// Build from a calibration data set. Requires an invertible (non-zero
+  /// slope) fit over >= 2 distinct concentrations; uses the certified
+  /// linear range when one exists and flags kGlobalFit otherwise.
+  explicit Quantifier(const dsp::CalibrationCurve& curve,
+                      QuantifierOptions options = {});
+
+  bool valid() const { return valid_; }
+
+  /// Invert one measured response into a concentration estimate.
+  ConcentrationEstimate quantify(double response) const;
+
+  /// Calibrated (invertible) concentration window [mol/m^3].
+  double c_low() const { return c_low_; }
+  double c_high() const { return c_high_; }
+  /// Slope of the inverted fit [response / (mol/m^3)].
+  double slope() const { return fit_.slope; }
+  const util::LinearFit& fit() const { return fit_; }
+  /// Propagated response sigma: sqrt(sigma_b^2 + residual_rms^2).
+  double response_sigma() const { return response_sigma_; }
+  /// Eq. 5 decision threshold in signal units (only meaningful when the
+  /// curve carried >= 2 blanks; otherwise the LOD flag is disabled).
+  bool lod_known() const { return lod_known_; }
+  double lod_signal() const { return lod_signal_; }
+  double blank_mean() const { return blank_mean_; }
+
+ private:
+  bool valid_ = false;
+  util::LinearFit fit_;
+  bool from_linear_range_ = false;
+  double c_low_ = 0.0;
+  double c_high_ = 0.0;
+  double response_sigma_ = 0.0;
+  double coverage_z_ = 3.0;
+  bool lod_known_ = false;
+  double lod_signal_ = 0.0;
+  double blank_mean_ = 0.0;
+};
+
+}  // namespace idp::quant

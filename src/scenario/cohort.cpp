@@ -1,0 +1,68 @@
+/// \file cohort.cpp
+/// Seeded virtual-patient cohort generation.
+
+#include "scenario/cohort.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace idp::scenario {
+
+namespace {
+
+/// Lognormal multiplier with sigma `jitter` (1.0 when jitter is disabled).
+double jitter_factor(util::Rng& rng, double jitter) {
+  if (jitter <= 0.0) return 1.0;
+  return std::exp(rng.gaussian(jitter));
+}
+
+}  // namespace
+
+double VirtualPatient::true_concentration_mM(const AnalytePlan& plan,
+                                             std::size_t analyte,
+                                             double t_h) const {
+  const PatientAnalyte& pa = analytes.at(analyte);
+  return pa.baseline_mM + pa.model.concentration_mM(plan.regimen, t_h);
+}
+
+std::vector<VirtualPatient> generate_cohort(
+    const CohortSpec& spec, std::span<const AnalytePlan> plans) {
+  util::require(!plans.empty(), "cohort needs at least one analyte plan");
+  util::require(plans.size() <= kMaxAnalytesPerPatient,
+                "more analyte plans than the seed-packing scheme supports");
+  util::require(spec.patients >= 1, "cohort needs at least one patient");
+
+  std::vector<VirtualPatient> cohort;
+  cohort.reserve(spec.patients);
+  for (std::size_t p = 0; p < spec.patients; ++p) {
+    VirtualPatient patient;
+    patient.id = p;
+    patient.analytes.reserve(plans.size());
+    for (std::size_t a = 0; a < plans.size(); ++a) {
+      // Seed depends on (cohort seed, patient, analyte) only, so cohorts
+      // are extendable and analyte order is immaterial to other analytes.
+      util::Rng rng(spec.seed +
+                    (p * kMaxAnalytesPerPatient + a + 1) * kScenarioSeedStride);
+
+      PkParameters pk = plans[a].pk;
+      const double v_scale = jitter_factor(rng, spec.volume_jitter);
+      pk.volume_of_distribution_l *= v_scale;
+      if (pk.peripheral_volume_l > 0.0) pk.peripheral_volume_l *= v_scale;
+      pk.elimination_half_life_h *= jitter_factor(rng, spec.clearance_jitter);
+      pk.absorption_half_life_h *= jitter_factor(rng, spec.absorption_jitter);
+      pk.bioavailability = std::min(
+          1.0, pk.bioavailability * jitter_factor(rng, spec.bioavailability_jitter));
+
+      PatientAnalyte pa{PkModel(pk),
+                        plans[a].baseline_mM * jitter_factor(rng, spec.baseline_jitter)};
+      patient.analytes.push_back(std::move(pa));
+    }
+    cohort.push_back(std::move(patient));
+  }
+  return cohort;
+}
+
+}  // namespace idp::scenario

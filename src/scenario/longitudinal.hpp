@@ -1,0 +1,96 @@
+/// \file longitudinal.hpp
+/// The longitudinal scenario engine: sweeps a virtual-patient cohort over a
+/// dosing timeline, runs one panel measurement per (patient, timepoint,
+/// channel), quantifies every response through quant::Quantifier and
+/// aggregates the diagnostic time-courses into a CohortReport. This is the
+/// first workload whose throughput scales as patients x timepoints x
+/// channels -- exactly the shape the deterministic batch runtime was built
+/// for: all randomness derives from (patient, timepoint, channel) indices,
+/// so results are bitwise identical at every parallelism level.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quant/calibration_store.hpp"
+#include "scenario/cohort.hpp"
+
+namespace idp::scenario {
+
+/// Scenario execution knobs.
+struct LongitudinalConfig {
+  std::vector<double> sample_times_h;  ///< panel-scan instants [h]
+  std::uint64_t engine_seed = 99;      ///< measurement-noise seed
+  /// Worker threads over *patients* (a patient's timeline is inherently
+  /// sequential: its probes and front ends carry state between scans).
+  /// 0 = hardware concurrency, 1 = sequential.
+  std::size_t parallelism = 0;
+};
+
+/// One quantified measurement of one channel at one timepoint.
+struct ChannelSample {
+  double time_h = 0.0;
+  double truth_mM = 0.0;    ///< ground-truth analyte concentration
+  double response = 0.0;    ///< measured scalar panel response
+  quant::ConcentrationEstimate estimate;  ///< the reported diagnosis
+};
+
+/// One patient's diagnostic time-course, per channel.
+struct PatientTimeCourse {
+  std::uint64_t patient_id = 0;
+  std::vector<std::vector<ChannelSample>> channels;  ///< [channel][timepoint]
+};
+
+/// Population percentile band of one channel at one timepoint.
+struct PercentileBand {
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+};
+
+/// Cohort-scale outcome: per-patient time-courses plus population
+/// aggregates over the *estimated* (reported) and true concentrations.
+struct CohortReport {
+  std::vector<bio::TargetId> targets;
+  std::vector<double> sample_times_h;
+  std::vector<PatientTimeCourse> patients;
+  std::vector<std::vector<PercentileBand>> estimate_percentiles;  ///< [ch][t]
+  std::vector<std::vector<PercentileBand>> truth_percentiles;     ///< [ch][t]
+
+  std::size_t sample_count() const;
+  /// Samples carrying any of the given flag bits.
+  std::size_t flag_count(quant::QuantFlag flags) const;
+  /// RMS of (estimate - truth) over one channel's samples [mM].
+  double rms_error_mM(std::size_t channel) const;
+  /// Fraction of samples whose confidence interval covers the truth.
+  double ci_coverage() const;
+
+  /// Export every sample as CSV (columns: patient, channel, time_h,
+  /// truth_mM, estimate_mM, ci_low_mM, ci_high_mM, flags).
+  void to_csv(const std::string& path) const;
+};
+
+/// Executes longitudinal scenarios against a calibration store. The store
+/// provides both the measurement configuration (probes, front ends,
+/// protocols -- scans must measure exactly the way campaigns calibrated)
+/// and the quantifiers that invert the responses.
+class LongitudinalRunner {
+ public:
+  LongitudinalRunner(quant::CalibrationStore& store, LongitudinalConfig config);
+
+  const LongitudinalConfig& config() const { return config_; }
+
+  /// Run the full cohort x timeline sweep. Every patient's analytes must
+  /// match `plans` (same generate_cohort call). Bitwise deterministic for a
+  /// fixed (store config, engine seed, cohort) at any parallelism.
+  CohortReport run(std::span<const AnalytePlan> plans,
+                   std::span<const VirtualPatient> cohort) const;
+
+ private:
+  quant::CalibrationStore& store_;
+  LongitudinalConfig config_;
+};
+
+}  // namespace idp::scenario

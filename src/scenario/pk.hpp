@@ -1,0 +1,87 @@
+/// \file pk.hpp
+/// Pharmacokinetic dosing models: the time-varying analyte concentrations a
+/// longitudinal diagnostic workflow actually sees. Closed-form one- and
+/// two-compartment models (IV bolus and first-order oral absorption) are
+/// superposed over a dosing regimen, so evaluation at any time is exact,
+/// cheap and trivially deterministic -- no ODE integration in the scenario
+/// hot path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace idp::scenario {
+
+/// How a dose enters the body.
+enum class Route {
+  kIvBolus,  ///< instantaneous appearance in the central compartment
+  kOral,     ///< first-order absorption with bioavailability F
+};
+
+/// One administration event.
+struct DoseEvent {
+  double time_h = 0.0;   ///< [h] on the scenario timeline
+  double dose_mg = 0.0;  ///< administered mass [mg]
+  Route route = Route::kOral;
+};
+
+/// A dosing schedule (kept sorted by time by the helpers; evaluation
+/// tolerates any order).
+using Regimen = std::vector<DoseEvent>;
+
+/// `count` equal doses every `interval_h` hours starting at `first_time_h`.
+Regimen repeated_regimen(double first_time_h, double interval_h, int count,
+                         double dose_mg, Route route);
+
+/// Model parameters. Two-compartment disposition is enabled by a positive
+/// peripheral volume; otherwise the peripheral terms are ignored.
+struct PkParameters {
+  double volume_of_distribution_l = 40.0;  ///< central volume V1 [L]
+  double elimination_half_life_h = 6.0;    ///< t1/2 of elimination from V1
+  double absorption_half_life_h = 0.5;     ///< oral absorption t1/2
+  double bioavailability = 0.9;            ///< oral F in (0, 1]
+  double peripheral_volume_l = 0.0;        ///< V2 [L]; > 0 => 2-compartment
+  double intercompartment_clearance_l_per_h = 0.0;  ///< Q between V1 and V2
+  double molar_mass_g_per_mol = 300.0;     ///< converts mg/L -> mM
+};
+
+/// Closed-form plasma-concentration model. Rate constants and the
+/// two-compartment hybrid exponents are precomputed at construction;
+/// concentration queries are const and thread-safe.
+class PkModel {
+ public:
+  PkModel() : PkModel(PkParameters{}) {}
+  explicit PkModel(PkParameters params);
+
+  const PkParameters& parameters() const { return params_; }
+  bool two_compartment() const { return two_compartment_; }
+
+  /// Hybrid disposition exponents [1/h]: for one-compartment models both
+  /// equal the elimination rate constant.
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  /// Central-compartment concentration of a single dose at `t_h` hours
+  /// after the *dose* (0 before it) [mg/L].
+  double single_dose_mg_per_l(const DoseEvent& dose, double t_h) const;
+
+  /// Superposed concentration of a whole regimen at scenario time `t_h`.
+  double concentration_mg_per_l(std::span<const DoseEvent> regimen,
+                                double t_h) const;
+
+  /// Same, converted to the platform's concentration unit [mol/m^3 == mM].
+  double concentration_mM(std::span<const DoseEvent> regimen,
+                          double t_h) const;
+
+ private:
+  PkParameters params_;
+  bool two_compartment_ = false;
+  double ke_ = 0.0;   ///< elimination rate constant k10 [1/h]
+  double ka_ = 0.0;   ///< absorption rate constant [1/h]
+  double k12_ = 0.0;  ///< central -> peripheral [1/h]
+  double k21_ = 0.0;  ///< peripheral -> central [1/h]
+  double alpha_ = 0.0;
+  double beta_ = 0.0;
+};
+
+}  // namespace idp::scenario

@@ -16,6 +16,20 @@ bool strictly_increasing(std::span<const double> xs) {
   return true;
 }
 
+namespace {
+
+/// Interpolate along the segment [i-1, i] that brackets x (callers have
+/// already dealt with out-of-range x, so 1 <= i < xs.size()).
+double along_segment(std::span<const double> xs, std::span<const double> ys,
+                     std::size_t i, double x) {
+  const double x0 = xs[i - 1], x1 = xs[i];
+  const double y0 = ys[i - 1], y1 = ys[i];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+}  // namespace
+
 double interp_linear(std::span<const double> xs, std::span<const double> ys,
                      double x) {
   require(xs.size() == ys.size(), "x/y size mismatch");
@@ -23,11 +37,23 @@ double interp_linear(std::span<const double> xs, std::span<const double> ys,
   if (x <= xs.front()) return ys.front();
   if (x >= xs.back()) return ys.back();
   const auto it = std::upper_bound(xs.begin(), xs.end(), x);
-  const auto i = static_cast<std::size_t>(it - xs.begin());
-  const double x0 = xs[i - 1], x1 = xs[i];
-  const double y0 = ys[i - 1], y1 = ys[i];
-  const double t = (x - x0) / (x1 - x0);
-  return y0 + t * (y1 - y0);
+  return along_segment(xs, ys, static_cast<std::size_t>(it - xs.begin()), x);
+}
+
+double interp_linear_clamped(std::span<const double> xs,
+                             std::span<const double> ys, double x) {
+  return interp_linear(xs, ys, x);
+}
+
+double interp_linear_extrapolate(std::span<const double> xs,
+                                 std::span<const double> ys, double x) {
+  require(xs.size() == ys.size(), "x/y size mismatch");
+  require(xs.size() >= 2, "need at least two points");
+  if (x < xs.front()) return along_segment(xs, ys, 1, x);
+  if (x > xs.back()) return along_segment(xs, ys, xs.size() - 1, x);
+  if (x == xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  return along_segment(xs, ys, static_cast<std::size_t>(it - xs.begin()), x);
 }
 
 }  // namespace idp::util

@@ -1,6 +1,8 @@
 /// \file interp.hpp
 /// Piecewise-linear interpolation on a sorted abscissa, used for resampling
-/// voltammograms and time traces.
+/// voltammograms and time traces. Two named variants make the out-of-range
+/// semantics explicit at the call site: clamp to the boundary ordinates, or
+/// extend the boundary segments.
 #pragma once
 
 #include <span>
@@ -12,6 +14,19 @@ namespace idp::util {
 /// Throws std::invalid_argument on size mismatch or fewer than 2 points.
 double interp_linear(std::span<const double> xs, std::span<const double> ys,
                      double x);
+
+/// Explicitly-clamping spelling of interp_linear: outside the abscissa
+/// range the boundary *ordinate* is returned unchanged. Call sites whose
+/// correctness depends on the clamp should use this name so the semantics
+/// are visible in the code.
+double interp_linear_clamped(std::span<const double> xs,
+                             std::span<const double> ys, double x);
+
+/// Linear interpolation that *extrapolates* outside [xs.front(), xs.back()]
+/// by extending the first / last segment's straight line instead of
+/// clamping. Same preconditions as interp_linear.
+double interp_linear_extrapolate(std::span<const double> xs,
+                                 std::span<const double> ys, double x);
 
 /// True if xs is strictly increasing.
 bool strictly_increasing(std::span<const double> xs);

@@ -125,6 +125,84 @@ TEST(Calibration, RejectsNegativeConcentration) {
   EXPECT_THROW(c.add_point(-1.0, 0.0), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate-data guards exposed by inversion (the quantifier feeds measured
+// responses back through these fits, so NaN slopes must be impossible).
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, DistinctConcentrationCountIgnoresReplicates) {
+  CalibrationCurve c;
+  c.add_point(1.0, 10.0);
+  c.add_point(1.0, 10.2);
+  c.add_point(2.0, 20.0);
+  c.add_point(2.0, 19.8);
+  EXPECT_EQ(c.point_count(), 4u);
+  EXPECT_EQ(c.distinct_concentration_count(), 2u);
+}
+
+TEST(Calibration, FitThrowsOnReplicateOnlyData) {
+  // All points at one concentration: a slope is undefined. The guard must
+  // throw std::invalid_argument -- never return a NaN/degenerate fit.
+  CalibrationCurve c;
+  c.add_point(2.0, 1.0);
+  c.add_point(2.0, 1.1);
+  c.add_point(2.0, 0.9);
+  EXPECT_THROW(c.fit(), std::invalid_argument);
+  EXPECT_THROW(c.sensitivity(), std::invalid_argument);
+}
+
+TEST(Calibration, FitAveragesReplicatesAtTwoConcentrations) {
+  CalibrationCurve c;
+  c.add_point(1.0, 9.0);
+  c.add_point(1.0, 11.0);
+  c.add_point(3.0, 29.0);
+  c.add_point(3.0, 31.0);
+  const util::LinearFit f = c.fit();
+  EXPECT_TRUE(std::isfinite(f.slope));
+  EXPECT_NEAR(f.slope, 10.0, 1e-9);
+}
+
+TEST(Calibration, LinearRangeRejectsWindowsWithoutThreeDistinctPoints) {
+  // Four points but only two distinct concentrations: every window fits a
+  // line exactly through two abscissae, which certifies nothing.
+  CalibrationCurve c;
+  c.add_point(1.0, 10.0);
+  c.add_point(1.0, 10.0);
+  c.add_point(2.0, 20.0);
+  c.add_point(2.0, 20.0);
+  EXPECT_FALSE(c.linear_range(0.05).found);
+}
+
+TEST(Calibration, LinearRangeAcceptsReplicatesInsideARealWindow) {
+  // A replicated middle point must not disqualify an otherwise linear
+  // window; the window just needs three distinct concentrations.
+  CalibrationCurve c;
+  c.add_point(1.0, 10.0);
+  c.add_point(2.0, 20.0);
+  c.add_point(2.0, 20.0);
+  c.add_point(3.0, 30.0);
+  const LinearRange r = c.linear_range(0.05);
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.c_low, 1.0);
+  EXPECT_DOUBLE_EQ(r.c_high, 3.0);
+  EXPECT_TRUE(std::isfinite(r.fit.slope));
+  EXPECT_NEAR(r.fit.slope, 10.0, 1e-9);
+}
+
+TEST(Calibration, LodConcentrationSurvivesDuplicatePoints) {
+  CalibrationCurve c;
+  c.add_blank(0.0);
+  c.add_blank(0.2);
+  c.add_point(1.0, 2.0);
+  c.add_point(1.0, 2.0);
+  c.add_point(2.0, 4.0);
+  // Only two distinct concentrations: no certified linear range, so the
+  // LOD falls back to the global fit -- which is finite and well defined.
+  const double lod = c.lod_concentration();
+  EXPECT_TRUE(std::isfinite(lod));
+  EXPECT_GT(lod, 0.0);
+}
+
 /// Property: LOD in concentration units scales inversely with sensitivity.
 class LodScaling : public ::testing::TestWithParam<double> {};
 

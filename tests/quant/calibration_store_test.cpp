@@ -1,0 +1,178 @@
+/// \file calibration_store_test.cpp
+/// CalibrationStore semantics: campaign shape, caching, deterministic
+/// parallel builds, and the end-to-end round trip -- simulate a known
+/// concentration through the measurement engine, quantify it via a
+/// store-built curve, and recover the truth within the propagated
+/// confidence interval across the probe library's linear ranges.
+
+#include "quant/calibration_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace idp::quant {
+namespace {
+
+/// Fast campaign for tests: short chronoamperometry windows, few points.
+CampaignConfig test_config() {
+  CampaignConfig config;
+  config.seed = 20260731;
+  config.calibration_points = 5;
+  config.blank_measurements = 6;
+  config.ca_duration_s = 10.0;
+  return config;
+}
+
+TEST(CalibrationStore, CampaignProducesTheConfiguredCurveShape) {
+  CalibrationStore store(test_config());
+  const dsp::CalibrationCurve& curve = store.curve(bio::TargetId::kGlucose);
+  EXPECT_EQ(curve.blank_count(), 6u);
+  EXPECT_EQ(curve.point_count(), 5u);
+  // The sweep spans the probe's specified linear range.
+  const bio::TargetSpec& spec = bio::spec(bio::TargetId::kGlucose);
+  EXPECT_NEAR(curve.concentrations().back(), spec.linear_hi_mM, 1e-9);
+  EXPECT_GE(curve.concentrations().front(), spec.linear_lo_mM - 1e-9);
+  // And yields an invertible, positive-sensitivity quantifier.
+  const Quantifier& q = store.quantifier(bio::TargetId::kGlucose);
+  ASSERT_TRUE(q.valid());
+  EXPECT_GT(q.slope(), 0.0);
+}
+
+TEST(CalibrationStore, CachesPerTargetAndProtocol) {
+  CalibrationStore store(test_config());
+  const Quantifier& a = store.quantifier(bio::TargetId::kGlucose);
+  const Quantifier& b = store.quantifier(bio::TargetId::kGlucose);
+  EXPECT_EQ(&a, &b);  // one campaign, stable address
+  EXPECT_EQ(store.cached_count(), 1u);
+
+  // A different protocol for the same target is a distinct entry.
+  sim::ChronoamperometryProtocol longer;
+  longer.potential = std::get<sim::ChronoamperometryProtocol>(
+                         default_protocol_for(store.config(),
+                                              bio::TargetId::kGlucose))
+                         .potential;
+  longer.duration = 20.0;
+  const Quantifier& c = store.quantifier(bio::TargetId::kGlucose, longer);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(store.cached_count(), 2u);
+}
+
+TEST(CalibrationStore, ParallelPrepareMatchesSequentialBuildsBitwise) {
+  const std::vector<bio::TargetId> targets{bio::TargetId::kGlucose,
+                                           bio::TargetId::kLactate,
+                                           bio::TargetId::kGlutamate};
+  CalibrationStore parallel_store(test_config());
+  parallel_store.prepare(targets, /*parallelism=*/4);
+  CalibrationStore sequential_store(test_config());
+
+  for (bio::TargetId t : targets) {
+    const dsp::CalibrationCurve& a = parallel_store.curve(t);
+    const dsp::CalibrationCurve& b = sequential_store.curve(t);
+    ASSERT_EQ(a.blank_count(), b.blank_count());
+    ASSERT_EQ(a.point_count(), b.point_count());
+    for (std::size_t i = 0; i < a.point_count(); ++i) {
+      ASSERT_DOUBLE_EQ(a.concentrations()[i], b.concentrations()[i]);
+      ASSERT_DOUBLE_EQ(a.responses()[i], b.responses()[i]);
+    }
+    ASSERT_DOUBLE_EQ(a.blank_mean(), b.blank_mean());
+    ASSERT_DOUBLE_EQ(a.blank_sigma(), b.blank_sigma());
+  }
+}
+
+TEST(CalibrationStore, PrepareDedupesTargets) {
+  CalibrationStore store(test_config());
+  const std::vector<bio::TargetId> targets{bio::TargetId::kGlucose,
+                                           bio::TargetId::kGlucose,
+                                           bio::TargetId::kLactate};
+  store.prepare(targets, 2);
+  EXPECT_EQ(store.cached_count(), 2u);
+}
+
+TEST(CalibrationStore, RejectsDegenerateCampaigns) {
+  CampaignConfig config = test_config();
+  config.calibration_points = 2;
+  EXPECT_THROW(CalibrationStore{config}, std::invalid_argument);
+  config = test_config();
+  config.blank_measurements = 1;
+  EXPECT_THROW(CalibrationStore{config}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Round trip: measure a known concentration the same way the campaign
+// calibrated, then invert. The estimate must recover the truth within the
+// propagated confidence interval -- the acceptance contract of the
+// quantification layer, checked across probe families.
+// ---------------------------------------------------------------------------
+
+class RoundTrip : public ::testing::TestWithParam<bio::TargetId> {};
+
+TEST_P(RoundTrip, RecoversTruthWithinConfidenceInterval) {
+  const bio::TargetId target = GetParam();
+  CampaignConfig config = test_config();
+  CalibrationStore store(config);
+  const Quantifier& quantifier = store.quantifier(target);
+  ASSERT_TRUE(quantifier.valid());
+
+  // Fresh measurement setup: same configuration as the campaign but an
+  // independent noise realisation (different engine seed + run ids).
+  sim::EngineConfig engine_config;
+  engine_config.seed = 777;
+  const sim::MeasurementEngine engine(engine_config);
+  bio::ProbePtr probe = make_campaign_probe(config, target);
+  afe::AnalogFrontEnd frontend(campaign_frontend_config(config, 4242));
+  const sim::ChannelProtocol protocol = default_protocol_for(config, target);
+  const std::string name = bio::to_string(target);
+
+  // Probe several truths across the calibrated window (clear of the edges,
+  // where clamping legitimately kicks in).
+  const double lo = quantifier.c_low();
+  const double hi = quantifier.c_high();
+  std::uint64_t run_id = 0;
+  for (double f : {0.3, 0.55, 0.8}) {
+    const double truth = lo + f * (hi - lo);
+    probe->set_bulk_concentration(name, truth);
+    double response = 0.0;
+    if (std::holds_alternative<sim::ChronoamperometryProtocol>(protocol)) {
+      const sim::Trace trace = engine.run_chronoamperometry_seeded(
+          ++run_id, sim::Channel{probe.get(), nullptr},
+          std::get<sim::ChronoamperometryProtocol>(protocol), frontend);
+      response = panel_response(target, trace, sim::CvCurve{});
+    } else {
+      const sim::CvCurve curve = engine.run_cyclic_voltammetry_seeded(
+          ++run_id, sim::Channel{probe.get(), nullptr},
+          std::get<sim::CyclicVoltammetryProtocol>(protocol), frontend);
+      response = panel_response(target, sim::Trace{}, curve);
+    }
+
+    const ConcentrationEstimate est = quantifier.quantify(response);
+    // Detectability is only promised above the *measured* LOD. Glutamate's
+    // paper LOD (1574 uM) sits inside its own 0.5-2 mM linear range, so a
+    // mid-range glutamate sample flagging below-LOD is correct behaviour.
+    const double lod_mM = (quantifier.lod_signal() - quantifier.blank_mean()) /
+                          std::fabs(quantifier.slope());
+    if (truth > 1.5 * lod_mM) {
+      EXPECT_FALSE(est.below_lod()) << name << " at " << truth << " mM";
+    }
+    EXPECT_LE(est.ci_low, truth) << name << " at " << truth << " mM";
+    EXPECT_GE(est.ci_high, truth) << name << " at " << truth << " mM";
+    // The point estimate itself lands near the truth (10% of the window
+    // plus the CI half-width -- generous, but catches gross inversions).
+    const double slack =
+        0.10 * (hi - lo) + (est.ci_high - est.ci_low) / 2.0;
+    EXPECT_NEAR(est.value, truth, slack) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbeLibrary, RoundTrip,
+                         ::testing::Values(bio::TargetId::kGlucose,
+                                           bio::TargetId::kLactate,
+                                           bio::TargetId::kGlutamate,
+                                           bio::TargetId::kBenzphetamine),
+                         [](const auto& param_info) {
+                           return bio::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace idp::quant

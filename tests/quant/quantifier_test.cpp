@@ -1,0 +1,188 @@
+/// \file quantifier_test.cpp
+/// Quantifier semantics: monotone inversion, out-of-range clamping flags,
+/// LOD flagging and confidence-interval propagation from blank sigma and
+/// fit residuals.
+
+#include "quant/quantifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace idp::quant {
+namespace {
+
+/// Noiseless straight curve v = slope * c + intercept over [0.5, 4.0] with
+/// deterministic blanks of known sigma.
+dsp::CalibrationCurve line_curve(double slope, double intercept,
+                                 double blank_sigma = 0.1) {
+  dsp::CalibrationCurve c;
+  // Two-point blank set with exactly the requested sigma.
+  const double half = blank_sigma / std::sqrt(2.0);
+  c.add_blank(intercept - half);
+  c.add_blank(intercept + half);
+  for (double conc : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+    c.add_point(conc, slope * conc + intercept);
+  }
+  return c;
+}
+
+TEST(Quantifier, InvertsExactlyOnNoiselessLine) {
+  const Quantifier q(line_curve(2.0, 0.3));
+  ASSERT_TRUE(q.valid());
+  const ConcentrationEstimate est = q.quantify(2.0 * 2.2 + 0.3);
+  EXPECT_NEAR(est.value, 2.2, 1e-9);
+  EXPECT_FALSE(est.clamped());
+  EXPECT_FALSE(est.below_lod());
+  EXPECT_TRUE(est.ok());
+}
+
+TEST(Quantifier, UsesCertifiedLinearRange) {
+  const Quantifier q(line_curve(2.0, 0.0));
+  EXPECT_DOUBLE_EQ(q.c_low(), 0.5);
+  EXPECT_DOUBLE_EQ(q.c_high(), 4.0);
+  EXPECT_NEAR(q.slope(), 2.0, 1e-9);
+}
+
+TEST(Quantifier, ClampsAndFlagsAboveRange) {
+  const Quantifier q(line_curve(2.0, 0.0));
+  const ConcentrationEstimate est = q.quantify(2.0 * 9.0);
+  EXPECT_DOUBLE_EQ(est.value, 4.0);  // clamped to c_high
+  EXPECT_TRUE(has_flag(est.flags, QuantFlag::kAboveRange));
+  EXPECT_FALSE(has_flag(est.flags, QuantFlag::kBelowRange));
+  EXPECT_TRUE(est.clamped());
+  // ...but the CI still brackets the unclamped inversion.
+  EXPECT_GT(est.ci_high, 9.0 - 1e-9);
+}
+
+TEST(Quantifier, ClampsAndFlagsBelowRange) {
+  const Quantifier q(line_curve(2.0, 0.0));
+  const ConcentrationEstimate est = q.quantify(2.0 * 0.1);
+  EXPECT_DOUBLE_EQ(est.value, 0.5);  // clamped to c_low
+  EXPECT_TRUE(has_flag(est.flags, QuantFlag::kBelowRange));
+  EXPECT_TRUE(est.clamped());
+}
+
+TEST(Quantifier, FlagsResponsesUnderTheLod) {
+  // sigma_b = 0.1 -> LOD excursion threshold 0.3 above the blank mean.
+  const Quantifier q(line_curve(2.0, 0.0, 0.1));
+  EXPECT_TRUE(q.lod_known());
+  const ConcentrationEstimate low = q.quantify(0.2);
+  EXPECT_TRUE(low.below_lod());
+  const ConcentrationEstimate high = q.quantify(2.0);
+  EXPECT_FALSE(high.below_lod());
+}
+
+TEST(Quantifier, ConfidenceIntervalWidthIsPropagatedSigma) {
+  const double sigma_b = 0.1;
+  const Quantifier q(line_curve(2.0, 0.0, sigma_b),
+                     QuantifierOptions{.linear_tolerance = 0.07,
+                                       .coverage_z = 3.0});
+  // Noiseless points: residual_rms ~ 0, so sigma == blank sigma.
+  EXPECT_NEAR(q.response_sigma(), sigma_b, 1e-9);
+  const ConcentrationEstimate est = q.quantify(2.0 * 2.0);
+  const double half = 3.0 * sigma_b / 2.0;
+  EXPECT_NEAR(est.ci_high - est.value, half, 1e-9);
+  EXPECT_NEAR(est.value - est.ci_low, half, 1e-9);
+}
+
+TEST(Quantifier, CiFloorsAtZeroConcentration) {
+  const Quantifier q(line_curve(2.0, 0.0, 0.5));
+  const ConcentrationEstimate est = q.quantify(2.0 * 0.5);
+  EXPECT_GE(est.ci_low, 0.0);
+}
+
+TEST(Quantifier, ResidualsWidenTheInterval) {
+  // Noisy calibration points: residual RMS adds in quadrature.
+  dsp::CalibrationCurve c;
+  c.add_blank(-0.05);
+  c.add_blank(0.05);
+  util::Rng rng(11);
+  for (double conc : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+    c.add_point(conc, 2.0 * conc + rng.gaussian(0.2));
+  }
+  const Quantifier noisy(c, QuantifierOptions{.linear_tolerance = 0.3,
+                                              .coverage_z = 3.0});
+  const Quantifier clean(line_curve(2.0, 0.0, 0.05 * std::sqrt(2.0)));
+  EXPECT_GT(noisy.response_sigma(), clean.response_sigma());
+}
+
+TEST(Quantifier, InvertsNegativeSlopeCurves) {
+  // Cathodic conventions can make responses fall with concentration.
+  dsp::CalibrationCurve c;
+  c.add_blank(10.0 - 0.05);
+  c.add_blank(10.0 + 0.05);
+  for (double conc : {1.0, 2.0, 3.0, 4.0}) {
+    c.add_point(conc, 10.0 - 2.0 * conc);
+  }
+  const Quantifier q(c);
+  ASSERT_TRUE(q.valid());
+  EXPECT_LT(q.slope(), 0.0);
+  const ConcentrationEstimate est = q.quantify(10.0 - 2.0 * 2.5);
+  EXPECT_NEAR(est.value, 2.5, 1e-9);
+  EXPECT_FALSE(est.below_lod());
+  // A response near the blank level is below LOD for a falling curve too.
+  EXPECT_TRUE(q.quantify(9.99).below_lod());
+}
+
+TEST(Quantifier, GlobalFitFallbackIsFlagged) {
+  // Strong curvature: no window passes a 1% tolerance, so the quantifier
+  // falls back to the global fit and says so on every estimate.
+  dsp::CalibrationCurve c;
+  c.add_blank(-0.01);
+  c.add_blank(0.01);
+  for (double conc : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    c.add_point(conc, 2.0 * conc / (1.0 + conc / 1.5));
+  }
+  const Quantifier q(c, QuantifierOptions{.linear_tolerance = 0.01,
+                                          .coverage_z = 3.0});
+  const ConcentrationEstimate est = q.quantify(1.0);
+  EXPECT_TRUE(has_flag(est.flags, QuantFlag::kGlobalFit));
+  EXPECT_FALSE(est.ok());
+}
+
+TEST(Quantifier, NoBlanksDisablesLodFlag) {
+  dsp::CalibrationCurve c;
+  for (double conc : {1.0, 2.0, 3.0}) c.add_point(conc, 2.0 * conc);
+  const Quantifier q(c);
+  EXPECT_FALSE(q.lod_known());
+  EXPECT_FALSE(q.quantify(0.0).below_lod());
+}
+
+TEST(Quantifier, DefaultConstructedIsInvalid) {
+  const Quantifier q;
+  EXPECT_FALSE(q.valid());
+  EXPECT_THROW(q.quantify(1.0), std::invalid_argument);
+}
+
+TEST(Quantifier, RejectsDegenerateCurves) {
+  dsp::CalibrationCurve flat;
+  flat.add_point(1.0, 1.0);
+  flat.add_point(1.0, 1.1);
+  EXPECT_THROW(Quantifier{flat}, std::invalid_argument);
+
+  dsp::CalibrationCurve zero_slope;
+  for (double conc : {1.0, 2.0, 3.0}) zero_slope.add_point(conc, 5.0);
+  EXPECT_THROW(Quantifier{zero_slope}, std::invalid_argument);
+
+  EXPECT_THROW(
+      Quantifier(line_curve(2.0, 0.0),
+                 QuantifierOptions{.linear_tolerance = 0.07, .coverage_z = 0.0}),
+      std::invalid_argument);
+}
+
+TEST(QuantFlagOps, BitmaskSemantics) {
+  QuantFlag f = QuantFlag::kNone;
+  EXPECT_FALSE(has_flag(f, QuantFlag::kBelowLod));
+  f |= QuantFlag::kBelowLod;
+  f |= QuantFlag::kBelowRange;
+  EXPECT_TRUE(has_flag(f, QuantFlag::kBelowLod));
+  EXPECT_TRUE(has_flag(f, QuantFlag::kBelowRange));
+  EXPECT_FALSE(has_flag(f, QuantFlag::kAboveRange));
+  EXPECT_EQ(f & QuantFlag::kAboveRange, QuantFlag::kNone);
+}
+
+}  // namespace
+}  // namespace idp::quant

@@ -1,0 +1,164 @@
+/// \file cohort_test.cpp
+/// Virtual-patient cohort generation: seeded determinism, extendability,
+/// jitter semantics and plan bookkeeping.
+
+#include "scenario/cohort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace idp::scenario {
+namespace {
+
+std::vector<AnalytePlan> two_plans() {
+  AnalytePlan glucose;
+  glucose.target = bio::TargetId::kGlucose;
+  glucose.pk.volume_of_distribution_l = 15.0;
+  glucose.pk.elimination_half_life_h = 1.5;
+  glucose.pk.absorption_half_life_h = 0.4;
+  glucose.pk.bioavailability = 0.8;
+  glucose.pk.molar_mass_g_per_mol = 180.0;
+  glucose.regimen = repeated_regimen(0.0, 6.0, 3, 75000.0, Route::kOral);
+  glucose.baseline_mM = 5.0;
+
+  AnalytePlan drug;
+  drug.target = bio::TargetId::kBenzphetamine;
+  drug.pk.volume_of_distribution_l = 40.0;
+  drug.pk.elimination_half_life_h = 8.0;
+  drug.pk.absorption_half_life_h = 0.6;
+  drug.pk.bioavailability = 0.7;
+  drug.pk.molar_mass_g_per_mol = 239.4;
+  drug.regimen = repeated_regimen(0.0, 12.0, 2, 6000.0, Route::kOral);
+  return {glucose, drug};
+}
+
+TEST(Cohort, SameSpecReproducesBitwise) {
+  const auto plans = two_plans();
+  CohortSpec spec;
+  spec.patients = 5;
+  spec.seed = 123;
+  const auto a = generate_cohort(spec, plans);
+  const auto b = generate_cohort(spec, plans);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    ASSERT_EQ(a[p].analytes.size(), plans.size());
+    for (std::size_t c = 0; c < plans.size(); ++c) {
+      const PkParameters& pa = a[p].analytes[c].model.parameters();
+      const PkParameters& pb = b[p].analytes[c].model.parameters();
+      EXPECT_DOUBLE_EQ(pa.volume_of_distribution_l,
+                       pb.volume_of_distribution_l);
+      EXPECT_DOUBLE_EQ(pa.elimination_half_life_h,
+                       pb.elimination_half_life_h);
+      EXPECT_DOUBLE_EQ(pa.absorption_half_life_h, pb.absorption_half_life_h);
+      EXPECT_DOUBLE_EQ(pa.bioavailability, pb.bioavailability);
+      EXPECT_DOUBLE_EQ(a[p].analytes[c].baseline_mM,
+                       b[p].analytes[c].baseline_mM);
+    }
+  }
+}
+
+TEST(Cohort, GrowingTheCohortKeepsExistingPatients) {
+  const auto plans = two_plans();
+  CohortSpec small;
+  small.patients = 3;
+  small.seed = 9;
+  CohortSpec large = small;
+  large.patients = 8;
+  const auto a = generate_cohort(small, plans);
+  const auto b = generate_cohort(large, plans);
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_DOUBLE_EQ(
+        a[p].analytes[0].model.parameters().volume_of_distribution_l,
+        b[p].analytes[0].model.parameters().volume_of_distribution_l);
+    EXPECT_DOUBLE_EQ(a[p].analytes[1].model.parameters().bioavailability,
+                     b[p].analytes[1].model.parameters().bioavailability);
+  }
+}
+
+TEST(Cohort, DifferentSeedsDiffer) {
+  const auto plans = two_plans();
+  CohortSpec spec;
+  spec.patients = 2;
+  spec.seed = 1;
+  CohortSpec other = spec;
+  other.seed = 2;
+  const auto a = generate_cohort(spec, plans);
+  const auto b = generate_cohort(other, plans);
+  EXPECT_NE(a[0].analytes[0].model.parameters().volume_of_distribution_l,
+            b[0].analytes[0].model.parameters().volume_of_distribution_l);
+}
+
+TEST(Cohort, PatientsDifferFromEachOther) {
+  const auto plans = two_plans();
+  CohortSpec spec;
+  spec.patients = 2;
+  const auto cohort = generate_cohort(spec, plans);
+  EXPECT_NE(
+      cohort[0].analytes[0].model.parameters().elimination_half_life_h,
+      cohort[1].analytes[0].model.parameters().elimination_half_life_h);
+}
+
+TEST(Cohort, ZeroJitterReproducesTheBasePlan) {
+  const auto plans = two_plans();
+  CohortSpec spec;
+  spec.patients = 3;
+  spec.volume_jitter = 0.0;
+  spec.clearance_jitter = 0.0;
+  spec.absorption_jitter = 0.0;
+  spec.bioavailability_jitter = 0.0;
+  spec.baseline_jitter = 0.0;
+  const auto cohort = generate_cohort(spec, plans);
+  for (const VirtualPatient& p : cohort) {
+    EXPECT_DOUBLE_EQ(p.analytes[0].model.parameters().volume_of_distribution_l,
+                     plans[0].pk.volume_of_distribution_l);
+    EXPECT_DOUBLE_EQ(p.analytes[0].baseline_mM, plans[0].baseline_mM);
+  }
+}
+
+TEST(Cohort, JitteredParametersStayPhysical) {
+  const auto plans = two_plans();
+  CohortSpec spec;
+  spec.patients = 64;
+  spec.bioavailability_jitter = 0.5;  // aggressive: exercises the clamp
+  const auto cohort = generate_cohort(spec, plans);
+  for (const VirtualPatient& p : cohort) {
+    for (const PatientAnalyte& a : p.analytes) {
+      const PkParameters& pk = a.model.parameters();
+      EXPECT_GT(pk.volume_of_distribution_l, 0.0);
+      EXPECT_GT(pk.elimination_half_life_h, 0.0);
+      EXPECT_GT(pk.absorption_half_life_h, 0.0);
+      EXPECT_GT(pk.bioavailability, 0.0);
+      EXPECT_LE(pk.bioavailability, 1.0);
+      EXPECT_GE(a.baseline_mM, 0.0);
+    }
+  }
+}
+
+TEST(Cohort, TrueConcentrationIsBaselinePlusPk) {
+  const auto plans = two_plans();
+  CohortSpec spec;
+  spec.patients = 1;
+  spec.volume_jitter = 0.0;
+  spec.clearance_jitter = 0.0;
+  spec.absorption_jitter = 0.0;
+  spec.bioavailability_jitter = 0.0;
+  spec.baseline_jitter = 0.0;
+  const auto cohort = generate_cohort(spec, plans);
+  const PkModel base(plans[0].pk);
+  const double t = 1.5;
+  EXPECT_NEAR(cohort[0].true_concentration_mM(plans[0], 0, t),
+              5.0 + base.concentration_mM(plans[0].regimen, t), 1e-12);
+}
+
+TEST(Cohort, Validates) {
+  const auto plans = two_plans();
+  CohortSpec spec;
+  spec.patients = 0;
+  EXPECT_THROW(generate_cohort(spec, plans), std::invalid_argument);
+  spec.patients = 2;
+  EXPECT_THROW(generate_cohort(spec, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::scenario

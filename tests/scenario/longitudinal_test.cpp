@@ -1,0 +1,208 @@
+/// \file longitudinal_test.cpp
+/// Determinism contract of the longitudinal scenario path (mirrors
+/// tests/sim/batch_test.cpp): cohort runs are bitwise identical at
+/// parallelism 1 vs N and across repeated runs with one seed, plus report
+/// bookkeeping (percentiles, flags, coverage, CSV export).
+
+#include "scenario/longitudinal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "scenario/cohort.hpp"
+
+namespace idp::scenario {
+namespace {
+
+quant::CampaignConfig fast_campaign() {
+  quant::CampaignConfig config;
+  config.seed = 515151;
+  config.calibration_points = 4;
+  config.blank_measurements = 4;
+  config.ca_duration_s = 6.0;
+  return config;
+}
+
+std::vector<AnalytePlan> metabolic_plans() {
+  // Two chronoamperometric channels: glucose excursions after meals plus
+  // lactate clearance -- cheap enough to sweep a cohort in a unit test.
+  AnalytePlan glucose;
+  glucose.target = bio::TargetId::kGlucose;
+  glucose.pk.volume_of_distribution_l = 15.0;
+  glucose.pk.elimination_half_life_h = 1.5;
+  glucose.pk.absorption_half_life_h = 0.4;
+  glucose.pk.bioavailability = 0.8;
+  glucose.pk.molar_mass_g_per_mol = 180.2;
+  // Meal-sized excursions that stay inside the probe's 0.5-4 mM calibrated
+  // window (clamping is exercised separately).
+  glucose.regimen = repeated_regimen(0.5, 6.0, 2, 6000.0, Route::kOral);
+  glucose.baseline_mM = 1.2;
+
+  AnalytePlan lactate;
+  lactate.target = bio::TargetId::kLactate;
+  lactate.pk.volume_of_distribution_l = 30.0;
+  lactate.pk.elimination_half_life_h = 0.8;
+  lactate.pk.absorption_half_life_h = 0.2;
+  lactate.pk.bioavailability = 1.0;
+  lactate.pk.molar_mass_g_per_mol = 90.1;
+  lactate.regimen = {DoseEvent{1.0, 4000.0, Route::kIvBolus}};
+  lactate.baseline_mM = 0.8;
+  return {glucose, lactate};
+}
+
+CohortReport run_once(std::size_t parallelism, std::uint64_t engine_seed) {
+  quant::CalibrationStore store(fast_campaign());
+  LongitudinalConfig config;
+  config.sample_times_h = {0.0, 1.0, 2.5, 6.5};
+  config.engine_seed = engine_seed;
+  config.parallelism = parallelism;
+  const LongitudinalRunner runner(store, config);
+
+  const auto plans = metabolic_plans();
+  CohortSpec spec;
+  spec.patients = 3;
+  spec.seed = 77;
+  const auto cohort = generate_cohort(spec, plans);
+  return runner.run(plans, cohort);
+}
+
+void expect_identical(const CohortReport& a, const CohortReport& b) {
+  ASSERT_EQ(a.patients.size(), b.patients.size());
+  ASSERT_EQ(a.targets.size(), b.targets.size());
+  for (std::size_t p = 0; p < a.patients.size(); ++p) {
+    const PatientTimeCourse& x = a.patients[p];
+    const PatientTimeCourse& y = b.patients[p];
+    EXPECT_EQ(x.patient_id, y.patient_id);
+    ASSERT_EQ(x.channels.size(), y.channels.size());
+    for (std::size_t c = 0; c < x.channels.size(); ++c) {
+      ASSERT_EQ(x.channels[c].size(), y.channels[c].size());
+      for (std::size_t t = 0; t < x.channels[c].size(); ++t) {
+        const ChannelSample& s = x.channels[c][t];
+        const ChannelSample& r = y.channels[c][t];
+        ASSERT_DOUBLE_EQ(s.time_h, r.time_h);
+        ASSERT_DOUBLE_EQ(s.truth_mM, r.truth_mM);
+        ASSERT_DOUBLE_EQ(s.response, r.response);
+        ASSERT_DOUBLE_EQ(s.estimate.value, r.estimate.value);
+        ASSERT_DOUBLE_EQ(s.estimate.ci_low, r.estimate.ci_low);
+        ASSERT_DOUBLE_EQ(s.estimate.ci_high, r.estimate.ci_high);
+        ASSERT_EQ(s.estimate.flags, r.estimate.flags);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < a.estimate_percentiles.size(); ++c) {
+    for (std::size_t t = 0; t < a.estimate_percentiles[c].size(); ++t) {
+      ASSERT_DOUBLE_EQ(a.estimate_percentiles[c][t].p50,
+                       b.estimate_percentiles[c][t].p50);
+      ASSERT_DOUBLE_EQ(a.truth_percentiles[c][t].p90,
+                       b.truth_percentiles[c][t].p90);
+    }
+  }
+}
+
+TEST(Longitudinal, ParallelCohortMatchesSequentialBitForBit) {
+  const CohortReport sequential = run_once(1, 2026);
+  const CohortReport parallel = run_once(4, 2026);
+  expect_identical(sequential, parallel);
+}
+
+TEST(Longitudinal, HardwareParallelismMatchesSequentialBitForBit) {
+  const CohortReport sequential = run_once(1, 31);
+  const CohortReport hardware = run_once(0, 31);
+  expect_identical(sequential, hardware);
+}
+
+TEST(Longitudinal, SameSeedReproducesAcrossRuns) {
+  const CohortReport first = run_once(4, 99);
+  const CohortReport second = run_once(4, 99);
+  expect_identical(first, second);
+}
+
+TEST(Longitudinal, DifferentEngineSeedsChangeResponsesNotTruths) {
+  const CohortReport a = run_once(1, 1);
+  const CohortReport b = run_once(1, 2);
+  EXPECT_NE(a.patients[0].channels[0][1].response,
+            b.patients[0].channels[0][1].response);
+  EXPECT_DOUBLE_EQ(a.patients[0].channels[0][1].truth_mM,
+                   b.patients[0].channels[0][1].truth_mM);
+}
+
+TEST(Longitudinal, ReportBookkeeping) {
+  const CohortReport report = run_once(0, 5);
+  // 3 patients x 2 channels x 4 timepoints.
+  EXPECT_EQ(report.sample_count(), 24u);
+  ASSERT_EQ(report.targets.size(), 2u);
+  ASSERT_EQ(report.sample_times_h.size(), 4u);
+  ASSERT_EQ(report.estimate_percentiles.size(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    ASSERT_EQ(report.estimate_percentiles[c].size(), 4u);
+    for (const PercentileBand& band : report.estimate_percentiles[c]) {
+      EXPECT_LE(band.p10, band.p50);
+      EXPECT_LE(band.p50, band.p90);
+    }
+  }
+  EXPECT_GE(report.ci_coverage(), 0.0);
+  EXPECT_LE(report.ci_coverage(), 1.0);
+  EXPECT_LE(report.flag_count(quant::QuantFlag::kBelowLod),
+            report.sample_count());
+  EXPECT_GE(report.rms_error_mM(0), 0.0);
+}
+
+TEST(Longitudinal, QuantificationTracksTheCohortTruth) {
+  // The diagnostic loop end-to-end: estimates follow each patient's
+  // time-course. Demand CI coverage on the vast majority of samples and a
+  // glucose RMS error small against the population dynamic range.
+  const CohortReport report = run_once(0, 2026);
+  EXPECT_GE(report.ci_coverage(), 0.9);
+  double truth_max = 0.0;
+  for (const PatientTimeCourse& p : report.patients) {
+    for (const ChannelSample& s : p.channels[0]) {
+      truth_max = std::max(truth_max, s.truth_mM);
+    }
+  }
+  EXPECT_GT(truth_max, 1.8);  // meals actually moved glucose off baseline
+  EXPECT_LT(report.rms_error_mM(0), 0.2 * truth_max);
+}
+
+TEST(Longitudinal, CsvExportWritesEverySample) {
+  const CohortReport report = run_once(1, 8);
+  const std::string path = "longitudinal_test_report.csv";
+  report.to_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "patient,channel,time_h,truth_mM,estimate_mM,ci_low_mM,"
+            "ci_high_mM,flags");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, report.sample_count());
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(Longitudinal, ValidatesInputs) {
+  quant::CalibrationStore store(fast_campaign());
+  LongitudinalConfig config;
+  config.sample_times_h = {};
+  EXPECT_THROW(LongitudinalRunner(store, config), std::invalid_argument);
+  config.sample_times_h = {2.0, 1.0};  // unsorted
+  EXPECT_THROW(LongitudinalRunner(store, config), std::invalid_argument);
+
+  config.sample_times_h = {0.0, 1.0};
+  const LongitudinalRunner runner(store, config);
+  const auto plans = metabolic_plans();
+  CohortSpec spec;
+  spec.patients = 2;
+  auto cohort = generate_cohort(spec, plans);
+  cohort[1].analytes.pop_back();  // mismatched plan set
+  EXPECT_THROW(runner.run(plans, cohort), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::scenario

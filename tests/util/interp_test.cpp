@@ -26,6 +26,53 @@ TEST(Interp, ClampsOutsideRange) {
   EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 3.0), 7.0);
 }
 
+TEST(Interp, ClampedVariantMatchesDefaultEverywhere) {
+  const std::vector<double> xs{0.0, 0.5, 1.7, 3.0};
+  const std::vector<double> ys{-1.0, 0.2, 2.0, 2.5};
+  for (double x : {-2.0, 0.0, 0.3, 1.7, 2.9, 3.0, 9.0}) {
+    EXPECT_DOUBLE_EQ(interp_linear_clamped(xs, ys, x),
+                     interp_linear(xs, ys, x));
+  }
+}
+
+TEST(Interp, ExtrapolateMatchesInterpolationInsideRange) {
+  const std::vector<double> xs{0.0, 0.5, 1.7, 3.0};
+  const std::vector<double> ys{-1.0, 0.2, 2.0, 2.5};
+  for (double x : {0.0, 0.25, 0.5, 1.0, 1.7, 2.2, 3.0}) {
+    EXPECT_DOUBLE_EQ(interp_linear_extrapolate(xs, ys, x),
+                     interp_linear(xs, ys, x));
+  }
+}
+
+TEST(Interp, ExtrapolateExtendsBoundarySegments) {
+  // First segment: slope (10-0)/(2-0) = 5; last: slope (16-10)/(5-2) = 2.
+  const std::vector<double> xs{0.0, 2.0, 5.0};
+  const std::vector<double> ys{0.0, 10.0, 16.0};
+  EXPECT_DOUBLE_EQ(interp_linear_extrapolate(xs, ys, -1.0), -5.0);
+  EXPECT_DOUBLE_EQ(interp_linear_extrapolate(xs, ys, 7.0), 20.0);
+  // ...where the clamped variant pins the boundary ordinates.
+  EXPECT_DOUBLE_EQ(interp_linear_clamped(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp_linear_clamped(xs, ys, 7.0), 16.0);
+}
+
+TEST(Interp, ExtrapolateExactAtBoundaryNodes) {
+  const std::vector<double> xs{1.0, 2.0, 4.0};
+  const std::vector<double> ys{3.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(interp_linear_extrapolate(xs, ys, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(interp_linear_extrapolate(xs, ys, 4.0), 6.0);
+}
+
+TEST(Interp, ExtrapolateThrowsLikeInterp) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> short_ys{1.0, 2.0};
+  EXPECT_THROW(interp_linear_extrapolate(xs, short_ys, 1.5),
+               std::invalid_argument);
+  const std::vector<double> one_x{1.0};
+  const std::vector<double> one_y{1.0};
+  EXPECT_THROW(interp_linear_extrapolate(one_x, one_y, 1.5),
+               std::invalid_argument);
+}
+
 TEST(Interp, ThrowsOnMismatch) {
   const std::vector<double> xs{1.0, 2.0, 3.0};
   const std::vector<double> ys{1.0, 2.0};
