@@ -1,0 +1,117 @@
+/// \file sensor_lifetime.cpp
+/// "How long until this sensor lies to the clinician?" -- a 30-day
+/// continuous glucose-monitoring run on ONE patient with a realistically
+/// aging sensor: membrane fouling throttles the substrate supply, the
+/// enzyme slowly denatures, the reference electrode wanders and occasional
+/// interference storms hit the chamber. A QC check (blank + standard) runs
+/// with every daily scan; the CUSUM drift detector trips twice over the
+/// month, each time scheduling a recalibration campaign on the aged sensor
+/// that pulls the reported glucose back onto the truth.
+///
+/// Emits sensor_lifetime.csv (per-day truth, estimate, drift statistic,
+/// calibration epoch) and prints the recalibration log.
+#include <cstdio>
+#include <iostream>
+
+#include "scenario/longitudinal.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace idp;
+
+  std::cout << "IDP example: 30-day sensor lifetime with adaptive "
+               "recalibration\n\n";
+
+  // --- one patient, one steady glucose channel ------------------------------
+  // Constant mid-range truth: every deviation of the *estimate* is sensor
+  // aging, not physiology.
+  scenario::AnalytePlan glucose;
+  glucose.target = bio::TargetId::kGlucose;
+  glucose.baseline_mM = 2.0;
+  const std::vector<scenario::AnalytePlan> plans{glucose};
+
+  scenario::CohortSpec cohort_spec;
+  cohort_spec.patients = 1;
+  cohort_spec.seed = 30;
+  cohort_spec.baseline_jitter = 0.0;
+  const auto cohort = scenario::generate_cohort(cohort_spec, plans);
+
+  // --- the aging sensor -----------------------------------------------------
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.02;        // ~63% transmission at day 30
+  aging.enzyme_decay_per_day = 0.008;       // ~79% activity at day 30
+  aging.reference_drift_V_per_day = -0.3e-3;
+  aging.reference_walk_V_per_sqrt_day = 0.5e-3;
+  aging.storms_per_day = 0.1;               // ~3 storm days a month
+  aging.storm_current_A = 4e-9;
+  aging.seed = 77;
+
+  quant::CampaignConfig campaign;
+  campaign.calibration_points = 5;
+  campaign.blank_measurements = 6;
+  campaign.ca_duration_s = 15.0;
+  quant::CalibrationStore store(campaign);
+
+  scenario::LongitudinalConfig config;
+  for (int day = 0; day <= 30; ++day) {
+    config.sample_times_h.push_back(day * 24.0);
+  }
+  config.engine_seed = 42;
+  config.parallelism = 0;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration.enabled = true;
+  config.recalibration.cusum_threshold = 8.0;
+  config.recalibration.min_interval_h = 7.0 * 24.0;  // service at most weekly
+  config.recalibration.max_recalibrations = 3;
+  const scenario::LongitudinalRunner runner(store, config);
+
+  const scenario::CohortReport report = runner.run(plans, cohort);
+
+  // --- the lifetime story ---------------------------------------------------
+  util::ConsoleTable table({"day", "truth (mM)", "reported (mM)",
+                            "error (mM)", "drift CUSUM", "epoch"});
+  const auto& course = report.patients[0].channels[0];
+  for (std::size_t t = 0; t < course.size(); t += 3) {
+    const scenario::ChannelSample& s = course[t];
+    table.add_row({util::format_fixed(s.sensor_age_days, 0),
+                   util::format_fixed(s.truth_mM, 2),
+                   util::format_fixed(s.estimate.value, 2),
+                   util::format_fixed(s.estimate.value - s.truth_mM, 2),
+                   util::format_fixed(s.drift_metric, 1),
+                   std::to_string(s.calibration_epoch) +
+                       (s.recalibrated ? " *" : "")});
+  }
+  std::cout << "Every third day of the time-course (* = recalibrated):\n";
+  table.print(std::cout);
+
+  std::cout << "\nRecalibration log:\n";
+  for (const scenario::RecalibrationEvent& event : report.recalibrations) {
+    std::printf(
+        "  day %4.1f  channel %zu  drift statistic %.1f -> campaign, "
+        "epoch %u\n",
+        event.sensor_age_days, event.channel, event.drift_metric,
+        event.epoch);
+  }
+
+  const double week1 = report.rms_error_mM(0, 0.0, 7.0 * 24.0);
+  const double week4 = report.rms_error_mM(0, 21.0 * 24.0, 31.0 * 24.0);
+  std::printf(
+      "\nRMS error week 1: %.3f mM | week 4 (two recalibrations later): "
+      "%.3f mM\nmax drift statistic: %.1f | recalibrations: %zu\n",
+      week1, week4, report.max_drift_metric(0), report.recalibrations.size());
+
+  const std::string csv = "sensor_lifetime.csv";
+  report.to_csv(csv);
+  std::cout << "\nFull time-course written to " << csv
+            << " (incl. sensor age, drift metric, QC residual, calibration "
+               "epoch).\nWithout the recalibrations the week-4 estimates "
+               "would still be read off the factory curve of a sensor that "
+               "no longer exists.\n";
+
+  // Smoke-test contract: the policy must actually have fired.
+  if (report.recalibrations.size() < 2) {
+    std::cerr << "expected at least two recalibrations over 30 days\n";
+    return 1;
+  }
+  return 0;
+}

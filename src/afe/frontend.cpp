@@ -35,11 +35,21 @@ double AnalogFrontEnd::lsb_current() const {
   return adc_.lsb() / config_.tia.feedback_resistance;
 }
 
+void AnalogFrontEnd::set_drift(double gain, double offset_A) {
+  util::require(gain > 0.0, "AFE drift gain must be positive");
+  drift_gain_ = gain;
+  drift_offset_ = offset_A;
+}
+
 double AnalogFrontEnd::sample(double i_signal, double i_blank) {
   // CDS subtracts the blank channel in the analog domain; the blank's own
   // white noise is already embedded in i_blank by the caller, so the
   // sqrt(2) white penalty arises naturally.
   double i_eff = config_.reduction.cds ? (i_signal - i_blank) : i_signal;
+
+  // Electronics aging: gain/offset error at the chain input. The identity
+  // (1, 0) multiplies and adds out exactly.
+  i_eff = i_eff * drift_gain_ + drift_offset_;
 
   // Amplifier flicker (suppressed by the enabled countermeasures) and white
   // electronic noise.

@@ -51,6 +51,14 @@ class AnalogFrontEnd {
   /// \return digitised current estimate [A]
   double sample(double i_signal, double i_blank = 0.0);
 
+  /// Electronics aging (fault subsystem): the chain reads
+  /// gain * i + offset at its input until the next call. The measurement
+  /// engine applies the channel's SensorState here at scan start; the
+  /// identity (1, 0) is an exact no-op. Gain must be positive.
+  void set_drift(double gain, double offset_A);
+  double drift_gain() const { return drift_gain_; }
+  double drift_offset() const { return drift_offset_; }
+
   /// RMS of the electronic noise added per sample [A] (white part).
   double white_noise_rms() const { return white_rms_; }
 
@@ -72,6 +80,8 @@ class AnalogFrontEnd {
   util::Rng rng_;
   util::PinkNoise flicker_;
   double white_rms_ = 0.0;
+  double drift_gain_ = 1.0;    ///< aging gain error (1 = nominal)
+  double drift_offset_ = 0.0;  ///< aging input offset current [A]
 };
 
 }  // namespace idp::afe

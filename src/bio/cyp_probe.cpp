@@ -163,6 +163,17 @@ std::vector<std::string> CypProbe::targets() const {
   return names;
 }
 
+void CypProbe::apply_sensor_state(const fault::SensorState& state) {
+  util::require(state.enzyme_activity > 0.0 &&
+                    state.membrane_transmission > 0.0,
+                "sensor state must keep activity and transmission positive");
+  enzyme_activity_ = state.enzyme_activity;
+  for (auto& s : states_) {
+    // set_diffusivity_scale no-ops when the scale is unchanged.
+    s.drug.set_diffusivity_scale(state.membrane_transmission);
+  }
+}
+
 void CypProbe::set_bulk_concentration(const std::string& target, double c) {
   util::require(c >= 0.0, "negative concentration");
   for (auto& s : states_) {
@@ -189,14 +200,17 @@ double CypProbe::step(double e, double dt) {
     s.theta_red = theta_new;
 
     // Faradaic surface current: reduction (theta rising) is cathodic (< 0).
-    current -= util::kFaraday * params_.area * s.coverage * dtheta_dt;
+    // Denatured hemes (enzyme_activity_ < 1) neither exchange electrons nor
+    // turn substrate over; 1.0 multiplies out exactly.
+    current -= util::kFaraday * params_.area * s.coverage * dtheta_dt *
+               enzyme_activity_;
 
     // Catalytic turnover (EC'): the reduced film consumes drug arriving at
     // the surface. Linearised Michaelis-Menten folded into the implicit
     // boundary of the drug's diffusion field.
     const double c_surf = s.drug.at_electrode();
-    const double k_eff =
-        s.kcat * s.coverage * s.theta_red / (s.params.km + c_surf);
+    const double k_eff = s.kcat * s.coverage * s.theta_red *
+                         enzyme_activity_ / (s.params.km + c_surf);
     s.drug.set_electrode_rate(k_eff);
     const double j_drug = s.drug.step(dt);
     current -= kElectronsPerTurnover * util::kFaraday * params_.area * j_drug;

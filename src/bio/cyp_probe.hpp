@@ -66,6 +66,12 @@ class CypProbe final : public Probe {
   double blank_current() const override { return params_.background_current; }
   double blank_noise_rms() const override { return params_.blank_noise_rms; }
 
+  /// Degradation hooks: enzyme_activity scales the catalytically active
+  /// heme population (surface ET *and* turnover), membrane_transmission
+  /// scales the drug-supply diffusivity (film fouling). Identity states
+  /// are exact no-ops.
+  void apply_sensor_state(const fault::SensorState& state) override;
+
   /// Reduced fraction of the heme sub-population serving target k.
   double reduced_fraction(std::size_t k) const;
   /// Table II reduction potential of target k.
@@ -95,6 +101,7 @@ class CypProbe final : public Probe {
 
   CypProbeParams params_;
   std::vector<TargetState> states_;
+  double enzyme_activity_ = 1.0;  ///< fault-state active-heme fraction
 };
 
 }  // namespace idp::bio

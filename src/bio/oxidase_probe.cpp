@@ -130,6 +130,18 @@ void OxidaseProbe::calibrate_loading() {
   kinetics_.vmax = v1;
 }
 
+void OxidaseProbe::apply_sensor_state(const fault::SensorState& state) {
+  util::require(state.enzyme_activity > 0.0 &&
+                    state.membrane_transmission > 0.0,
+                "sensor state must keep activity and transmission positive");
+  enzyme_activity_ = state.enzyme_activity;
+  // Fouling throttles substrate ingress through the (already
+  // rate-limiting) outer membrane; H2O2 egress is left untouched -- the
+  // dominant signal loss is on the supply side. (set_diffusivity_scale
+  // no-ops when the scale is unchanged.)
+  substrate_.set_diffusivity_scale(state.membrane_transmission);
+}
+
 void OxidaseProbe::set_bulk_concentration(const std::string& target, double c) {
   util::require(target == params_.target,
                 "unknown target '" + target + "' for probe " + params_.name);
@@ -150,7 +162,9 @@ double OxidaseProbe::step(double e, double dt) {
   for (std::size_t i = 0; i < source_substrate_.size(); ++i) {
     double r = 0.0;
     if (i < n_mem) {
-      r = kinetics_.rate(substrate_.at(i));
+      // enzyme_activity_ folds sensor aging into the local rate; 1.0 (the
+      // pristine default) multiplies out exactly.
+      r = kinetics_.rate(substrate_.at(i)) * enzyme_activity_;
       r = std::min(r, 0.9 * substrate_.at(i) / dt);
     }
     source_substrate_[i] = -r;

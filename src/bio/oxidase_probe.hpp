@@ -91,6 +91,12 @@ class OxidaseProbe final : public Probe {
   double blank_current() const override { return params_.background_current; }
   double blank_noise_rms() const override { return params_.blank_noise_rms; }
 
+  /// Degradation hooks: enzyme_activity scales the Michaelis-Menten rate
+  /// (denatured enzyme), membrane_transmission scales the substrate
+  /// diffusivity (fouling film throttles ingress *and* slows the
+  /// response). Identity states are exact no-ops.
+  void apply_sensor_state(const fault::SensorState& state) override;
+
   /// Table I operating potential for this oxidase.
   double applied_potential() const { return params_.applied_potential; }
   /// Calibrated Michaelis-Menten law (for white-box tests).
@@ -115,6 +121,7 @@ class OxidaseProbe final : public Probe {
   std::vector<double> source_substrate_;
   std::vector<double> source_peroxide_;
   double bulk_concentration_ = 0.0;
+  double enzyme_activity_ = 1.0;  ///< fault-state activity fraction
 };
 
 }  // namespace idp::bio

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/sensor_state.hpp"
+
 namespace idp::bio {
 
 /// Electrochemical technique a probe is read with (Section I-B).
@@ -70,6 +72,16 @@ class Probe {
   /// extra blank WE "is not helpful" for dopamine and etoposide: correlated
   /// double sampling would subtract the signal itself.
   virtual double blank_signal_fraction() const { return 0.0; }
+
+  /// Apply a time-varying sensor condition (fault/degradation subsystem).
+  /// The measurement engine calls this at scan start with the channel's
+  /// SensorState; probes that model aging consult the enzyme-activity and
+  /// membrane-transmission fields. The condition is orthogonal to reset():
+  /// it persists until the next apply call. Default: ignore (pristine
+  /// behaviour for probes without a degradation model).
+  virtual void apply_sensor_state(const fault::SensorState& state) {
+    (void)state;
+  }
 };
 
 using ProbePtr = std::unique_ptr<Probe>;

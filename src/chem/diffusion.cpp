@@ -30,15 +30,30 @@ void DiffusionField::init(double c_init) {
   c_bulk_ = c_init;
   source_.assign(grid_.size(), 0.0);
   d_face_.resize(grid_.size() - 1);
-  for (std::size_t i = 0; i + 1 < grid_.size(); ++i) {
-    d_face_[i] = 2.0 * d_[i] * d_[i + 1] / (d_[i] + d_[i + 1]);
-  }
+  rebuild_face_diffusivity();
   const std::size_t n = grid_.size();
   lower_.resize(n);
   diag_.resize(n);
   upper_.resize(n);
   rhs_.resize(n);
   scratch_.resize(n);
+}
+
+void DiffusionField::rebuild_face_diffusivity() {
+  // Harmonic interface mean of the scaled per-node diffusivities; a uniform
+  // scale factors out, so applying it after the mean is exact (and scale 1
+  // reproduces the constructed values bitwise).
+  for (std::size_t i = 0; i + 1 < grid_.size(); ++i) {
+    const double harmonic = 2.0 * d_[i] * d_[i + 1] / (d_[i] + d_[i + 1]);
+    d_face_[i] = d_scale_ == 1.0 ? harmonic : d_scale_ * harmonic;
+  }
+}
+
+void DiffusionField::set_diffusivity_scale(double scale) {
+  util::require(scale > 0.0, "diffusivity scale must be positive");
+  if (scale == d_scale_) return;
+  d_scale_ = scale;
+  rebuild_face_diffusivity();
 }
 
 void DiffusionField::set_bulk_concentration(double c) {

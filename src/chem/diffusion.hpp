@@ -55,6 +55,14 @@ class DiffusionField {
   /// Reset the whole profile to a uniform concentration.
   void fill(double c);
 
+  /// Uniformly scale the effective diffusivity to `scale` times the
+  /// constructed base values (must be > 0). Models a fouling film whose
+  /// growing diffusion resistance throttles transport without rebuilding
+  /// the field: the concentration profile and boundary state persist.
+  /// Scale 1 restores the exact constructed coefficients.
+  void set_diffusivity_scale(double scale);
+  double diffusivity_scale() const { return d_scale_; }
+
   // --- time stepping -------------------------------------------------------
   /// Advance by dt seconds; returns the electrode *consumption* flux
   /// J = k_het * c(0, t+dt) in mol m^-2 s^-1 (>= 0).
@@ -73,10 +81,14 @@ class DiffusionField {
   /// Shared validation + buffer setup of both constructors (grid_ and d_
   /// must already be initialised).
   void init(double c_init);
+  /// Recompute d_face_ from the base diffusivities and the current scale.
+  void rebuild_face_diffusivity();
 
   Grid1D grid_;
-  std::vector<double> d_;        ///< per-node diffusivity
+  std::vector<double> d_;        ///< per-node *base* diffusivity
   std::vector<double> d_face_;   ///< harmonic-mean interface diffusivity
+                                 ///< (includes the fouling scale)
+  double d_scale_ = 1.0;         ///< uniform scale on the base diffusivity
   std::vector<double> c_;
   std::vector<double> source_;
   bool source_set_ = false;

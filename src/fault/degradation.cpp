@@ -1,0 +1,128 @@
+/// \file degradation.cpp
+/// Degradation model implementation: closed-form aging laws plus hashed
+/// per-(site, day) stochastic draws for storms, walks and sensor
+/// variability.
+
+#include "fault/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace idp::fault {
+
+namespace {
+
+/// splitmix64 finaliser: avalanching mix so neighbouring (patient, channel,
+/// day) tuples land on decorrelated RNG seeds.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stream tags separating the independent stochastic mechanisms.
+enum : std::uint64_t {
+  kStreamVariability = 1,
+  kStreamWalk = 2,
+  kStreamStorm = 3,
+};
+
+std::uint64_t site_seed(const DegradationParams& p, SensorSite site,
+                        std::uint64_t day, std::uint64_t stream) {
+  std::uint64_t h = mix(p.seed + stream);
+  h = mix(h ^ site.patient);
+  h = mix(h ^ site.channel);
+  h = mix(h ^ day);
+  return h;
+}
+
+}  // namespace
+
+DegradationModel::DegradationModel(DegradationParams params)
+    : params_(params) {
+  util::require(params_.enzyme_decay_per_day >= 0.0 &&
+                    params_.fouling_rate_per_day >= 0.0 &&
+                    params_.sensor_variability >= 0.0 &&
+                    params_.reference_walk_V_per_sqrt_day >= 0.0 &&
+                    params_.storms_per_day >= 0.0 &&
+                    params_.storm_current_A >= 0.0 &&
+                    params_.storm_magnitude_sigma >= 0.0,
+                "degradation rates must be non-negative");
+  util::require(params_.storm_noise_multiplier >= 1.0,
+                "storm noise multiplier must be >= 1");
+  enabled_ = params_.enzyme_decay_per_day > 0.0 ||
+             params_.fouling_rate_per_day > 0.0 ||
+             params_.reference_drift_V_per_day != 0.0 ||
+             params_.reference_walk_V_per_sqrt_day > 0.0 ||
+             params_.afe_gain_drift_per_day != 0.0 ||
+             params_.afe_offset_A_per_day != 0.0 ||
+             params_.storms_per_day > 0.0;
+}
+
+SensorState DegradationModel::state_at(double age_days,
+                                       SensorSite site) const {
+  SensorState state;
+  const double age = std::max(age_days, 0.0);
+  state.age_days = age;
+  if (!enabled_ || age == 0.0) return state;
+
+  // Per-sensor rate variability: one lognormal factor per mechanism, drawn
+  // once per sensor life (day index 0 of the variability stream).
+  double decay_rate = params_.enzyme_decay_per_day;
+  double fouling_rate = params_.fouling_rate_per_day;
+  if (params_.sensor_variability > 0.0) {
+    util::Rng rng(site_seed(params_, site, 0, kStreamVariability));
+    decay_rate *= std::exp(params_.sensor_variability * rng.gaussian());
+    fouling_rate *= std::exp(params_.sensor_variability * rng.gaussian());
+  }
+
+  if (decay_rate > 0.0) state.enzyme_activity = std::exp(-decay_rate * age);
+  if (fouling_rate > 0.0) {
+    state.membrane_transmission = 1.0 / (1.0 + fouling_rate * age);
+  }
+
+  state.reference_shift_V = params_.reference_drift_V_per_day * age;
+  if (params_.reference_walk_V_per_sqrt_day > 0.0) {
+    // Daily Gaussian increments; the partial current day contributes with
+    // sqrt(fraction) so the walk RMS grows continuously as sqrt(age).
+    const auto full_days = static_cast<std::uint64_t>(std::floor(age));
+    double walk = 0.0;
+    for (std::uint64_t d = 0; d < full_days; ++d) {
+      util::Rng rng(site_seed(params_, site, d, kStreamWalk));
+      walk += rng.gaussian();
+    }
+    const double frac = age - std::floor(age);
+    if (frac > 0.0) {
+      util::Rng rng(site_seed(params_, site, full_days, kStreamWalk));
+      walk += std::sqrt(frac) * rng.gaussian();
+    }
+    state.reference_shift_V += params_.reference_walk_V_per_sqrt_day * walk;
+  }
+
+  // Gain loss is the natural aging sign; floor the linear law well above
+  // zero so a long-lived sensor degrades into uselessness instead of
+  // tripping the front end's gain > 0 precondition mid-scan. The floor
+  // leaves an exact 1.0 when the rate is zero.
+  state.afe_gain =
+      std::max(1.0 + params_.afe_gain_drift_per_day * age, 0.05);
+  state.afe_offset_A = params_.afe_offset_A_per_day * age;
+
+  if (params_.storms_per_day > 0.0) {
+    const auto day = static_cast<std::uint64_t>(std::floor(age));
+    util::Rng rng(site_seed(params_, site, day, kStreamStorm));
+    const double p_storm = std::min(params_.storms_per_day, 1.0);
+    if (rng.uniform(0.0, 1.0) < p_storm) {
+      state.storm_current_A =
+          params_.storm_current_A *
+          std::exp(params_.storm_magnitude_sigma * rng.gaussian());
+      state.storm_noise_mult = params_.storm_noise_multiplier;
+    }
+  }
+  return state;
+}
+
+}  // namespace idp::fault

@@ -1,0 +1,89 @@
+/// \file degradation.hpp
+/// The degradation / fault-injection model: maps (sensor age, sensor site)
+/// to a fault::SensorState. Deterministic mechanisms (enzyme decay,
+/// fouling, reference ramp, AFE gain/offset drift) are closed-form in age;
+/// stochastic mechanisms (per-sensor rate variability, reference random
+/// walk, interference storms) derive every draw from an explicit hash of
+/// (model seed, patient, channel, day), so a state is a *pure function* of
+/// its arguments -- cohort sweeps stay bitwise identical at any parallelism
+/// and any evaluation order.
+///
+/// A default-constructed model is disabled and always returns the identity
+/// state, leaving every measurement bitwise unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/sensor_state.hpp"
+
+namespace idp::fault {
+
+/// Identifies one physical sensor instance inside a scenario, for seeding.
+struct SensorSite {
+  std::uint64_t patient = 0;
+  std::uint64_t channel = 0;
+};
+
+/// Degradation mechanism rates. All defaults are zero/identity; a model
+/// built from default params is disabled.
+struct DegradationParams {
+  /// First-order enzyme inactivation: activity = exp(-rate * age_days).
+  double enzyme_decay_per_day = 0.0;
+
+  /// Fouling-film growth: transmission = 1 / (1 + rate * age_days) -- the
+  /// film thickness (hence its diffusion resistance) grows linearly.
+  double fouling_rate_per_day = 0.0;
+
+  /// Lognormal sigma of per-sensor variability applied multiplicatively to
+  /// the decay and fouling rates (each physical sensor ages differently;
+  /// seeded per site, constant over that sensor's life).
+  double sensor_variability = 0.0;
+
+  /// Reference-electrode drift: a deterministic ramp plus a seeded
+  /// day-by-day Gaussian random walk (RMS grows as sqrt(age)).
+  double reference_drift_V_per_day = 0.0;
+  double reference_walk_V_per_sqrt_day = 0.0;
+
+  /// AFE electronics drift: gain = 1 + gain_rate * age_days,
+  /// offset = offset_rate * age_days.
+  double afe_gain_drift_per_day = 0.0;
+  double afe_offset_A_per_day = 0.0;
+
+  /// Interference storms: each (sensor, day) is hit independently with
+  /// probability min(1, storms_per_day). An active storm adds a lognormal
+  /// baseline current (median storm_current_A, spread storm_magnitude_sigma)
+  /// and inflates the electrochemical white noise by storm_noise_multiplier.
+  double storms_per_day = 0.0;
+  double storm_current_A = 0.0;
+  double storm_magnitude_sigma = 0.5;
+  double storm_noise_multiplier = 3.0;
+
+  /// Seed domain for every stochastic mechanism of this model.
+  std::uint64_t seed = 0;
+};
+
+/// Evaluates sensor condition as a pure function of age and site.
+class DegradationModel {
+ public:
+  /// Identity model: state_at returns a pristine state for any input.
+  DegradationModel() = default;
+
+  /// Model with the given mechanism rates (validated: rates must be
+  /// non-negative, multipliers >= 1, probability-like values finite).
+  explicit DegradationModel(DegradationParams params);
+
+  /// False for a default-constructed (all-zero-rate) model.
+  bool enabled() const { return enabled_; }
+
+  const DegradationParams& params() const { return params_; }
+
+  /// Sensor condition at `age_days` (clamped to >= 0) for the given site.
+  /// Pure: same (model, age, site) always yields the same state.
+  SensorState state_at(double age_days, SensorSite site) const;
+
+ private:
+  DegradationParams params_{};
+  bool enabled_ = false;
+};
+
+}  // namespace idp::fault

@@ -15,10 +15,6 @@ namespace idp::quant {
 
 namespace {
 
-/// Disjoint run-id block per target: ids depend on the *target*, never on
-/// build order or cache state, which is what makes campaigns reproducible.
-constexpr std::uint64_t kRunsPerTarget = 4096;
-
 std::uint64_t target_index(bio::TargetId id) {
   return static_cast<std::uint64_t>(id);
 }
@@ -115,22 +111,24 @@ CalibrationStore::CalibrationStore(CampaignConfig config)
   util::require(
       static_cast<std::uint64_t>(config_.calibration_points) +
               static_cast<std::uint64_t>(config_.blank_measurements) <
-          kRunsPerTarget,
+          kRunsPerCampaignBlock,
       "campaign exceeds the per-target run-id block");
 }
 
-CalibrationStore::Entry CalibrationStore::build_entry(
-    bio::TargetId target, const sim::ChannelProtocol& protocol) const {
+Calibration CalibrationStore::build_calibration(
+    bio::TargetId target, const sim::ChannelProtocol& protocol,
+    const fault::SensorState& sensor, std::uint64_t first_run_id,
+    std::uint64_t frontend_seed) const {
   const bio::TargetSpec& spec = bio::spec(target);
   bio::ProbePtr probe = make_campaign_probe(config_, target);
-  afe::AnalogFrontEnd frontend(campaign_frontend_config(
-      config_, config_.seed + 1000003 * (target_index(target) + 1)));
+  afe::AnalogFrontEnd frontend(
+      campaign_frontend_config(config_, frontend_seed));
   const std::string name = bio::to_string(target);
 
-  std::uint64_t next_id = target_index(target) * kRunsPerTarget;
+  std::uint64_t next_id = first_run_id;
   auto run_once = [&]() -> double {
     const std::uint64_t run_id = ++next_id;
-    const sim::Channel channel{probe.get(), nullptr};
+    const sim::Channel channel{probe.get(), nullptr, sensor};
     if (std::holds_alternative<sim::ChronoamperometryProtocol>(protocol)) {
       const auto& p = std::get<sim::ChronoamperometryProtocol>(protocol);
       const sim::Trace trace =
@@ -143,10 +141,10 @@ CalibrationStore::Entry CalibrationStore::build_entry(
     return panel_response(target, sim::Trace{}, curve);
   };
 
-  Entry entry;
+  Calibration calibration;
   probe->set_bulk_concentration(name, 0.0);
   for (int b = 0; b < config_.blank_measurements; ++b) {
-    entry.curve.add_blank(run_once());
+    calibration.curve.add_blank(run_once());
   }
 
   // Concentration sweep across the probe's specified linear range
@@ -159,11 +157,40 @@ CalibrationStore::Entry CalibrationStore::build_entry(
     const double f = static_cast<double>(i) / static_cast<double>(n - 1);
     const double c = lo + f * (hi - lo);
     probe->set_bulk_concentration(name, c);
-    entry.curve.add_point(c, run_once());
+    calibration.curve.add_point(c, run_once());
   }
 
-  entry.quantifier = Quantifier(entry.curve, config_.quantifier);
-  return entry;
+  calibration.quantifier = Quantifier(calibration.curve, config_.quantifier);
+  return calibration;
+}
+
+CalibrationStore::Entry CalibrationStore::build_entry(
+    bio::TargetId target, const sim::ChannelProtocol& protocol) const {
+  // The cached pristine campaign keeps its historical seeding (run-id
+  // block by target, front-end seed by target) so cached curves stay
+  // bitwise stable across releases -- the golden figure-of-merit fixture
+  // pins this.
+  return build_calibration(
+      target, protocol, fault::SensorState{},
+      target_index(target) * CalibrationStore::kRunsPerCampaignBlock,
+      config_.seed + 1000003 * (target_index(target) + 1));
+}
+
+Calibration CalibrationStore::recalibrate(bio::TargetId target,
+                                          const sim::ChannelProtocol& protocol,
+                                          const fault::SensorState& sensor,
+                                          std::uint64_t run_id_block) const {
+  util::require(
+      static_cast<std::uint64_t>(config_.blank_measurements) +
+              static_cast<std::uint64_t>(config_.calibration_points) <
+          kRunsPerCampaignBlock,
+      "campaign exceeds the per-block run-id budget");
+  // The front-end seed derives from the run-id block, so two
+  // recalibrations of different sensors (or of one sensor at different
+  // ages) never share an electronics noise stream.
+  return build_calibration(target, protocol, sensor, run_id_block,
+                           config_.seed + 0x5ca1ab1eULL +
+                               run_id_block * 0x9e3779b97f4a7c15ULL);
 }
 
 const CalibrationStore::Entry& CalibrationStore::entry(

@@ -22,6 +22,7 @@
 
 #include "afe/frontend.hpp"
 #include "bio/library.hpp"
+#include "fault/sensor_state.hpp"
 #include "quant/quantifier.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
@@ -70,12 +71,24 @@ double panel_response(bio::TargetId target, const sim::Trace& ca,
 /// share one cached curve).
 std::string protocol_key(const sim::ChannelProtocol& protocol);
 
+/// One campaign product: the fitted calibration data set plus the
+/// quantifier inverting it.
+struct Calibration {
+  dsp::CalibrationCurve curve;
+  Quantifier quantifier;
+};
+
 /// Builds and caches calibration curves + quantifiers per
 /// (target, protocol). Thread-safe: lookups lock briefly; campaign runs
 /// execute outside the lock, and concurrent builders of the same key agree
 /// bitwise (first insert wins). Cached entries have stable addresses.
 class CalibrationStore {
  public:
+  /// Run-id block size of one campaign: cached campaigns own block
+  /// [target * kRunsPerCampaignBlock, ...), and recalibrate() callers must
+  /// space their blocks by the same stride (validated there).
+  static constexpr std::uint64_t kRunsPerCampaignBlock = 4096;
+
   explicit CalibrationStore(CampaignConfig config = {});
 
   const CampaignConfig& config() const { return config_; }
@@ -99,14 +112,32 @@ class CalibrationStore {
   /// Number of cached (target, protocol) entries.
   std::size_t cached_count() const;
 
+  /// Run a *recalibration* campaign: the same blanks + sweep as a cached
+  /// campaign, but measured through a sensor in the given degraded state --
+  /// the field-servicing step the adaptive RecalibrationPolicy schedules
+  /// when drift detection trips. Results are never cached (they belong to
+  /// one sensor at one age). `run_id_block` is the caller-owned run-id
+  /// block (the campaign consumes blank_measurements + calibration_points
+  /// consecutive ids starting at run_id_block + 1, and derives its
+  /// front-end seed from the block), so concurrent recalibrations of
+  /// different sensors stay bitwise deterministic. Thread-safe and const.
+  Calibration recalibrate(bio::TargetId target,
+                          const sim::ChannelProtocol& protocol,
+                          const fault::SensorState& sensor,
+                          std::uint64_t run_id_block) const;
+
  private:
-  struct Entry {
-    dsp::CalibrationCurve curve;
-    Quantifier quantifier;
-  };
+  using Entry = Calibration;
   using Key = std::pair<bio::TargetId, std::string>;
 
-  /// Run the full campaign for one key (no cache interaction).
+  /// Shared campaign core: blanks + concentration sweep through one probe
+  /// and front end, fitted and inverted (no cache interaction).
+  Calibration build_calibration(bio::TargetId target,
+                                const sim::ChannelProtocol& protocol,
+                                const fault::SensorState& sensor,
+                                std::uint64_t first_run_id,
+                                std::uint64_t frontend_seed) const;
+  /// The cached pristine-sensor campaign for one key.
   Entry build_entry(bio::TargetId target,
                     const sim::ChannelProtocol& protocol) const;
   const Entry& entry(bio::TargetId target,

@@ -1,0 +1,59 @@
+/// \file drift.cpp
+/// EWMA + CUSUM drift detector and recalibration-policy validation.
+
+#include "quant/drift.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idp::quant {
+
+DriftDetector::DriftDetector(DriftDetectorOptions options)
+    : options_(options) {
+  util::require(options_.ewma_lambda > 0.0 && options_.ewma_lambda <= 1.0,
+                "EWMA lambda must be in (0, 1]");
+  util::require(options_.cusum_slack >= 0.0,
+                "CUSUM slack must be non-negative");
+}
+
+void DriftDetector::observe(double standardized_residual) {
+  util::require(std::isfinite(standardized_residual),
+                "QC residual must be finite");
+  const double l = options_.ewma_lambda;
+  ewma_ = count_ == 0 ? standardized_residual
+                      : (1.0 - l) * ewma_ + l * standardized_residual;
+  const double k = options_.cusum_slack;
+  s_pos_ = std::max(0.0, s_pos_ + standardized_residual - k);
+  s_neg_ = std::max(0.0, s_neg_ - standardized_residual - k);
+  ++count_;
+}
+
+void DriftDetector::reset() {
+  ewma_ = 0.0;
+  s_pos_ = 0.0;
+  s_neg_ = 0.0;
+  count_ = 0;
+}
+
+bool RecalibrationPolicy::triggered(const DriftDetector& d) const {
+  if (d.observation_count() == 0) return false;
+  return d.cusum() >= cusum_threshold ||
+         std::fabs(d.ewma()) >= ewma_threshold;
+}
+
+void RecalibrationPolicy::validate() const {
+  if (!enabled) return;
+  util::require(qc_fraction > 0.0 && qc_fraction <= 1.0,
+                "QC fraction must be in (0, 1]");
+  util::require(cusum_threshold > 0.0 && ewma_threshold > 0.0,
+                "drift thresholds must be positive");
+  util::require(min_interval_h >= 0.0,
+                "recalibration interval must be non-negative");
+  util::require(max_recalibrations >= 0,
+                "max recalibrations must be non-negative");
+  // Construction validates the detector options.
+  (void)DriftDetector(detector);
+}
+
+}  // namespace idp::quant

@@ -1,0 +1,87 @@
+/// \file drift.hpp
+/// Sensor-drift detection and the adaptive recalibration policy.
+///
+/// A deployed sensor is monitored through periodic QC checks: a blank and a
+/// known mid-range standard are measured through the *same* degraded sensor
+/// the diagnostic scans use, each response is standardised against what the
+/// current calibration predicts, and the residual stream feeds an EWMA plus
+/// a two-sided CUSUM -- the classic change-detection pair: EWMA reacts to
+/// sustained shifts, CUSUM accumulates small persistent ones. When either
+/// statistic crosses its threshold the RecalibrationPolicy schedules a
+/// fresh CalibrationStore campaign on the aged sensor, and the detector
+/// restarts against the new curve.
+#pragma once
+
+#include <cstddef>
+
+namespace idp::quant {
+
+/// Change-detection tuning. Residuals are standardised (units of the
+/// calibration's propagated response sigma), so the knobs are dimensionless.
+struct DriftDetectorOptions {
+  /// EWMA forgetting factor in (0, 1]: z_t = (1-l)*z_{t-1} + l*x_t.
+  double ewma_lambda = 0.2;
+  /// CUSUM slack k: drifts below k sigma per check are treated as noise.
+  double cusum_slack = 0.5;
+};
+
+/// Streaming EWMA + two-sided CUSUM over standardised QC residuals.
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftDetectorOptions options = {});
+
+  /// Feed one standardised residual (measured - predicted) / sigma.
+  void observe(double standardized_residual);
+
+  /// Exponentially-weighted mean of the residual stream.
+  double ewma() const { return ewma_; }
+  /// Two-sided CUSUM statistic: max of the upward and downward sums.
+  double cusum() const { return s_pos_ > s_neg_ ? s_pos_ : s_neg_; }
+  double cusum_positive() const { return s_pos_; }
+  double cusum_negative() const { return s_neg_; }
+  std::size_t observation_count() const { return count_; }
+
+  /// Restart (after a recalibration re-zeroes the residuals).
+  void reset();
+
+  const DriftDetectorOptions& options() const { return options_; }
+
+ private:
+  DriftDetectorOptions options_;
+  double ewma_ = 0.0;
+  double s_pos_ = 0.0;
+  double s_neg_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// When and how a monitored sensor is recalibrated. Disabled by default --
+/// scenarios without a policy behave exactly as before (no QC measurements
+/// are taken at all).
+struct RecalibrationPolicy {
+  bool enabled = false;
+
+  /// QC standard concentration, as a fraction of the calibrated window:
+  /// c_qc = c_low + qc_fraction * (c_high - c_low).
+  double qc_fraction = 0.5;
+
+  DriftDetectorOptions detector;
+
+  /// Trigger thresholds. The CUSUM threshold is in accumulated sigma; the
+  /// EWMA threshold is on the raw EWMA value (its steady-state sigma is
+  /// sqrt(lambda / (2 - lambda)) ~= 0.33 for the default lambda).
+  double cusum_threshold = 8.0;
+  double ewma_threshold = 1.5;
+
+  /// Scheduling limits: never recalibrate more often than min_interval_h
+  /// and at most max_recalibrations times per sensor life.
+  double min_interval_h = 24.0;
+  int max_recalibrations = 8;
+
+  /// Pure trigger predicate on the detector statistics.
+  bool triggered(const DriftDetector& d) const;
+
+  /// Throws std::invalid_argument on nonsensical tuning.
+  void validate() const;
+};
+
+}  // namespace idp::quant

@@ -29,13 +29,15 @@ struct MeasurementEngine::NoiseState {
   double white_rms;
   bool enabled;
 
+  /// `white_mult` inflates the electrochemical white noise (interference
+  /// storms); 1.0 -- the pristine default -- multiplies out exactly.
   NoiseState(const EngineConfig& cfg, const bio::Probe& probe,
-             std::uint64_t run_id)
+             std::uint64_t run_id, double white_mult)
       : white_signal(cfg.seed + run_id * kSeedStride),
         white_blank(cfg.seed + run_id * kSeedStride + 1),
         drift(cfg.drift_scale * probe.blank_noise_rms(), cfg.drift_tau,
               cfg.seed + run_id * kSeedStride + 2),
-        white_rms(probe.blank_noise_rms()),
+        white_rms(probe.blank_noise_rms() * white_mult),
         enabled(cfg.sensor_noise) {}
 
   /// Advance shared drift by one sample period.
@@ -87,10 +89,13 @@ Trace MeasurementEngine::run_chronoamperometry_seeded(
   util::require(channel.probe != nullptr, "channel has no probe");
   util::require(protocol.duration > 0.0 && protocol.sample_rate > 0.0,
                 "invalid protocol");
+  const fault::SensorState& sensor = channel.sensor;
   bio::Probe& probe = *channel.probe;
+  probe.apply_sensor_state(sensor);
   probe.reset();
+  fe.set_drift(sensor.afe_gain, sensor.afe_offset_A);
 
-  NoiseState noise(config_, probe, run_id);
+  NoiseState noise(config_, probe, run_id, sensor.storm_noise_mult);
   afe::Potentiostat pstat(config_.potentiostat);
 
   std::vector<InjectionEvent> pending(injections.begin(), injections.end());
@@ -115,21 +120,29 @@ Trace MeasurementEngine::run_chronoamperometry_seeded(
                                    pending[next_injection].concentration);
       ++next_injection;
     }
-    const double e_applied = pstat.applied_potential(
-        protocol.potential, i_prev, config_.cell_impedance);
+    // Reference-electrode drift: the interface sees a shifted potential
+    // while the instrument still believes protocol.potential.
+    const double e_applied =
+        pstat.applied_potential(protocol.potential, i_prev,
+                                config_.cell_impedance) +
+        sensor.reference_shift_V;
     const double i_far = probe.step(e_applied, dt);
     i_prev = i_far;
 
     if (clock.due(t + dt)) {
       const double drift = noise.step_drift(clock.period);
-      const double i_sig = i_far + noise.signal_white() + drift;
+      const double i_sig =
+          i_far + noise.signal_white() + drift + sensor.storm_current_A;
       // The blank electrode shares solution drift; for directly
       // electroactive targets it also collects part of the signal itself
-      // (the Section II-C caveat on CDS).
+      // (the Section II-C caveat on CDS). Interference storms are
+      // solution-borne, so both electrodes collect them (which is exactly
+      // what CDS can exploit).
       const double i_blank = probe.blank_current() +
                              probe.blank_signal_fraction() *
                                  (i_far - probe.blank_current()) +
-                             noise.blank_white() + drift;
+                             noise.blank_white() + drift +
+                             sensor.storm_current_A;
       trace.push(clock.next(), fe.sample(i_sig, i_blank));
       clock.advance();
     }
@@ -148,10 +161,13 @@ CvCurve MeasurementEngine::run_cyclic_voltammetry_seeded(
     const CyclicVoltammetryProtocol& protocol, afe::AnalogFrontEnd& fe) const {
   util::require(channel.probe != nullptr, "channel has no probe");
   util::require(protocol.sample_rate > 0.0, "invalid protocol");
+  const fault::SensorState& sensor = channel.sensor;
   bio::Probe& probe = *channel.probe;
+  probe.apply_sensor_state(sensor);
   probe.reset();
+  fe.set_drift(sensor.afe_gain, sensor.afe_offset_A);
 
-  NoiseState noise(config_, probe, run_id);
+  NoiseState noise(config_, probe, run_id, sensor.storm_noise_mult);
   afe::Potentiostat pstat(config_.potentiostat);
   const afe::TriangleWaveform wf(protocol.e_start, protocol.e_vertex,
                                  protocol.scan_rate, protocol.cycles);
@@ -167,8 +183,11 @@ CvCurve MeasurementEngine::run_cyclic_voltammetry_seeded(
   for (std::size_t k = 0; k < n_steps; ++k) {
     const double t = static_cast<double>(k) * dt;
     const double e_set = wf.value(t);
+    // The recorded curve keeps the *programmed* potential; only the probe
+    // sees the reference-drift shift.
     const double e_applied =
-        pstat.applied_potential(e_set, i_prev, config_.cell_impedance);
+        pstat.applied_potential(e_set, i_prev, config_.cell_impedance) +
+        sensor.reference_shift_V;
     double i_true = probe.step(e_applied, dt);
     if (config_.charging_current && channel.electrode != nullptr) {
       i_true += channel.electrode->charging_current(
@@ -178,11 +197,13 @@ CvCurve MeasurementEngine::run_cyclic_voltammetry_seeded(
 
     if (clock.due(t + dt)) {
       const double drift = noise.step_drift(clock.period);
-      const double i_sig = i_true + noise.signal_white() + drift;
+      const double i_sig =
+          i_true + noise.signal_white() + drift + sensor.storm_current_A;
       const double i_blank = probe.blank_current() +
                              probe.blank_signal_fraction() *
                                  (i_true - probe.blank_current()) +
-                             noise.blank_white() + drift;
+                             noise.blank_white() + drift +
+                             sensor.storm_current_A;
       const double t_sample = clock.next();
       curve.push(t_sample, wf.value(t_sample), fe.sample(i_sig, i_blank));
       clock.advance();

@@ -19,16 +19,21 @@
 #include "bio/probe.hpp"
 #include "chem/cell.hpp"
 #include "chem/electrode.hpp"
+#include "fault/sensor_state.hpp"
 #include "sim/protocol.hpp"
 #include "sim/trace.hpp"
 
 namespace idp::sim {
 
 /// One working electrode hooked to the engine: the probe physics plus the
-/// (optional) physical electrode used for capacitive background.
+/// (optional) physical electrode used for capacitive background and the
+/// sensor's current degradation state (fault subsystem). The default state
+/// is the identity -- a pristine sensor -- and leaves every measurement
+/// bitwise unchanged.
 struct Channel {
   bio::Probe* probe = nullptr;             ///< non-owning, required
   const chem::Electrode* electrode = nullptr;  ///< optional: adds i_dl on sweeps
+  fault::SensorState sensor{};             ///< condition consulted at scan time
 };
 
 /// Result of a multiplexed panel scan (Fig. 4 usage).

@@ -1,13 +1,28 @@
 /// \file csv.cpp
-/// CSV writer implementation for dumping traces and tables to disk.
+/// CSV writer/reader implementation: streaming output for traces and
+/// tables, RFC 4180 parsing for the golden-trace fixtures.
 
 #include "util/csv.hpp"
 
 #include <limits>
+#include <sstream>
 
 #include "util/error.hpp"
 
 namespace idp::util {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
     : out_(path), n_columns_(columns.size()) {
@@ -15,7 +30,7 @@ CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
   require(!columns.empty(), "CSV needs at least one column");
   for (std::size_t i = 0; i < columns.size(); ++i) {
     if (i) out_ << ',';
-    out_ << columns[i];
+    out_ << csv_escape(columns[i]);
   }
   out_ << '\n';
   out_.precision(std::numeric_limits<double>::max_digits10);
@@ -30,8 +45,110 @@ void CsvWriter::write_row(std::span<const double> values) {
   out_ << '\n';
 }
 
+void CsvWriter::write_row(std::span<const std::string> cells) {
+  require(cells.size() == n_columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
 void CsvWriter::close() {
   if (out_.is_open()) out_.close();
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  ensure(false, "CSV has no column named '" + name + "'");
+  return 0;  // unreachable
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  if (text.empty()) return table;
+
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;       // inside a quoted cell
+  bool cell_started = false; // current record has at least one character
+  bool any_cell = false;     // current record has at least one finished cell
+
+  auto end_cell = [&]() {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+    any_cell = true;
+  };
+  auto end_record = [&]() {
+    end_cell();
+    if (table.header.empty()) {
+      table.header = std::move(row);
+    } else {
+      ensure(row.size() == table.header.size(),
+             "CSV row width mismatch: expected " +
+                 std::to_string(table.header.size()) + " cells, got " +
+                 std::to_string(row.size()));
+      table.rows.push_back(std::move(row));
+    }
+    row.clear();
+    any_cell = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;  // doubled quote -> literal quote
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);  // commas and newlines are literal inside quotes
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        ensure(!cell_started, "stray quote inside unquoted CSV cell");
+        quoted = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        // CRLF record end; a bare CR is not a separator per RFC 4180.
+        ensure(i + 1 < text.size() && text[i + 1] == '\n',
+               "bare CR in CSV outside a quoted cell");
+        break;
+      case '\n':
+        if (cell_started || any_cell) {
+          end_record();
+        }  // else: blank line, skipped
+        break;
+      default:
+        cell.push_back(c);
+        cell_started = true;
+        break;
+    }
+  }
+  ensure(!quoted, "unterminated quoted CSV cell");
+  // Final record without a trailing newline.
+  if (cell_started || any_cell) end_record();
+  return table;
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ensure(in.good(), "cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
 }
 
 }  // namespace idp::util

@@ -1,6 +1,9 @@
 /// \file csv.hpp
-/// Minimal CSV writer so benches/examples can dump traces (e.g. the Fig. 3
-/// time-response series) for external plotting.
+/// CSV input/output: a streaming writer for traces and tables (e.g. the
+/// Fig. 3 time-response series) plus an RFC 4180 reader used by the
+/// golden-trace regression fixtures. Quoting rules follow RFC 4180: cells
+/// containing commas, quotes, CR or LF are quoted, embedded quotes are
+/// doubled, and both LF and CRLF record separators are accepted on read.
 #pragma once
 
 #include <fstream>
@@ -10,14 +13,22 @@
 
 namespace idp::util {
 
-/// Streams rows of doubles to a CSV file. Throws idp::util::Error if the
-/// file cannot be opened.
+/// Quote one cell per RFC 4180 when (and only when) it needs quoting.
+std::string csv_escape(const std::string& cell);
+
+/// Streams rows of doubles or strings to a CSV file. Throws
+/// idp::util::Error if the file cannot be opened. Doubles are written with
+/// round-trip (max_digits10) precision so written values parse back bitwise.
 class CsvWriter {
  public:
   CsvWriter(const std::string& path, std::vector<std::string> columns);
 
-  /// Write one data row; must match the column count.
+  /// Write one numeric data row; must match the column count.
   void write_row(std::span<const double> values);
+
+  /// Write one textual data row (cells are RFC 4180-escaped); must match
+  /// the column count.
+  void write_row(std::span<const std::string> cells);
 
   /// Flush and close (also done by the destructor).
   void close();
@@ -26,5 +37,23 @@ class CsvWriter {
   std::ofstream out_;
   std::size_t n_columns_;
 };
+
+/// One parsed CSV table: a header row plus data rows of string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named header column; throws idp::util::Error if missing.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parse CSV text per RFC 4180: quoted cells may embed commas, doubled
+/// quotes and newlines; records end in LF or CRLF; a trailing newline is
+/// optional. Every row must have as many cells as the header (throws
+/// idp::util::Error otherwise). Empty input yields an empty table.
+CsvTable parse_csv(const std::string& text);
+
+/// Read and parse a CSV file; throws idp::util::Error if unreadable.
+CsvTable read_csv(const std::string& path);
 
 }  // namespace idp::util

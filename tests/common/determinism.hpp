@@ -1,0 +1,179 @@
+/// \file determinism.hpp
+/// Shared scaffolding for the platform's bitwise-determinism contract.
+///
+/// Every parallel subsystem promises results bitwise identical to its
+/// sequential execution. Instead of each suite hand-rolling a structural
+/// comparison, results are folded into a BitDigest (FNV-1a over the raw
+/// IEEE-754 bits -- any single-bit difference changes the digest) and the
+/// sweep driver asserts digest equality across parallelism levels and
+/// repeated runs. Digest adapters for the core result types live here so
+/// suites never copy-paste comparison loops again.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "dsp/calibration.hpp"
+#include "scenario/longitudinal.hpp"
+#include "sim/engine.hpp"
+
+namespace idp::test {
+
+/// FNV-1a accumulator over exact value bits.
+class BitDigest {
+ public:
+  void add(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    add_u64(bits);
+  }
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+  }
+  void add(std::string_view s) {
+    for (char c : s) byte(static_cast<unsigned char>(c));
+    byte(0xff);  // length delimiter
+  }
+  void add(std::span<const double> values) {
+    for (double v : values) add(v);
+    add_u64(values.size());
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  void byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 1099511628211ULL;
+  }
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+// --- digest adapters for the platform's result types ------------------------
+
+inline void fold(BitDigest& d, const sim::Trace& trace) {
+  d.add(trace.time());
+  d.add(trace.value());
+}
+
+inline void fold(BitDigest& d, const sim::CvCurve& curve) {
+  d.add(curve.time());
+  d.add(curve.potential());
+  d.add(curve.current());
+}
+
+inline void fold(BitDigest& d, const sim::PanelScanResult& result) {
+  d.add(result.total_time);
+  for (const sim::PanelEntryResult& e : result.entries) {
+    d.add(e.probe_name);
+    d.add(e.start_time);
+    d.add(e.stop_time);
+    fold(d, e.amperogram);
+    fold(d, e.voltammogram);
+  }
+}
+
+inline void fold(BitDigest& d, const dsp::CalibrationCurve& curve) {
+  d.add(curve.concentrations());
+  d.add(curve.responses());
+  d.add_u64(curve.blank_count());
+  if (curve.blank_count() > 0) d.add(curve.blank_mean());
+  if (curve.blank_count() > 1) d.add(curve.blank_sigma());
+}
+
+inline void fold(BitDigest& d, const scenario::CohortReport& report) {
+  for (const scenario::PatientTimeCourse& p : report.patients) {
+    d.add_u64(p.patient_id);
+    for (const auto& channel : p.channels) {
+      for (const scenario::ChannelSample& s : channel) {
+        d.add(s.time_h);
+        d.add(s.truth_mM);
+        d.add(s.response);
+        d.add(s.estimate.value);
+        d.add(s.estimate.ci_low);
+        d.add(s.estimate.ci_high);
+        d.add_u64(static_cast<std::uint32_t>(s.estimate.flags));
+        d.add(s.drift_metric);
+        d.add(s.qc_residual);
+        d.add_u64(s.calibration_epoch);
+        d.add_u64(s.recalibrated ? 1 : 0);
+      }
+    }
+  }
+  for (const scenario::RecalibrationEvent& e : report.recalibrations) {
+    d.add_u64(e.patient_id);
+    d.add_u64(e.channel);
+    d.add(e.time_h);
+    d.add(e.drift_metric);
+    d.add_u64(e.epoch);
+  }
+  for (const auto& channel : report.estimate_percentiles) {
+    for (const scenario::PercentileBand& band : channel) {
+      d.add(band.p10);
+      d.add(band.p50);
+      d.add(band.p90);
+    }
+  }
+}
+
+inline void fold(BitDigest& d, const plat::ExplorationResult& result) {
+  for (const plat::CandidateEvaluation& e : result.evaluations) {
+    d.add(e.candidate.summary());
+    d.add(e.cost.area_mm2);
+    d.add(e.cost.power_uw);
+    d.add(e.cost.panel_time_s);
+    d.add_u64(e.violations.size());
+  }
+  for (std::size_t i : result.pareto) d.add_u64(i);
+  d.add_u64(result.best ? *result.best + 1 : 0);
+}
+
+/// Digest of any foldable result in one expression.
+template <typename Result>
+std::uint64_t digest_of(const Result& result) {
+  BitDigest d;
+  fold(d, result);
+  return d.value();
+}
+
+/// The sweep driver: `run` maps (seed, parallelism) to a result digest.
+/// For every seed, every parallelism level must reproduce the sequential
+/// (parallelism = 1) digest bitwise; across seeds the digests must differ
+/// (a workload that ignores its seed would pass the invariance check
+/// vacuously).
+inline void expect_parallelism_invariant(
+    std::span<const std::uint64_t> seeds,
+    std::span<const std::size_t> parallelism_levels,
+    const std::function<std::uint64_t(std::uint64_t seed,
+                                      std::size_t parallelism)>& run,
+    bool seeds_must_differ = true) {
+  std::vector<std::uint64_t> sequential;
+  for (std::uint64_t seed : seeds) {
+    sequential.push_back(run(seed, 1));
+    for (std::size_t level : parallelism_levels) {
+      if (level == 1) continue;
+      EXPECT_EQ(run(seed, level), sequential.back())
+          << "parallelism " << level << " diverged from sequential at seed "
+          << seed;
+    }
+  }
+  if (seeds_must_differ) {
+    for (std::size_t i = 1; i < sequential.size(); ++i) {
+      EXPECT_NE(sequential[i], sequential[0])
+          << "seed " << seeds[i] << " reproduced seed " << seeds[0]
+          << " -- the workload ignores its seed";
+    }
+  }
+}
+
+}  // namespace idp::test

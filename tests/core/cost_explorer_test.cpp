@@ -160,31 +160,8 @@ TEST(Explorer, TimeWeightPrefersDedicated) {
             ReadoutSharing::kMuxedPerClass);
 }
 
-TEST(Explorer, ParallelEvaluationMatchesSequential) {
-  // Candidates are enumerated and de-duplicated before evaluation, and each
-  // evaluation writes to its pre-assigned slot, so the result must be
-  // independent of the parallelism knob.
-  ExplorerOptions seq;
-  seq.parallelism = 1;
-  ExplorerOptions par;
-  par.parallelism = 4;
-  const ExplorationResult a = explore(fig4_panel(), kCat, seq);
-  const ExplorationResult b = explore(fig4_panel(), kCat, par);
-
-  ASSERT_EQ(a.evaluations.size(), b.evaluations.size());
-  for (std::size_t i = 0; i < a.evaluations.size(); ++i) {
-    EXPECT_EQ(a.evaluations[i].violations.size(),
-              b.evaluations[i].violations.size());
-    EXPECT_DOUBLE_EQ(a.evaluations[i].cost.area_mm2,
-                     b.evaluations[i].cost.area_mm2);
-    EXPECT_DOUBLE_EQ(a.evaluations[i].cost.power_uw,
-                     b.evaluations[i].cost.power_uw);
-    EXPECT_DOUBLE_EQ(a.evaluations[i].cost.panel_time_s,
-                     b.evaluations[i].cost.panel_time_s);
-  }
-  EXPECT_EQ(a.pareto, b.pareto);
-  EXPECT_EQ(a.best, b.best);
-}
+// (Explorer parallelism invariance is covered by the explorer workload of
+// tests/determinism/determinism_sweep_test.cpp.)
 
 TEST(Candidate, ElectrodeCountsIncludeBlanksAndRefs) {
   PlatformCandidate cand = make_fig4_candidate(kCat);

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/determinism.hpp"
 #include "core/explorer.hpp"
 #include "core/report.hpp"
 #include "util/units.hpp"
@@ -141,22 +142,25 @@ TEST(Elaborate, ValidatePanelIsIdenticalAtAnyParallelism) {
     return platform.validate_panel(panel);
   };
 
-  const ValidationReport sequential = run(1);
-  const ValidationReport parallel = run(4);
-  ASSERT_EQ(sequential.targets.size(), parallel.targets.size());
-  for (std::size_t i = 0; i < sequential.targets.size(); ++i) {
-    const TargetValidation& s = sequential.targets[i];
-    const TargetValidation& p = parallel.targets[i];
-    EXPECT_EQ(s.target, p.target);
-    EXPECT_EQ(s.electrode, p.electrode);
-    EXPECT_DOUBLE_EQ(s.sensitivity_uA_mM_cm2, p.sensitivity_uA_mM_cm2);
-    EXPECT_DOUBLE_EQ(s.lod_uM, p.lod_uM);
-    EXPECT_DOUBLE_EQ(s.linear_lo_mM, p.linear_lo_mM);
-    EXPECT_DOUBLE_EQ(s.linear_hi_mM, p.linear_hi_mM);
-    EXPECT_DOUBLE_EQ(s.r_squared, p.r_squared);
-    EXPECT_EQ(s.meets_lod, p.meets_lod);
-    EXPECT_EQ(s.covers_range, p.covers_range);
-  }
+  auto digest = [&](std::size_t parallelism) {
+    const ValidationReport report = run(parallelism);
+    test::BitDigest d;
+    for (const TargetValidation& t : report.targets) {
+      d.add(bio::to_string(t.target));
+      d.add_u64(t.electrode);
+      d.add(t.sensitivity_uA_mM_cm2);
+      d.add(t.lod_uM);
+      d.add(t.linear_lo_mM);
+      d.add(t.linear_hi_mM);
+      d.add(t.r_squared);
+      d.add_u64(t.meets_lod ? 1 : 0);
+      d.add_u64(t.covers_range ? 1 : 0);
+    }
+    return d.value();
+  };
+  const std::uint64_t sequential = digest(1);
+  EXPECT_EQ(digest(4), sequential);
+  EXPECT_EQ(digest(0), sequential);  // hardware concurrency
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+/// \file determinism_sweep_test.cpp
+/// The unified bitwise-determinism sweep: one parameterized test drives the
+/// four parallel workloads -- multiplexed panel scan, design-space
+/// explorer, calibration campaigns and the longitudinal cohort (with
+/// degradation + adaptive recalibration active) -- across 5 seeds at
+/// parallelism {1, 2, hardware} and asserts digest equality against the
+/// sequential run. This replaces the per-subsystem copy-pasted
+/// determinism tests; the shared scaffolding lives in
+/// tests/common/determinism.hpp.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/determinism.hpp"
+#include "core/explorer.hpp"
+#include "quant/calibration_store.hpp"
+#include "scenario/longitudinal.hpp"
+
+namespace idp {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 1234, 0xdeadbeef, 2026};
+constexpr std::size_t kLevels[] = {1, 2, 0};  // 0 = hardware concurrency
+
+// --- workload drivers -------------------------------------------------------
+
+std::uint64_t panel_digest(std::uint64_t seed, std::size_t parallelism) {
+  // Two-channel multiplexed scan: glucose chronoamperometry plus a short
+  // cholesterol CYP sweep, the same shape the retired batch_test fixture
+  // exercised.
+  auto glucose = bio::make_probe(bio::TargetId::kGlucose);
+  auto cholesterol = bio::make_probe(bio::TargetId::kCholesterol);
+  glucose->set_bulk_concentration("glucose", 2.0);
+  cholesterol->set_bulk_concentration("cholesterol", 0.045);
+
+  afe::AfeConfig fe_config;
+  fe_config.tia = afe::lab_grade_tia();
+  fe_config.adc = afe::AdcSpec{.bits = 16, .v_low = -10.0, .v_high = 10.0,
+                               .sample_rate = 10.0};
+  fe_config.seed = 11;
+  afe::AnalogFrontEnd fe1(fe_config);
+  fe_config.seed = 12;
+  afe::AnalogFrontEnd fe2(fe_config);
+
+  std::vector<sim::Channel> channels{sim::Channel{glucose.get(), nullptr},
+                                     sim::Channel{cholesterol.get(), nullptr}};
+  sim::ChronoamperometryProtocol ca;
+  ca.potential = 0.55;
+  ca.duration = 5.0;
+  sim::CyclicVoltammetryProtocol cv;
+  cv.e_start = 0.1;
+  cv.e_vertex = -0.65;
+  cv.scan_rate = 0.02;
+  std::vector<sim::ChannelProtocol> protocols{ca, cv};
+  std::vector<afe::AnalogFrontEnd*> frontends{&fe1, &fe2};
+  afe::AnalogMux mux{afe::MuxSpec{}};
+
+  sim::EngineConfig cfg;
+  cfg.seed = seed;
+  sim::MeasurementEngine engine(cfg);
+  return test::digest_of(
+      engine.run_panel(channels, protocols, frontends, mux, parallelism));
+}
+
+std::uint64_t explorer_digest(std::uint64_t seed, std::size_t parallelism) {
+  // The explorer is noise-free; the "seed" only varies the ranking
+  // weights, and the same design can legitimately win under all of them
+  // (hence seeded = false below).
+  plat::ExplorerOptions options;
+  options.parallelism = parallelism;
+  options.weight_area = 1.0 + static_cast<double>(seed % 5);
+  options.weight_time = 1.0 + static_cast<double>(seed % 3);
+  const plat::ComponentCatalog catalog = plat::ComponentCatalog::standard();
+  return test::digest_of(plat::explore(plat::fig4_panel(), catalog, options));
+}
+
+std::uint64_t campaign_digest(std::uint64_t seed, std::size_t parallelism) {
+  quant::CampaignConfig config;
+  config.seed = seed;
+  config.calibration_points = 4;
+  config.blank_measurements = 4;
+  config.ca_duration_s = 6.0;
+  quant::CalibrationStore store(config);
+  const bio::TargetId targets[] = {bio::TargetId::kGlucose,
+                                   bio::TargetId::kLactate};
+  store.prepare(targets, parallelism);
+  test::BitDigest d;
+  for (bio::TargetId t : targets) {
+    test::fold(d, store.curve(t));
+  }
+  return d.value();
+}
+
+std::uint64_t cohort_digest(std::uint64_t seed, std::size_t parallelism) {
+  // Longitudinal cohort with the full fault stack live: an aging sensor,
+  // QC monitoring and a hair-trigger recalibration policy, so the sweep
+  // also pins the acceptance criterion that degraded runs stay bitwise
+  // identical at parallelism 1 vs N.
+  quant::CampaignConfig campaign;
+  campaign.seed = 515151;
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  scenario::AnalytePlan glucose;
+  glucose.target = bio::TargetId::kGlucose;
+  glucose.baseline_mM = 2.0;
+  const std::vector<scenario::AnalytePlan> plans{glucose};
+
+  scenario::CohortSpec spec;
+  spec.patients = 2;
+  spec.seed = 77;
+  const auto cohort = scenario::generate_cohort(spec, plans);
+
+  scenario::LongitudinalConfig config;
+  config.sample_times_h = {0.0, 72.0, 144.0};
+  config.engine_seed = seed;
+  config.parallelism = parallelism;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.08;
+  aging.enzyme_decay_per_day = 0.03;
+  aging.storms_per_day = 0.3;
+  aging.storm_current_A = 5e-9;
+  aging.seed = seed ^ 0xabcdef;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration.enabled = true;
+  config.recalibration.cusum_threshold = 2.0;  // hair trigger
+  config.recalibration.min_interval_h = 48.0;
+  const scenario::LongitudinalRunner runner(store, config);
+  return test::digest_of(runner.run(plans, cohort));
+}
+
+// --- the parameterized sweep ------------------------------------------------
+
+struct Workload {
+  const char* name;
+  std::uint64_t (*run)(std::uint64_t seed, std::size_t parallelism);
+  bool seeded = true;  ///< false: noise-free, exempt from seed sensitivity
+};
+
+class DeterminismSweep : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(DeterminismSweep, BitwiseIdenticalAcrossSeedsAndParallelism) {
+  const Workload& workload = GetParam();
+  test::expect_parallelism_invariant(
+      kSeeds, kLevels,
+      [&](std::uint64_t seed, std::size_t parallelism) {
+        return workload.run(seed, parallelism);
+      },
+      workload.seeded);
+}
+
+TEST_P(DeterminismSweep, RepeatedRunsReproduce) {
+  const Workload& workload = GetParam();
+  EXPECT_EQ(workload.run(kSeeds[0], 2), workload.run(kSeeds[0], 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, DeterminismSweep,
+    ::testing::Values(Workload{"panel", panel_digest},
+                      Workload{"explorer", explorer_digest, false},
+                      Workload{"campaign", campaign_digest},
+                      Workload{"cohort", cohort_digest}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+}  // namespace
+}  // namespace idp

@@ -1,0 +1,261 @@
+/// \file degradation_test.cpp
+/// DegradationModel semantics: the identity default, the closed-form aging
+/// laws, purity (state is a function of (age, site) only), storm seeding
+/// per (patient, channel, day), and the exact no-op property of identity
+/// states applied to probes and the front end.
+
+#include "fault/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "afe/frontend.hpp"
+#include "afe/tia.hpp"
+#include "bio/library.hpp"
+#include "sim/engine.hpp"
+
+namespace idp::fault {
+namespace {
+
+TEST(SensorState, DefaultIsIdentity) {
+  const SensorState state;
+  EXPECT_TRUE(state.is_identity());
+  SensorState aged;
+  aged.age_days = 10.0;  // age alone is informational
+  EXPECT_TRUE(aged.is_identity());
+  SensorState fouled;
+  fouled.membrane_transmission = 0.8;
+  EXPECT_FALSE(fouled.is_identity());
+}
+
+TEST(DegradationModel, DefaultModelIsDisabledAndIdentity) {
+  const DegradationModel model;
+  EXPECT_FALSE(model.enabled());
+  const SensorState state = model.state_at(30.0, SensorSite{7, 3});
+  EXPECT_TRUE(state.is_identity());
+  EXPECT_DOUBLE_EQ(state.age_days, 30.0);
+}
+
+TEST(DegradationModel, ValidatesParams) {
+  DegradationParams p;
+  p.enzyme_decay_per_day = -0.1;
+  EXPECT_THROW(DegradationModel{p}, std::invalid_argument);
+  p = DegradationParams{};
+  p.storm_noise_multiplier = 0.5;
+  EXPECT_THROW(DegradationModel{p}, std::invalid_argument);
+}
+
+TEST(DegradationModel, ClosedFormAgingLaws) {
+  DegradationParams p;
+  p.enzyme_decay_per_day = 0.05;
+  p.fouling_rate_per_day = 0.1;
+  p.reference_drift_V_per_day = -0.002;
+  p.afe_gain_drift_per_day = 0.001;
+  p.afe_offset_A_per_day = 2.0e-10;
+  const DegradationModel model(p);
+  EXPECT_TRUE(model.enabled());
+
+  const SensorSite site{1, 0};
+  const SensorState day0 = model.state_at(0.0, site);
+  EXPECT_TRUE(day0.is_identity());
+
+  const SensorState day10 = model.state_at(10.0, site);
+  EXPECT_DOUBLE_EQ(day10.enzyme_activity, std::exp(-0.5));
+  EXPECT_DOUBLE_EQ(day10.membrane_transmission, 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(day10.reference_shift_V, -0.02);
+  EXPECT_DOUBLE_EQ(day10.afe_gain, 1.01);
+  EXPECT_DOUBLE_EQ(day10.afe_offset_A, 2.0e-9);
+  EXPECT_EQ(day10.storm_current_A, 0.0);
+
+  // Monotone decay.
+  const SensorState day20 = model.state_at(20.0, site);
+  EXPECT_LT(day20.enzyme_activity, day10.enzyme_activity);
+  EXPECT_LT(day20.membrane_transmission, day10.membrane_transmission);
+  // Negative age clamps to pristine.
+  EXPECT_TRUE(model.state_at(-5.0, site).is_identity());
+}
+
+TEST(DegradationModel, StateIsAPureFunctionOfAgeAndSite) {
+  DegradationParams p;
+  p.enzyme_decay_per_day = 0.02;
+  p.reference_walk_V_per_sqrt_day = 0.001;
+  p.storms_per_day = 0.5;
+  p.storm_current_A = 5e-9;
+  p.sensor_variability = 0.3;
+  p.seed = 42;
+  const DegradationModel model(p);
+
+  // Same query twice (and out of order) -> bitwise identical.
+  const SensorSite site{3, 1};
+  const SensorState later = model.state_at(17.3, site);
+  const SensorState earlier = model.state_at(4.1, site);
+  const SensorState later_again = model.state_at(17.3, site);
+  EXPECT_EQ(later.enzyme_activity, later_again.enzyme_activity);
+  EXPECT_EQ(later.reference_shift_V, later_again.reference_shift_V);
+  EXPECT_EQ(later.storm_current_A, later_again.storm_current_A);
+  EXPECT_NE(later.reference_shift_V, earlier.reference_shift_V);
+
+  // A fresh model with identical params agrees (no hidden state).
+  const DegradationModel clone(p);
+  EXPECT_EQ(clone.state_at(17.3, site).reference_shift_V,
+            later.reference_shift_V);
+}
+
+TEST(DegradationModel, SensorVariabilityDifferentiatesSites) {
+  DegradationParams p;
+  p.enzyme_decay_per_day = 0.05;
+  p.sensor_variability = 0.3;
+  p.seed = 7;
+  const DegradationModel model(p);
+  const double a0 = model.state_at(10.0, SensorSite{0, 0}).enzyme_activity;
+  const double a1 = model.state_at(10.0, SensorSite{1, 0}).enzyme_activity;
+  const double a2 = model.state_at(10.0, SensorSite{0, 1}).enzyme_activity;
+  EXPECT_NE(a0, a1);  // patients age differently
+  EXPECT_NE(a0, a2);  // channels age differently
+}
+
+TEST(DegradationModel, StormsAreSeededPerSiteAndDay) {
+  DegradationParams p;
+  p.storms_per_day = 0.3;
+  p.storm_current_A = 10e-9;
+  p.storm_noise_multiplier = 4.0;
+  p.seed = 99;
+  const DegradationModel model(p);
+
+  const SensorSite site{5, 2};
+  int storms = 0;
+  const int days = 400;
+  for (int d = 0; d < days; ++d) {
+    const double age = d + 0.5;
+    const SensorState state = model.state_at(age, site);
+    const SensorState again = model.state_at(age + 0.25, site);  // same day
+    EXPECT_EQ(state.storm_current_A, again.storm_current_A)
+        << "storm state must be constant within one (site, day)";
+    if (state.storm_current_A > 0.0) {
+      ++storms;
+      EXPECT_DOUBLE_EQ(state.storm_noise_mult, 4.0);
+    } else {
+      EXPECT_DOUBLE_EQ(state.storm_noise_mult, 1.0);
+    }
+  }
+  // ~Binomial(400, 0.3): far from 0.15/0.45 with overwhelming probability.
+  EXPECT_GT(storms, days * 15 / 100);
+  EXPECT_LT(storms, days * 45 / 100);
+
+  // A different channel on the same day sees independent storms.
+  int diverged = 0;
+  for (int d = 0; d < 50; ++d) {
+    const double age = d + 0.5;
+    if ((model.state_at(age, SensorSite{5, 2}).storm_current_A > 0.0) !=
+        (model.state_at(age, SensorSite{5, 3}).storm_current_A > 0.0)) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(DegradationModel, ReferenceWalkGrowsWithAge) {
+  DegradationParams p;
+  p.reference_walk_V_per_sqrt_day = 0.002;
+  p.seed = 11;
+  const DegradationModel model(p);
+  // RMS over many sensors grows roughly as sqrt(age).
+  double ss_short = 0.0, ss_long = 0.0;
+  const int sensors = 200;
+  for (int s = 0; s < sensors; ++s) {
+    const SensorSite site{static_cast<std::uint64_t>(s), 0};
+    const double w_short = model.state_at(4.0, site).reference_shift_V;
+    const double w_long = model.state_at(36.0, site).reference_shift_V;
+    ss_short += w_short * w_short;
+    ss_long += w_long * w_long;
+  }
+  const double rms_short = std::sqrt(ss_short / sensors);
+  const double rms_long = std::sqrt(ss_long / sensors);
+  EXPECT_NEAR(rms_short, 0.002 * 2.0, 0.002);      // ~ sigma * sqrt(4)
+  EXPECT_NEAR(rms_long, 0.002 * 6.0, 0.004);       // ~ sigma * sqrt(36)
+  EXPECT_GT(rms_long, 2.0 * rms_short);
+}
+
+// --- identity no-op at the consumer level -----------------------------------
+
+TEST(SensorStateConsumers, IdentityStateLeavesMeasurementsBitwiseUnchanged) {
+  // The golden fixtures pin this against the pre-fault tree; this test pins
+  // it *within* a build: a channel with an explicit identity state must
+  // reproduce the default-channel measurement bit for bit.
+  auto probe_a = bio::make_probe(bio::TargetId::kGlucose);
+  auto probe_b = bio::make_probe(bio::TargetId::kGlucose);
+  probe_a->set_bulk_concentration("glucose", 2.0);
+  probe_b->set_bulk_concentration("glucose", 2.0);
+
+  afe::AfeConfig fe_config;
+  fe_config.tia = afe::lab_grade_tia();
+  fe_config.adc = afe::AdcSpec{.bits = 16, .v_low = -10.0, .v_high = 10.0,
+                               .sample_rate = 10.0};
+  fe_config.seed = 5;
+  afe::AnalogFrontEnd fe_a(fe_config), fe_b(fe_config);
+
+  sim::EngineConfig cfg;
+  cfg.seed = 123;
+  const sim::MeasurementEngine engine(cfg);
+  sim::ChronoamperometryProtocol protocol;
+  protocol.potential = 0.65;
+  protocol.duration = 5.0;
+
+  SensorState identity;
+  identity.age_days = 25.0;  // informational only
+  const sim::Trace plain = engine.run_chronoamperometry_seeded(
+      1, sim::Channel{probe_a.get(), nullptr}, protocol, fe_a);
+  const sim::Trace via_state = engine.run_chronoamperometry_seeded(
+      1, sim::Channel{probe_b.get(), nullptr, identity}, protocol, fe_b);
+  ASSERT_EQ(plain.size(), via_state.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(plain.value()[i], via_state.value()[i]) << "sample " << i;
+  }
+}
+
+TEST(SensorStateConsumers, DegradedStateAttenuatesTheSignal) {
+  auto probe = bio::make_probe(bio::TargetId::kGlucose);
+  probe->set_bulk_concentration("glucose", 2.0);
+
+  afe::AfeConfig fe_config;
+  fe_config.tia = afe::lab_grade_tia();
+  fe_config.adc = afe::AdcSpec{.bits = 16, .v_low = -10.0, .v_high = 10.0,
+                               .sample_rate = 10.0};
+  fe_config.seed = 5;
+  afe::AnalogFrontEnd fe(fe_config);
+
+  sim::EngineConfig cfg;
+  cfg.seed = 123;
+  cfg.sensor_noise = false;  // compare clean steady levels
+  const sim::MeasurementEngine engine(cfg);
+  sim::ChronoamperometryProtocol protocol;
+  protocol.potential = 0.65;
+  protocol.duration = 20.0;
+
+  auto tail_mean = [&](const SensorState& state) {
+    const sim::Trace t = engine.run_chronoamperometry_seeded(
+        1, sim::Channel{probe.get(), nullptr, state}, protocol, fe);
+    return t.mean_in_window(16.0, 20.0);
+  };
+
+  const double pristine = tail_mean(SensorState{});
+  SensorState fouled;
+  fouled.membrane_transmission = 0.5;
+  const double with_fouling = tail_mean(fouled);
+  SensorState decayed;
+  decayed.enzyme_activity = 0.5;
+  const double with_decay = tail_mean(decayed);
+
+  EXPECT_LT(with_fouling, 0.75 * pristine);
+  EXPECT_LT(with_decay, 0.85 * pristine);
+  EXPECT_GT(with_fouling, 0.0);
+
+  // Consuming state restores exactly when the identity state returns.
+  const double pristine_again = tail_mean(SensorState{});
+  EXPECT_EQ(pristine, pristine_again);
+}
+
+}  // namespace
+}  // namespace idp::fault

@@ -1,0 +1,377 @@
+/// \file golden_test.cpp
+/// Golden-trace regression harness: canonical chronoamperometry and cyclic
+/// voltammetry traces, the multiplexed panel scan, the calibration
+/// figure-of-merit table and a small cohort report are diffed against
+/// checked-in CSV fixtures with per-fixture tolerances.
+///
+/// The fixtures were generated from the pre-degradation-subsystem tree, so
+/// these tests also pin the acceptance criterion that an identity
+/// (default-constructed) fault::DegradationModel leaves every measurement
+/// bitwise unchanged.
+///
+/// To regenerate deliberately after an intended modelling change:
+///   IDP_UPDATE_GOLDEN=1 ./build/golden_golden_test
+/// (see tests/golden/README.md for the full workflow).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "afe/mux.hpp"
+#include "bio/library.hpp"
+#include "quant/calibration_store.hpp"
+#include "scenario/longitudinal.hpp"
+#include "sim/engine.hpp"
+#include "util/csv.hpp"
+
+namespace idp {
+namespace {
+
+constexpr const char* kFixtureDir = IDP_TESTS_DIR "/golden/fixtures";
+
+bool update_mode() {
+  const char* env = std::getenv("IDP_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0';
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(kFixtureDir) + "/" + name + ".csv";
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// A fixture is a CSV table preceded by '# key=value' tolerance lines.
+struct GoldenFixture {
+  double rel_tol = 0.0;
+  double abs_tol = 0.0;
+  util::CsvTable table;
+};
+
+GoldenFixture load_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  if (!in.good()) {
+    ADD_FAILURE() << "missing golden fixture " << fixture_path(name)
+                  << " -- run with IDP_UPDATE_GOLDEN=1 to create it";
+    return {};
+  }
+  GoldenFixture fixture;
+  std::string text, line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line[0] == '#') {
+      const auto eq = line.find('=');
+      if (eq != std::string::npos) {
+        const std::string key = line.substr(2, eq - 2);
+        const double value = std::strtod(line.c_str() + eq + 1, nullptr);
+        if (key == "rel_tol") fixture.rel_tol = value;
+        if (key == "abs_tol") fixture.abs_tol = value;
+      }
+      continue;
+    }
+    text += line;
+    text += '\n';
+  }
+  fixture.table = util::parse_csv(text);
+  return fixture;
+}
+
+void write_fixture(const std::string& name, const util::CsvTable& current,
+                   double rel_tol, double abs_tol) {
+  std::ofstream out(fixture_path(name), std::ios::binary);
+  ASSERT_TRUE(out.good()) << "cannot write fixture " << fixture_path(name);
+  out << "# idp-golden v1\n";
+  out << "# rel_tol=" << fmt(rel_tol) << "\n";
+  out << "# abs_tol=" << fmt(abs_tol) << "\n";
+  for (std::size_t i = 0; i < current.header.size(); ++i) {
+    if (i) out << ',';
+    out << util::csv_escape(current.header[i]);
+  }
+  out << '\n';
+  for (const auto& row : current.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << util::csv_escape(row[i]);
+    }
+    out << '\n';
+  }
+  std::printf("[golden] updated %s (%zu rows)\n", fixture_path(name).c_str(),
+              current.rows.size());
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+/// Diff `current` against the checked-in fixture. Every fixture column must
+/// exist in the current output (matched by header name, so the platform may
+/// *add* columns without invalidating old fixtures); row counts must match
+/// exactly; numeric cells compare within the fixture's tolerances and
+/// non-numeric cells compare verbatim.
+void check_golden(const std::string& name, const util::CsvTable& current,
+                  double rel_tol, double abs_tol) {
+  if (update_mode()) {
+    write_fixture(name, current, rel_tol, abs_tol);
+    return;
+  }
+  const GoldenFixture fixture = load_fixture(name);
+  if (fixture.table.header.empty()) return;  // missing fixture already failed
+  ASSERT_EQ(fixture.table.rows.size(), current.rows.size())
+      << "golden '" << name << "': row count changed";
+  for (const std::string& column : fixture.table.header) {
+    const std::size_t fc = fixture.table.column(column);
+    const std::size_t cc = current.column(column);  // throws if dropped
+    std::size_t mismatches = 0;
+    for (std::size_t r = 0; r < current.rows.size(); ++r) {
+      const std::string& want = fixture.table.rows[r][fc];
+      const std::string& got = current.rows[r][cc];
+      double a = 0.0, b = 0.0;
+      if (parse_double(want, a) && parse_double(got, b)) {
+        const double tol =
+            fixture.abs_tol +
+            fixture.rel_tol * std::max(std::fabs(a), std::fabs(b));
+        if (!(std::fabs(a - b) <= tol)) {
+          if (++mismatches <= 3) {
+            ADD_FAILURE() << "golden '" << name << "' column '" << column
+                          << "' row " << r << ": fixture " << want
+                          << " vs current " << got << " (tol " << tol << ")";
+          }
+        }
+      } else if (want != got) {
+        if (++mismatches <= 3) {
+          ADD_FAILURE() << "golden '" << name << "' column '" << column
+                        << "' row " << r << ": fixture '" << want
+                        << "' vs current '" << got << "'";
+        }
+      }
+    }
+    EXPECT_EQ(mismatches, 0u)
+        << "golden '" << name << "' column '" << column << "': " << mismatches
+        << " mismatching rows";
+  }
+}
+
+util::CsvTable make_table(std::vector<std::string> header) {
+  util::CsvTable t;
+  t.header = std::move(header);
+  return t;
+}
+
+// --- canonical measurement setup (the campaign-grade acquisition path) ------
+
+quant::CampaignConfig golden_campaign() {
+  quant::CampaignConfig config;
+  config.seed = 0x601d;  // fixed golden seed, distinct from any test seed
+  config.calibration_points = 5;
+  config.blank_measurements = 6;
+  config.ca_duration_s = 10.0;
+  return config;
+}
+
+/// Mid-linear-range concentration the canonical traces are recorded at.
+double golden_concentration(bio::TargetId target) {
+  const bio::TargetSpec& spec = bio::spec(target);
+  return 0.5 * (spec.linear_lo_mM + spec.linear_hi_mM);
+}
+
+sim::Trace golden_ca_trace(bio::TargetId target) {
+  const quant::CampaignConfig campaign = golden_campaign();
+  bio::ProbePtr probe = quant::make_campaign_probe(campaign, target);
+  probe->set_bulk_concentration(bio::to_string(target),
+                                golden_concentration(target));
+  afe::AnalogFrontEnd fe(quant::campaign_frontend_config(campaign, 77));
+  sim::EngineConfig cfg;
+  cfg.seed = campaign.seed;
+  const sim::MeasurementEngine engine(cfg);
+  const auto protocol = std::get<sim::ChronoamperometryProtocol>(
+      quant::default_protocol_for(campaign, target));
+  return engine.run_chronoamperometry_seeded(
+      1, sim::Channel{probe.get(), nullptr}, protocol, fe);
+}
+
+// --- the golden scenarios ---------------------------------------------------
+
+class GoldenTrace : public ::testing::TestWithParam<bio::TargetId> {};
+
+TEST_P(GoldenTrace, ChronoamperometryMatchesFixture) {
+  const bio::TargetId target = GetParam();
+  const sim::Trace trace = golden_ca_trace(target);
+  util::CsvTable table = make_table({"time_s", "current_A"});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    table.rows.push_back({fmt(trace.time()[i]), fmt(trace.value()[i])});
+  }
+  check_golden("ca_" + bio::to_string(target), table, 1e-9, 1e-18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Oxidases, GoldenTrace,
+                         ::testing::Values(bio::TargetId::kGlucose,
+                                           bio::TargetId::kLactate,
+                                           bio::TargetId::kGlutamate),
+                         [](const auto& param_info) {
+                           return bio::to_string(param_info.param);
+                         });
+
+TEST(Golden, BenzphetamineVoltammogramMatchesFixture) {
+  const quant::CampaignConfig campaign = golden_campaign();
+  const bio::TargetId target = bio::TargetId::kBenzphetamine;
+  bio::ProbePtr probe = quant::make_campaign_probe(campaign, target);
+  probe->set_bulk_concentration(bio::to_string(target),
+                                golden_concentration(target));
+  afe::AnalogFrontEnd fe(quant::campaign_frontend_config(campaign, 78));
+  sim::EngineConfig cfg;
+  cfg.seed = campaign.seed;
+  const sim::MeasurementEngine engine(cfg);
+  const auto protocol = std::get<sim::CyclicVoltammetryProtocol>(
+      quant::default_protocol_for(campaign, target));
+  const sim::CvCurve curve = engine.run_cyclic_voltammetry_seeded(
+      1, sim::Channel{probe.get(), nullptr}, protocol, fe);
+
+  util::CsvTable table = make_table({"time_s", "potential_V", "current_A"});
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    table.rows.push_back({fmt(curve.time()[i]), fmt(curve.potential()[i]),
+                          fmt(curve.current()[i])});
+  }
+  check_golden("cv_benzphetamine", table, 1e-9, 1e-18);
+}
+
+TEST(Golden, MultiplexedPanelScanMatchesFixture) {
+  // Two-channel Fig. 4-style scan: glucose chronoamperometry plus
+  // benzphetamine CYP voltammetry through one shared mux.
+  const quant::CampaignConfig campaign = golden_campaign();
+  bio::ProbePtr glucose =
+      quant::make_campaign_probe(campaign, bio::TargetId::kGlucose);
+  bio::ProbePtr benz =
+      quant::make_campaign_probe(campaign, bio::TargetId::kBenzphetamine);
+  glucose->set_bulk_concentration(
+      "glucose", golden_concentration(bio::TargetId::kGlucose));
+  benz->set_bulk_concentration(
+      "benzphetamine", golden_concentration(bio::TargetId::kBenzphetamine));
+
+  afe::AnalogFrontEnd fe1(quant::campaign_frontend_config(campaign, 81));
+  afe::AnalogFrontEnd fe2(quant::campaign_frontend_config(campaign, 82));
+  std::vector<sim::Channel> channels{sim::Channel{glucose.get(), nullptr},
+                                     sim::Channel{benz.get(), nullptr}};
+  std::vector<sim::ChannelProtocol> protocols{
+      quant::default_protocol_for(campaign, bio::TargetId::kGlucose),
+      quant::default_protocol_for(campaign, bio::TargetId::kBenzphetamine)};
+  std::vector<afe::AnalogFrontEnd*> frontends{&fe1, &fe2};
+  afe::AnalogMux mux{afe::MuxSpec{}};
+
+  sim::EngineConfig cfg;
+  cfg.seed = campaign.seed;
+  sim::MeasurementEngine engine(cfg);
+  const sim::PanelScanResult result =
+      engine.run_panel(channels, protocols, frontends, mux, 1);
+
+  util::CsvTable table =
+      make_table({"channel", "time_s", "potential_V", "current_A"});
+  for (std::size_t c = 0; c < result.entries.size(); ++c) {
+    const sim::PanelEntryResult& entry = result.entries[c];
+    if (entry.technique == bio::Technique::kChronoamperometry) {
+      const auto& p = std::get<sim::ChronoamperometryProtocol>(protocols[c]);
+      for (std::size_t i = 0; i < entry.amperogram.size(); ++i) {
+        table.rows.push_back({fmt(static_cast<double>(c)),
+                              fmt(entry.amperogram.time()[i]),
+                              fmt(p.potential),
+                              fmt(entry.amperogram.value()[i])});
+      }
+    } else {
+      for (std::size_t i = 0; i < entry.voltammogram.size(); ++i) {
+        table.rows.push_back({fmt(static_cast<double>(c)),
+                              fmt(entry.voltammogram.time()[i]),
+                              fmt(entry.voltammogram.potential()[i]),
+                              fmt(entry.voltammogram.current()[i])});
+      }
+    }
+  }
+  check_golden("panel_scan", table, 1e-9, 1e-18);
+}
+
+TEST(Golden, PanelFigureOfMeritTableMatchesFixture) {
+  // The Table III-shaped summary for the four headline targets, built from
+  // full calibration campaigns: regression sensitivity, Eq. 5 blank
+  // statistics and the certified inversion window.
+  quant::CalibrationStore store(golden_campaign());
+  const bio::TargetId targets[] = {
+      bio::TargetId::kGlucose, bio::TargetId::kLactate,
+      bio::TargetId::kGlutamate, bio::TargetId::kBenzphetamine};
+
+  util::CsvTable table =
+      make_table({"target", "slope_A_per_mM", "blank_mean_A", "blank_sigma_A",
+                  "lod_signal_A", "c_low_mM", "c_high_mM",
+                  "response_sigma_A"});
+  for (bio::TargetId target : targets) {
+    const dsp::CalibrationCurve& curve = store.curve(target);
+    const quant::Quantifier& quantifier = store.quantifier(target);
+    table.rows.push_back({bio::to_string(target), fmt(quantifier.slope()),
+                          fmt(curve.blank_mean()), fmt(curve.blank_sigma()),
+                          fmt(curve.lod_signal()), fmt(quantifier.c_low()),
+                          fmt(quantifier.c_high()),
+                          fmt(quantifier.response_sigma())});
+  }
+  check_golden("panel_figure_of_merit", table, 1e-9, 1e-18);
+}
+
+TEST(Golden, CohortReportMatchesFixture) {
+  // A small longitudinal cohort run end-to-end (campaign, scans,
+  // quantification). The fixture pins the per-sample columns of the
+  // pre-degradation platform; added columns are allowed, changed values are
+  // not.
+  scenario::AnalytePlan glucose;
+  glucose.target = bio::TargetId::kGlucose;
+  glucose.pk.volume_of_distribution_l = 15.0;
+  glucose.pk.elimination_half_life_h = 1.5;
+  glucose.pk.absorption_half_life_h = 0.4;
+  glucose.pk.bioavailability = 0.8;
+  glucose.pk.molar_mass_g_per_mol = 180.2;
+  glucose.regimen =
+      scenario::repeated_regimen(0.5, 6.0, 2, 6000.0, scenario::Route::kOral);
+  glucose.baseline_mM = 1.2;
+
+  scenario::AnalytePlan lactate;
+  lactate.target = bio::TargetId::kLactate;
+  lactate.pk.volume_of_distribution_l = 30.0;
+  lactate.pk.elimination_half_life_h = 0.8;
+  lactate.pk.absorption_half_life_h = 0.2;
+  lactate.pk.bioavailability = 1.0;
+  lactate.pk.molar_mass_g_per_mol = 90.1;
+  lactate.regimen = {scenario::DoseEvent{1.0, 4000.0, scenario::Route::kIvBolus}};
+  lactate.baseline_mM = 0.8;
+  const std::vector<scenario::AnalytePlan> plans{glucose, lactate};
+
+  scenario::CohortSpec spec;
+  spec.patients = 2;
+  spec.seed = 601;
+  const auto cohort = scenario::generate_cohort(spec, plans);
+
+  quant::CampaignConfig campaign = golden_campaign();
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  scenario::LongitudinalConfig config;
+  config.sample_times_h = {0.0, 1.5, 4.0};
+  config.engine_seed = 0x601d;
+  config.parallelism = 1;
+  const scenario::LongitudinalRunner runner(store, config);
+  const scenario::CohortReport report = runner.run(plans, cohort);
+
+  const std::string tmp = ::testing::TempDir() + "/idp_golden_cohort.csv";
+  report.to_csv(tmp);
+  const util::CsvTable table = util::read_csv(tmp);
+  std::remove(tmp.c_str());
+  check_golden("cohort_report", table, 1e-9, 1e-18);
+}
+
+}  // namespace
+}  // namespace idp

@@ -59,27 +59,8 @@ TEST(CalibrationStore, CachesPerTargetAndProtocol) {
   EXPECT_EQ(store.cached_count(), 2u);
 }
 
-TEST(CalibrationStore, ParallelPrepareMatchesSequentialBuildsBitwise) {
-  const std::vector<bio::TargetId> targets{bio::TargetId::kGlucose,
-                                           bio::TargetId::kLactate,
-                                           bio::TargetId::kGlutamate};
-  CalibrationStore parallel_store(test_config());
-  parallel_store.prepare(targets, /*parallelism=*/4);
-  CalibrationStore sequential_store(test_config());
-
-  for (bio::TargetId t : targets) {
-    const dsp::CalibrationCurve& a = parallel_store.curve(t);
-    const dsp::CalibrationCurve& b = sequential_store.curve(t);
-    ASSERT_EQ(a.blank_count(), b.blank_count());
-    ASSERT_EQ(a.point_count(), b.point_count());
-    for (std::size_t i = 0; i < a.point_count(); ++i) {
-      ASSERT_DOUBLE_EQ(a.concentrations()[i], b.concentrations()[i]);
-      ASSERT_DOUBLE_EQ(a.responses()[i], b.responses()[i]);
-    }
-    ASSERT_DOUBLE_EQ(a.blank_mean(), b.blank_mean());
-    ASSERT_DOUBLE_EQ(a.blank_sigma(), b.blank_sigma());
-  }
-}
+// (Parallel-prepare bitwise invariance is covered by the campaign workload
+// of tests/determinism/determinism_sweep_test.cpp.)
 
 TEST(CalibrationStore, PrepareDedupesTargets) {
   CalibrationStore store(test_config());

@@ -1,0 +1,112 @@
+/// \file drift_test.cpp
+/// DriftDetector (EWMA + two-sided CUSUM) semantics and the
+/// RecalibrationPolicy trigger predicate / validation.
+
+#include "quant/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace idp::quant {
+namespace {
+
+TEST(DriftDetector, StartsQuiet) {
+  const DriftDetector d;
+  EXPECT_EQ(d.observation_count(), 0u);
+  EXPECT_EQ(d.ewma(), 0.0);
+  EXPECT_EQ(d.cusum(), 0.0);
+}
+
+TEST(DriftDetector, ValidatesOptions) {
+  EXPECT_THROW(DriftDetector({.ewma_lambda = 0.0}), std::invalid_argument);
+  EXPECT_THROW(DriftDetector({.ewma_lambda = 1.5}), std::invalid_argument);
+  EXPECT_THROW(DriftDetector({.ewma_lambda = 0.2, .cusum_slack = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DriftDetector().observe(std::nan("")), std::invalid_argument);
+}
+
+TEST(DriftDetector, EwmaTracksASustainedShift) {
+  DriftDetector d({.ewma_lambda = 0.5});
+  d.observe(2.0);
+  EXPECT_DOUBLE_EQ(d.ewma(), 2.0);  // first observation initialises
+  d.observe(2.0);
+  EXPECT_DOUBLE_EQ(d.ewma(), 2.0);
+  d.observe(0.0);
+  EXPECT_DOUBLE_EQ(d.ewma(), 1.0);
+}
+
+TEST(DriftDetector, CusumIgnoresNoiseWithinSlack) {
+  DriftDetector d({.ewma_lambda = 0.2, .cusum_slack = 0.5});
+  // Alternating residuals inside the slack band never accumulate.
+  for (int i = 0; i < 50; ++i) d.observe(i % 2 == 0 ? 0.4 : -0.4);
+  EXPECT_LT(d.cusum(), 1.0);
+}
+
+TEST(DriftDetector, CusumAccumulatesPersistentDrift) {
+  DriftDetector d({.ewma_lambda = 0.2, .cusum_slack = 0.5});
+  for (int i = 0; i < 10; ++i) d.observe(1.5);
+  // Each step adds (1.5 - 0.5) = 1.0 to the upward sum.
+  EXPECT_NEAR(d.cusum_positive(), 10.0, 1e-12);
+  EXPECT_EQ(d.cusum_negative(), 0.0);
+  EXPECT_DOUBLE_EQ(d.cusum(), d.cusum_positive());
+}
+
+TEST(DriftDetector, TwoSided) {
+  DriftDetector d({.ewma_lambda = 0.2, .cusum_slack = 0.5});
+  for (int i = 0; i < 10; ++i) d.observe(-1.5);  // signal loss (fouling)
+  EXPECT_NEAR(d.cusum_negative(), 10.0, 1e-12);
+  EXPECT_EQ(d.cusum_positive(), 0.0);
+}
+
+TEST(DriftDetector, ResetRestarts) {
+  DriftDetector d;
+  d.observe(5.0);
+  d.reset();
+  EXPECT_EQ(d.observation_count(), 0u);
+  EXPECT_EQ(d.ewma(), 0.0);
+  EXPECT_EQ(d.cusum(), 0.0);
+}
+
+TEST(RecalibrationPolicy, TriggersOnEitherStatistic) {
+  RecalibrationPolicy policy;
+  policy.enabled = true;
+  policy.cusum_threshold = 4.0;
+  policy.ewma_threshold = 1.5;
+
+  DriftDetector quiet;
+  EXPECT_FALSE(policy.triggered(quiet));
+
+  DriftDetector cusum_trip({.ewma_lambda = 0.01, .cusum_slack = 0.0});
+  for (int i = 0; i < 10; ++i) cusum_trip.observe(0.5);  // EWMA stays low
+  EXPECT_GE(cusum_trip.cusum(), 4.0);
+  EXPECT_LT(std::fabs(cusum_trip.ewma()), 1.5);
+  EXPECT_TRUE(policy.triggered(cusum_trip));
+
+  DriftDetector ewma_trip({.ewma_lambda = 1.0, .cusum_slack = 10.0});
+  ewma_trip.observe(-2.0);  // one big residual; CUSUM swallowed by slack
+  EXPECT_EQ(ewma_trip.cusum(), 0.0);
+  EXPECT_TRUE(policy.triggered(ewma_trip));
+}
+
+TEST(RecalibrationPolicy, ValidatesTuning) {
+  RecalibrationPolicy policy;
+  policy.validate();  // disabled: anything goes
+  policy.enabled = true;
+  policy.validate();  // defaults are sane
+  policy.qc_fraction = 0.0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.qc_fraction = 0.5;
+  policy.cusum_threshold = -1.0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.cusum_threshold = 8.0;
+  policy.min_interval_h = -1.0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.min_interval_h = 24.0;
+  policy.detector.ewma_lambda = 2.0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::quant

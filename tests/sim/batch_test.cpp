@@ -1,7 +1,8 @@
 /// \file batch_test.cpp
-/// BatchRunner semantics plus the determinism contract of the parallel
-/// panel runtime: identical results at parallelism 1 vs N, and across two
-/// runs with the same seed.
+/// BatchRunner semantics (index coverage, exception policy, map ordering)
+/// plus the seeded-vs-counter run-id equivalence. The parallelism-
+/// invariance sweep of the panel runtime lives in
+/// tests/determinism/determinism_sweep_test.cpp.
 
 #include "sim/batch.hpp"
 
@@ -73,7 +74,7 @@ TEST(BatchRunner, ZeroJobsIsANoop) {
 }
 
 // ---------------------------------------------------------------------------
-// Panel determinism
+// Run-id semantics
 // ---------------------------------------------------------------------------
 
 afe::AnalogFrontEnd lab_frontend(std::uint64_t seed) {
@@ -83,86 +84,6 @@ afe::AnalogFrontEnd lab_frontend(std::uint64_t seed) {
                        .sample_rate = 10.0};
   c.seed = seed;
   return afe::AnalogFrontEnd(c);
-}
-
-struct PanelFixture {
-  bio::ProbePtr glucose = bio::make_probe(bio::TargetId::kGlucose);
-  bio::ProbePtr cholesterol = bio::make_probe(bio::TargetId::kCholesterol);
-
-  PanelFixture() {
-    glucose->set_bulk_concentration("glucose", 2.0);
-    cholesterol->set_bulk_concentration("cholesterol", 0.045);
-  }
-
-  PanelScanResult run(std::size_t parallelism, std::uint64_t seed) {
-    EngineConfig cfg;
-    cfg.seed = seed;
-    MeasurementEngine engine(cfg);
-    afe::AnalogFrontEnd fe1 = lab_frontend(11), fe2 = lab_frontend(12);
-
-    std::vector<Channel> channels{Channel{glucose.get(), nullptr},
-                                  Channel{cholesterol.get(), nullptr}};
-    ChronoamperometryProtocol ca;
-    ca.potential = 0.55;
-    ca.duration = 5.0;
-    CyclicVoltammetryProtocol cv;
-    cv.e_start = 0.1;
-    cv.e_vertex = -0.65;
-    cv.scan_rate = 0.02;
-    std::vector<ChannelProtocol> protocols{ca, cv};
-    std::vector<afe::AnalogFrontEnd*> fes{&fe1, &fe2};
-    afe::AnalogMux mux(afe::MuxSpec{});
-    return engine.run_panel(channels, protocols, fes, mux, parallelism);
-  }
-};
-
-void expect_identical(const PanelScanResult& a, const PanelScanResult& b) {
-  ASSERT_EQ(a.entries.size(), b.entries.size());
-  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
-  for (std::size_t e = 0; e < a.entries.size(); ++e) {
-    const PanelEntryResult& x = a.entries[e];
-    const PanelEntryResult& y = b.entries[e];
-    EXPECT_EQ(x.probe_name, y.probe_name);
-    EXPECT_DOUBLE_EQ(x.start_time, y.start_time);
-    EXPECT_DOUBLE_EQ(x.stop_time, y.stop_time);
-    ASSERT_EQ(x.amperogram.size(), y.amperogram.size());
-    for (std::size_t i = 0; i < x.amperogram.size(); ++i) {
-      ASSERT_DOUBLE_EQ(x.amperogram.time()[i], y.amperogram.time()[i]);
-      ASSERT_DOUBLE_EQ(x.amperogram.value()[i], y.amperogram.value()[i]);
-    }
-    ASSERT_EQ(x.voltammogram.size(), y.voltammogram.size());
-    for (std::size_t i = 0; i < x.voltammogram.size(); ++i) {
-      ASSERT_DOUBLE_EQ(x.voltammogram.time()[i], y.voltammogram.time()[i]);
-      ASSERT_DOUBLE_EQ(x.voltammogram.potential()[i],
-                       y.voltammogram.potential()[i]);
-      ASSERT_DOUBLE_EQ(x.voltammogram.current()[i],
-                       y.voltammogram.current()[i]);
-    }
-  }
-}
-
-TEST(BatchPanel, ParallelScanMatchesSequentialBitForBit) {
-  PanelFixture fixture;
-  const PanelScanResult sequential = fixture.run(1, 2026);
-  const PanelScanResult parallel = fixture.run(4, 2026);
-  expect_identical(sequential, parallel);
-}
-
-TEST(BatchPanel, SameSeedReproducesAcrossRuns) {
-  PanelFixture fixture;
-  const PanelScanResult first = fixture.run(4, 99);
-  const PanelScanResult second = fixture.run(4, 99);
-  expect_identical(first, second);
-}
-
-TEST(BatchPanel, DifferentSeedsDiffer) {
-  PanelFixture fixture;
-  const PanelScanResult a = fixture.run(1, 1);
-  const PanelScanResult b = fixture.run(1, 2);
-  ASSERT_EQ(a.entries.size(), b.entries.size());
-  ASSERT_FALSE(a.entries[0].amperogram.empty());
-  EXPECT_NE(a.entries[0].amperogram.value()[5],
-            b.entries[0].amperogram.value()[5]);
 }
 
 TEST(BatchPanel, SeededRunsMatchCounterBasedRuns) {

@@ -1,0 +1,163 @@
+/// \file csv_test.cpp
+/// CSV writer/reader edge cases: RFC 4180 quoting (commas, embedded quotes,
+/// newlines inside cells), CRLF round-trips, blank lines, width mismatches
+/// and malformed input -- the failure paths the golden-trace fixture loader
+/// depends on.
+
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace idp::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// --- escaping ---------------------------------------------------------------
+
+TEST(CsvEscape, PlainCellsPassThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("1.5e-9"), "1.5e-9");
+}
+
+TEST(CsvEscape, QuotesCellsWithSeparatorsAndQuotes) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(csv_escape("cr\rlf"), "\"cr\rlf\"");
+}
+
+// --- writer -----------------------------------------------------------------
+
+TEST(CsvWriter, RejectsEmptyColumnSet) {
+  const std::string path = ::testing::TempDir() + "/idp_csv_empty.csv";
+  EXPECT_THROW(CsvWriter(path, {}), std::invalid_argument);
+}
+
+TEST(CsvWriter, RejectsUnopenableFile) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), Error);
+}
+
+TEST(CsvWriter, StringRowsAreEscaped) {
+  const std::string path = ::testing::TempDir() + "/idp_csv_quote.csv";
+  {
+    CsvWriter csv(path, {"name", "note"});
+    const std::vector<std::string> row{"glucose, fasting", "ok"};
+    csv.write_row(row);
+  }
+  EXPECT_EQ(slurp(path), "name,note\n\"glucose, fasting\",ok\n");
+}
+
+TEST(CsvWriter, RejectsStringRowWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "/idp_csv_width.csv";
+  CsvWriter csv(path, {"a", "b"});
+  const std::vector<std::string> row{"only-one"};
+  EXPECT_THROW(csv.write_row(row), std::invalid_argument);
+}
+
+TEST(CsvWriter, NumericRowsRoundTripAtFullPrecision) {
+  const std::string path = ::testing::TempDir() + "/idp_csv_precision.csv";
+  const double x = 1.0 / 3.0, y = -2.718281828459045e-9;
+  {
+    CsvWriter csv(path, {"x", "y"});
+    const double row[] = {x, y};
+    csv.write_row(row);
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(std::stod(table.rows[0][0]), x);  // bitwise round trip
+  EXPECT_EQ(std::stod(table.rows[0][1]), y);
+}
+
+// --- parser -----------------------------------------------------------------
+
+TEST(CsvParse, EmptyInputYieldsEmptyTable) {
+  const CsvTable table = parse_csv("");
+  EXPECT_TRUE(table.header.empty());
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(CsvParse, HeaderOnlyTableHasNoRows) {
+  const CsvTable table = parse_csv("a,b,c\n");
+  EXPECT_EQ(table.header, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(CsvParse, QuotedCellsKeepCommasQuotesAndNewlines) {
+  const CsvTable table =
+      parse_csv("name,note\n\"a,b\",\"say \"\"hi\"\"\"\n\"l1\nl2\",x\n");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "a,b");
+  EXPECT_EQ(table.rows[0][1], "say \"hi\"");
+  EXPECT_EQ(table.rows[1][0], "l1\nl2");
+}
+
+TEST(CsvParse, CrlfAndMissingFinalNewlineAreAccepted) {
+  const CsvTable table = parse_csv("a,b\r\n1,2\r\n3,4");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParse, BlankLinesAreSkipped) {
+  const CsvTable table = parse_csv("a\n\n1\n\n\n2\n");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "1");
+  EXPECT_EQ(table.rows[1][0], "2");
+}
+
+TEST(CsvParse, TrailingCommaMakesAnEmptyCell) {
+  const CsvTable table = parse_csv("a,b\n1,\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "");
+}
+
+TEST(CsvParse, RejectsRowWidthMismatch) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), Error);
+  EXPECT_THROW(parse_csv("a,b\n1\n"), Error);
+}
+
+TEST(CsvParse, RejectsMalformedQuoting) {
+  EXPECT_THROW(parse_csv("a\n\"unterminated\n"), Error);
+  EXPECT_THROW(parse_csv("a\nab\"cd\n"), Error);
+  EXPECT_THROW(parse_csv("a\rb\n"), Error);  // bare CR outside quotes
+}
+
+TEST(CsvTableLookup, FindsColumnsByNameAndRejectsUnknown) {
+  const CsvTable table = parse_csv("time_s,current_A\n0,1\n");
+  EXPECT_EQ(table.column("time_s"), 0u);
+  EXPECT_EQ(table.column("current_A"), 1u);
+  EXPECT_THROW(table.column("missing"), Error);
+}
+
+// --- CRLF round trip through a real file ------------------------------------
+
+TEST(CsvRoundTrip, CrlfFileSurvivesReadback) {
+  const std::string path = ::testing::TempDir() + "/idp_csv_crlf.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "target,note\r\nglucose,\"fasting, morning\"\r\n";
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "glucose");
+  EXPECT_EQ(table.rows[0][1], "fasting, morning");
+}
+
+TEST(CsvRead, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent-dir/missing.csv"), Error);
+}
+
+}  // namespace
+}  // namespace idp::util

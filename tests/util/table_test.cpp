@@ -1,3 +1,8 @@
+/// \file table_test.cpp
+/// ConsoleTable rendering plus its failure paths (empty table, width and
+/// alignment violations) and the CSV writer basics; reader edge cases live
+/// in tests/util/csv_test.cpp.
+
 #include "util/table.hpp"
 
 #include <gtest/gtest.h>
@@ -29,6 +34,42 @@ TEST(ConsoleTable, RejectsRowWidthMismatch) {
 
 TEST(ConsoleTable, RejectsEmptyHeader) {
   EXPECT_THROW(ConsoleTable({}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, EmptyTablePrintsHeaderOnly) {
+  // No rows: the renderer must still emit the header between rules instead
+  // of crashing on an empty row set.
+  ConsoleTable t({"name", "value"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  // Three rules (top, under-header, bottom) and exactly one cell line.
+  std::size_t rules = 0, lines = 0;
+  std::istringstream is(s);
+  for (std::string line; std::getline(is, line);) {
+    ++lines;
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(ConsoleTable, RejectsAlignmentColumnOutOfRange) {
+  ConsoleTable t({"a", "b"});
+  t.set_alignment(1, Align::kLeft);  // in range: fine
+  EXPECT_THROW(t.set_alignment(2, Align::kLeft), std::invalid_argument);
+}
+
+TEST(ConsoleTable, AlignmentAffectsPadding) {
+  ConsoleTable t({"wide-header"});
+  t.set_alignment(0, Align::kRight);
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  // Right-aligned single cell: padding before the content.
+  EXPECT_NE(os.str().find("          x |"), std::string::npos);
 }
 
 TEST(ConsoleTable, ColumnsAutoSize) {
