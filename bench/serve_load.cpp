@@ -1,0 +1,178 @@
+/// \file serve_load.cpp
+/// Service-runtime load benchmark: open-loop mixed traffic (panel scans,
+/// quantified reads, QC checks at stat/routine/batch priority) from
+/// thousands of sessions pushed through the live scheduler, reporting
+/// sustained throughput plus p50/p90/p99 queue-wait and service-time
+/// latency per priority class as benchmark counters, and the replay path's
+/// parallel scaling. Writes google-benchmark JSON to BENCH_serve.json
+/// (override with --benchmark_out=...) so successive PRs accumulate a
+/// comparable service-workload measurement.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/traffic.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace idp;
+
+/// Short-protocol campaign: the load bench measures the *service layer*
+/// (queueing, dispatch, session state, leasing), so each virtual
+/// measurement is kept short -- 1 s of simulated chronoamperometry -- to
+/// make a >= 10k-request run affordable in CI.
+quant::CampaignConfig bench_campaign() {
+  quant::CampaignConfig config;
+  config.calibration_points = 4;
+  config.blank_measurements = 4;
+  config.ca_duration_s = 1.0;
+  return config;
+}
+
+serve::ServiceConfig bench_service_config() {
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = 515;
+  return config;
+}
+
+serve::TrafficSpec bench_traffic(std::size_t requests) {
+  serve::TrafficSpec spec;
+  spec.requests = requests;
+  spec.sessions = 2000;
+  spec.tenants = 8;
+  spec.devices = 2;
+  spec.seed = 17;
+  spec.duration_h = 24.0;
+  return spec;
+}
+
+void report_priority_latency(benchmark::State& state,
+                             const serve::Scheduler& scheduler) {
+  for (std::size_t p = 0; p < serve::kPriorityCount; ++p) {
+    const auto priority = static_cast<serve::Priority>(p);
+    const serve::PriorityTelemetry t = scheduler.telemetry(priority);
+    const std::string prefix = serve::to_string(priority);
+    state.counters[prefix + "_served"] +=
+        static_cast<double>(t.completed);
+    const std::pair<const char*, double> quantiles[] = {
+        {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}};
+    for (const auto& [tag, q] : quantiles) {
+      state.counters[prefix + "_queue_" + std::string(tag) + "_ms"] =
+          1e3 * t.queue_wait.percentile(q);
+      state.counters[prefix + "_service_" + std::string(tag) + "_ms"] =
+          1e3 * t.service_time.percentile(q);
+    }
+  }
+}
+
+/// The headline load run: >= 10k mixed requests from 2000 sessions pushed
+/// open-loop (with backpressure) through the live scheduler at hardware
+/// worker parallelism.
+void BM_ServeLoad(benchmark::State& state) {
+  const auto requests = static_cast<std::size_t>(state.range(0));
+  static quant::CalibrationStore store(bench_campaign());
+  static serve::DiagnosticsService service(store, bench_service_config());
+  // Built per invocation (synthesis is milliseconds): a function-local
+  // static would freeze the first Arg's log and silently mislabel any
+  // additional ->Arg() sizes.
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(bench_traffic(requests), service);
+
+  std::size_t completed = 0;
+  for (auto _ : state) {
+    serve::SchedulerConfig config;
+    config.queue.capacity = 4096;
+    config.queue.stat_reserve = 64;
+    config.workers = 0;  // hardware concurrency
+    serve::Scheduler scheduler(service, config);
+    scheduler.start();
+    for (const serve::Request& r : log) {
+      benchmark::DoNotOptimize(scheduler.submit_wait(r));
+    }
+    scheduler.drain_and_stop();
+    completed += scheduler.completed();
+    state.PauseTiming();
+    report_priority_latency(state, scheduler);
+    state.counters["queue_high_water"] =
+        static_cast<double>(scheduler.queue().high_water());
+    state.counters["rejected"] +=
+        static_cast<double>(scheduler.queue().rejected());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.SetLabel(std::to_string(requests) +
+                 " mixed requests x 2000 sessions, hw workers");
+}
+BENCHMARK(BM_ServeLoad)
+    ->Arg(10000)
+    ->ArgName("requests")
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Replay-path scaling: the same recorded log executed deterministically
+/// at parallelism 1 / 2 / 4 / hardware (bitwise identical results; the
+/// timing difference is the whole point).
+void BM_ServeReplay(benchmark::State& state) {
+  static quant::CalibrationStore store(bench_campaign());
+  static serve::DiagnosticsService service(store, bench_service_config());
+  static const std::vector<serve::Request> log = [] {
+    serve::TrafficSpec spec = bench_traffic(512);
+    spec.sessions = 128;
+    return serve::synthesize_traffic(spec, service);
+  }();
+
+  serve::Scheduler scheduler(service);
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    const std::vector<serve::Response> out =
+        scheduler.replay(log, static_cast<std::size_t>(state.range(0)));
+    responses += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.SetLabel("512-request log, deterministic replay");
+}
+BENCHMARK(BM_ServeReplay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->ArgName("parallelism")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Queue-layer micro-benchmark: admission + dispatch cycles per second
+/// through the bounded priority queue (no measurement work), the ceiling
+/// the service front door imposes.
+void BM_RequestQueueCycle(benchmark::State& state) {
+  serve::RequestQueue queue(serve::RequestQueueConfig{.capacity = 1024});
+  serve::Request request;
+  request.priority = serve::Priority::kRoutine;
+  std::size_t cycles = 0;
+  serve::QueuedRequest out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.try_push(request));
+    benchmark::DoNotOptimize(queue.try_pop(out));
+    ++cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_RequestQueueCycle);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("hardware threads: %zu\n",
+              idp::util::ThreadPool::default_parallelism());
+  // CI uploads BENCH_serve.json next to BENCH_hot_path.json/BENCH_cohort.json.
+  return idp::bench::run_benchmarks_with_default_out(argc, argv,
+                                                     "BENCH_serve.json");
+}

@@ -13,6 +13,7 @@
 #include "sim/batch.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace idp::scenario {
 
@@ -37,22 +38,12 @@ constexpr std::uint64_t kQcFrontEndSeedDomain = 0x6a09e667f3bcc909ULL;
 constexpr std::uint64_t kQcRunDomain = 1ULL << 40;
 constexpr std::uint64_t kRecalRunDomain = 1ULL << 41;
 
-/// Interpolated percentile of an already-sorted sample set (q in [0, 1]).
-double percentile_sorted(std::span<const double> sorted, double q) {
-  util::require(!sorted.empty(), "percentile of empty sample set");
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
-}
-
-/// p10/p50/p90 band of an unsorted sample set (one sort, three reads).
+/// p10/p50/p90 band of an unsorted sample set (one sort, three reads via
+/// the shared util::percentiles_of helper).
 PercentileBand band_of(std::vector<double>& values) {
-  std::sort(values.begin(), values.end());
-  return PercentileBand{percentile_sorted(values, 0.10),
-                        percentile_sorted(values, 0.50),
-                        percentile_sorted(values, 0.90)};
+  constexpr double kBandQs[] = {0.10, 0.50, 0.90};
+  const std::vector<double> ps = util::percentiles_of(values, kBandQs);
+  return PercentileBand{ps[0], ps[1], ps[2]};
 }
 
 /// Scalar response of one seeded measurement under either protocol.

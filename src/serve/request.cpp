@@ -1,0 +1,51 @@
+/// \file request.cpp
+/// Request vocabulary helpers: names and the session-key hash.
+
+#include "serve/request.hpp"
+
+namespace idp::serve {
+
+namespace {
+
+/// splitmix64 finaliser: a full-avalanche 64-bit mix.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kStat:
+      return "stat";
+    case Priority::kRoutine:
+      return "routine";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPanelScan:
+      return "panel_scan";
+    case RequestKind::kQuantifiedRead:
+      return "quantified_read";
+    case RequestKind::kQcCheck:
+      return "qc_check";
+  }
+  return "unknown";
+}
+
+std::uint64_t hash_of(const SessionKey& key) {
+  std::uint64_t h = splitmix(key.patient);
+  h = splitmix(h ^ ((static_cast<std::uint64_t>(key.tenant) << 32) |
+                    static_cast<std::uint64_t>(key.device)));
+  return h;
+}
+
+}  // namespace idp::serve

@@ -1,0 +1,113 @@
+/// \file request.hpp
+/// The service runtime's request/response vocabulary: priority classes,
+/// request kinds, the (tenant, patient, device) session key and the
+/// deterministic request/response records everything else in src/serve/
+/// is built from.
+///
+/// A Request is pure *content* -- who is asking, what to measure, at which
+/// service-timeline instant, at which true analyte level -- and carries a
+/// dense id that leases the request's disjoint run-id block (see
+/// serve/service.hpp). A recorded request log is therefore replayable:
+/// executing the same log against the same service configuration yields
+/// bitwise identical responses at any parallelism and any completion
+/// order. Wall-clock telemetry (queue wait, service time) is deliberately
+/// kept *out* of Response and lives in serve/result_sink.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/library_ids.hpp"
+#include "quant/quantifier.hpp"
+
+namespace idp::serve {
+
+/// Priority classes, in strict service order: a stat (emergency) request
+/// is always dispatched before any waiting routine request, which beats
+/// any waiting batch request. Within a class the queue is FIFO.
+enum class Priority : std::uint8_t {
+  kStat = 0,     ///< emergency single-patient reads
+  kRoutine = 1,  ///< scheduled clinical monitoring
+  kBatch = 2,    ///< research / reprocessing sweeps
+};
+
+inline constexpr std::size_t kPriorityCount = 3;
+
+const char* to_string(Priority priority);
+
+/// What a request asks the diagnostic engine to do.
+enum class RequestKind : std::uint8_t {
+  kPanelScan = 0,       ///< measure and quantify every panel channel
+  kQuantifiedRead = 1,  ///< measure and quantify one channel
+  kQcCheck = 2,         ///< blank + known standard through the aged sensor
+};
+
+const char* to_string(RequestKind kind);
+
+/// Identity of one live sensor deployment: a tenant (hospital / trial
+/// site), a patient within that tenant and a physical device on that
+/// patient. The registry shards sessions by the hash of this key.
+struct SessionKey {
+  std::uint32_t tenant = 0;
+  std::uint64_t patient = 0;
+  std::uint32_t device = 0;
+
+  friend auto operator<=>(const SessionKey&, const SessionKey&) = default;
+};
+
+/// Stable 64-bit mix of a session key (splitmix64 over the packed fields).
+/// Used for registry sharding, degradation-site seeding and the
+/// recalibration run-id slots -- never as a uniqueness guarantee.
+std::uint64_t hash_of(const SessionKey& key);
+
+/// One diagnostics request. `concentrations_mM` carries the true analyte
+/// level(s) presented to the virtual sensor: one entry per panel channel
+/// for kPanelScan, exactly one for kQuantifiedRead (channel selected by
+/// `channel`), none for kQcCheck (the QC kit's blank and standard levels
+/// are service configuration, not request content).
+struct Request {
+  std::uint64_t id = 0;  ///< dense, unique; leases the run-id block
+  SessionKey session;
+  Priority priority = Priority::kRoutine;
+  RequestKind kind = RequestKind::kQuantifiedRead;
+  std::uint32_t channel = 0;  ///< target channel for read / QC kinds
+  double time_h = 0.0;        ///< service-timeline instant (drives sensor age)
+  std::vector<double> concentrations_mM;
+};
+
+/// One measured + quantified channel of a response.
+struct ChannelResult {
+  std::uint32_t channel = 0;
+  bio::TargetId target = bio::TargetId::kGlucose;
+  double truth_mM = 0.0;  ///< level presented to the sensor (0 for QC std)
+  double response = 0.0;  ///< scalar panel response
+  quant::ConcentrationEstimate estimate;
+};
+
+/// The deterministic reply to one request: everything here is a pure
+/// function of (request, service configuration), never of queueing or
+/// scheduling -- the property the replay determinism sweep digests.
+struct Response {
+  std::uint64_t request_id = 0;
+  SessionKey session;
+  Priority priority = Priority::kRoutine;
+  RequestKind kind = RequestKind::kQuantifiedRead;
+  double time_h = 0.0;
+  double sensor_age_days = 0.0;
+  std::uint32_t calibration_epoch = 0;
+  std::vector<ChannelResult> channels;
+
+  /// QC checks only: standardised residuals of the blank and the known
+  /// standard against the active calibration's prediction.
+  double qc_blank_residual = 0.0;
+  double qc_standard_residual = 0.0;
+
+  /// OR of all channel estimate flags.
+  quant::QuantFlag flags() const {
+    quant::QuantFlag f = quant::QuantFlag::kNone;
+    for (const ChannelResult& c : channels) f = f | c.estimate.flags;
+    return f;
+  }
+};
+
+}  // namespace idp::serve

@@ -1,0 +1,152 @@
+/// \file request_queue.cpp
+/// Bounded multi-class priority queue implementation.
+
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace idp::serve {
+
+const char* to_string(Admission admission) {
+  switch (admission) {
+    case Admission::kAccepted:
+      return "accepted";
+    case Admission::kRejectedFull:
+      return "rejected_full";
+    case Admission::kRejectedClosed:
+      return "rejected_closed";
+  }
+  return "unknown";
+}
+
+RequestQueue::RequestQueue(RequestQueueConfig config) : config_(config) {
+  util::require(config_.capacity > 0,
+                "request queue needs capacity > 0 (a zero-capacity service "
+                "could only reject)");
+  util::require(config_.stat_reserve < config_.capacity,
+                "stat_reserve must leave room for non-stat admission");
+}
+
+bool RequestQueue::has_space_locked(Priority priority) const {
+  const std::size_t usable = priority == Priority::kStat
+                                 ? config_.capacity
+                                 : config_.capacity - config_.stat_reserve;
+  return depth_ < usable;
+}
+
+Admission RequestQueue::push_locked(Request&& request) {
+  const auto lane = static_cast<std::size_t>(request.priority);
+  util::require(lane < kPriorityCount, "invalid priority class");
+  lanes_[lane].push_back(
+      QueuedRequest{std::move(request), std::chrono::steady_clock::now()});
+  ++depth_;
+  high_water_ = std::max(high_water_, depth_);
+  ++accepted_;
+  return Admission::kAccepted;
+}
+
+Admission RequestQueue::try_push(Request request) {
+  Admission admission;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Admission::kRejectedClosed;
+    if (!has_space_locked(request.priority)) {
+      ++rejected_;
+      return Admission::kRejectedFull;
+    }
+    admission = push_locked(std::move(request));
+  }
+  ready_.notify_one();
+  return admission;
+}
+
+Admission RequestQueue::push_wait(Request request) {
+  Admission admission;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_.wait(lock, [&] {
+      return closed_ || has_space_locked(request.priority);
+    });
+    if (closed_) return Admission::kRejectedClosed;
+    admission = push_locked(std::move(request));
+  }
+  ready_.notify_one();
+  return admission;
+}
+
+bool RequestQueue::pop(QueuedRequest& out) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || depth_ > 0; });
+    if (depth_ == 0) return false;  // closed and drained
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      out = std::move(lane.front());
+      lane.pop_front();
+      --depth_;
+      break;
+    }
+  }
+  // notify_all, not notify_one: with a stat reserve the space_ waiters
+  // have *heterogeneous* predicates (a freed slot may admit a blocked
+  // stat pusher but not a blocked routine one), so a single wakeup could
+  // land on a waiter whose predicate is still false and strand the one
+  // the slot was actually reserved for.
+  space_.notify_all();
+  return true;
+}
+
+bool RequestQueue::try_pop(QueuedRequest& out) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (depth_ == 0) return false;
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      out = std::move(lane.front());
+      lane.pop_front();
+      --depth_;
+      break;
+    }
+  }
+  space_.notify_all();  // heterogeneous waiter predicates; see pop()
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+  space_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+std::size_t RequestQueue::high_water() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
+std::uint64_t RequestQueue::accepted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t RequestQueue::rejected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace idp::serve

@@ -1,0 +1,108 @@
+/// \file request_queue.hpp
+/// The service front door: a bounded, multi-class priority queue with
+/// explicit admission control. A request is either *accepted* or
+/// *rejected with a reason* -- the queue never drops silently. Capacity is
+/// shared across the three priority classes, with an optional stat-only
+/// reserve so emergency requests still admit when routine/batch traffic
+/// has filled the house. Dispatch order is strict priority (stat before
+/// routine before batch) and FIFO within a class, so a stat request can
+/// never be inverted behind lower-priority work.
+///
+/// Determinism note: the queue orders *dispatch*, never results. Response
+/// payloads derive from leased run-id blocks (serve/service.hpp), so the
+/// service's output is bitwise independent of arrival interleaving or of
+/// which worker pops what.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "serve/request.hpp"
+
+namespace idp::serve {
+
+/// Queue sizing and admission-control knobs.
+struct RequestQueueConfig {
+  /// Total capacity across all priority classes; must be > 0 (a
+  /// zero-capacity service could only reject, which is a config mistake).
+  std::size_t capacity = 1024;
+
+  /// Slots of `capacity` only stat requests may use: routine/batch
+  /// admission requires depth < capacity - stat_reserve. Must be smaller
+  /// than capacity.
+  std::size_t stat_reserve = 0;
+};
+
+/// Outcome of an admission attempt.
+enum class Admission : std::uint8_t {
+  kAccepted = 0,
+  kRejectedFull = 1,    ///< explicit backpressure signal to the caller
+  kRejectedClosed = 2,  ///< the service is shutting down
+};
+
+const char* to_string(Admission admission);
+
+/// One queued request plus its enqueue instant (for queue-wait telemetry).
+struct QueuedRequest {
+  Request request;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+/// Thread-safe bounded priority queue (three FIFO lanes).
+class RequestQueue {
+ public:
+  explicit RequestQueue(RequestQueueConfig config = {});
+
+  const RequestQueueConfig& config() const { return config_; }
+
+  /// Non-blocking admission: accepted, or rejected-full / rejected-closed.
+  Admission try_push(Request request);
+
+  /// Blocking admission (backpressure): waits for space, then accepts;
+  /// returns kRejectedClosed if the queue closes while waiting.
+  Admission push_wait(Request request);
+
+  /// Blocking dispatch: pops the oldest request of the highest non-empty
+  /// priority class. Returns false when the queue is closed *and* drained
+  /// (a closed queue still hands out everything it accepted).
+  bool pop(QueuedRequest& out);
+
+  /// Non-blocking dispatch.
+  bool try_pop(QueuedRequest& out);
+
+  /// Close the queue: subsequent pushes reject with kRejectedClosed,
+  /// blocked pushers wake and reject, pops drain the remaining requests.
+  void close();
+
+  bool closed() const;
+
+  /// Requests currently waiting (all classes).
+  std::size_t depth() const;
+  /// Largest depth ever observed.
+  std::size_t high_water() const;
+  /// Admission counters (accepted / rejected-full since construction).
+  std::uint64_t accepted() const;
+  std::uint64_t rejected() const;
+
+ private:
+  /// Admission rule for one class given the current depth.
+  bool has_space_locked(Priority priority) const;
+  Admission push_locked(Request&& request);
+
+  RequestQueueConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  ///< a request was enqueued / closed
+  std::condition_variable space_;  ///< a slot freed up / closed
+  std::array<std::deque<QueuedRequest>, kPriorityCount> lanes_;
+  std::size_t depth_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace idp::serve

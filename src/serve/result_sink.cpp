@@ -1,0 +1,112 @@
+/// \file result_sink.cpp
+/// CSV result sink implementation.
+
+#include "serve/result_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace idp::serve {
+
+namespace {
+
+/// Round-trip (bitwise re-parseable) decimal form of a double, matching
+/// the precision contract of util::CsvWriter's numeric rows.
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::vector<std::string> response_columns() {
+  return {"request_id", "tenant",   "patient",
+          "device",     "priority", "kind",
+          "time_h",     "sensor_age_days", "calibration_epoch",
+          "channel",    "target",   "truth_mM",
+          "response",   "estimate_mM", "ci_low_mM",
+          "ci_high_mM", "flags",    "qc_blank_residual",
+          "qc_standard_residual"};
+}
+
+void write_response_rows(util::CsvWriter& csv, const Response& r) {
+  for (const ChannelResult& c : r.channels) {
+    const std::vector<std::string> row{
+        std::to_string(r.request_id),
+        std::to_string(r.session.tenant),
+        std::to_string(r.session.patient),
+        std::to_string(r.session.device),
+        to_string(r.priority),
+        to_string(r.kind),
+        format_double(r.time_h),
+        format_double(r.sensor_age_days),
+        std::to_string(r.calibration_epoch),
+        std::to_string(c.channel),
+        bio::to_string(c.target),
+        format_double(c.truth_mM),
+        format_double(c.response),
+        format_double(c.estimate.value),
+        format_double(c.estimate.ci_low),
+        format_double(c.estimate.ci_high),
+        std::to_string(static_cast<std::uint32_t>(c.estimate.flags)),
+        format_double(r.qc_blank_residual),
+        format_double(r.qc_standard_residual)};
+    csv.write_row(row);
+  }
+}
+
+}  // namespace
+
+void write_responses_csv(std::span<const Response> responses,
+                         const std::string& path) {
+  util::CsvWriter csv(path, response_columns());
+  for (const Response& r : responses) write_response_rows(csv, r);
+}
+
+CsvResultSink::CsvResultSink(std::string responses_path,
+                             std::string telemetry_path)
+    : responses_path_(std::move(responses_path)),
+      telemetry_(telemetry_path,
+                 {"request_id", "priority", "kind", "queue_wait_s",
+                  "service_time_s", "calibration_epoch", "flags"}) {}
+
+CsvResultSink::~CsvResultSink() { close(); }
+
+void CsvResultSink::on_response(const Response& response) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  responses_.push_back(response);
+}
+
+void CsvResultSink::on_telemetry(const RequestTelemetry& telemetry) {
+  const std::vector<std::string> row{
+      std::to_string(telemetry.request_id),
+      to_string(telemetry.priority),
+      to_string(telemetry.kind),
+      format_double(telemetry.queue_wait_s),
+      format_double(telemetry.service_time_s),
+      std::to_string(telemetry.calibration_epoch),
+      std::to_string(telemetry.flags)};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  telemetry_.write_row(row);
+}
+
+void CsvResultSink::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  // Completion order is whatever the workers made it; the file contract
+  // is request-id order (see header).
+  std::sort(responses_.begin(), responses_.end(),
+            [](const Response& a, const Response& b) {
+              return a.request_id < b.request_id;
+            });
+  write_responses_csv(responses_, responses_path_);
+  telemetry_.close();
+}
+
+std::size_t CsvResultSink::buffered_responses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return responses_.size();
+}
+
+}  // namespace idp::serve

@@ -1,0 +1,127 @@
+/// \file scheduler.cpp
+/// Scheduler implementation: deterministic replay fan-out and the live
+/// worker loop with latency telemetry.
+
+#include "serve/scheduler.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "sim/batch.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace idp::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(DiagnosticsService& service, SchedulerConfig config)
+    : service_(service), config_(config), queue_(config.queue) {
+  if (config_.workers == 0) {
+    config_.workers = util::ThreadPool::default_parallelism();
+  }
+}
+
+Scheduler::~Scheduler() { drain_and_stop(); }
+
+std::vector<Response> Scheduler::replay(std::span<const Request> log,
+                                        std::size_t parallelism) {
+  // Every request's run-id lease is fixed by its id before anything
+  // executes, and each response writes to its pre-assigned slot -- the
+  // BatchRunner contract, extended to the service layer.
+  std::vector<Response> responses(log.size());
+  const sim::BatchRunner runner(parallelism);
+  runner.run(log.size(),
+             [&](std::size_t i) { responses[i] = service_.execute(log[i]); });
+  return responses;
+}
+
+void Scheduler::start(ResultSink* sink) {
+  util::require(!running_, "scheduler is already running");
+  // Live mode is one-shot: drain_and_stop closes the queue permanently,
+  // and restarted workers would exit immediately against it while
+  // submit() kept rejecting -- an up-looking scheduler that serves
+  // nothing. Make that misuse loud instead.
+  util::require(!queue_.closed(),
+                "scheduler cannot restart after drain_and_stop");
+  sink_ = sink;
+  running_ = true;
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Admission Scheduler::submit(Request request) {
+  return queue_.try_push(std::move(request));
+}
+
+Admission Scheduler::submit_wait(Request request) {
+  return queue_.push_wait(std::move(request));
+}
+
+void Scheduler::drain_and_stop() {
+  if (!running_) return;
+  queue_.close();  // pushes reject from here on; pops drain what was accepted
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  running_ = false;
+  if (sink_ != nullptr) sink_->close();
+  sink_ = nullptr;
+}
+
+std::uint64_t Scheduler::completed() const {
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  std::uint64_t n = 0;
+  for (const PriorityTelemetry& t : telemetry_) n += t.completed;
+  return n;
+}
+
+PriorityTelemetry Scheduler::telemetry(Priority priority) const {
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  return telemetry_[static_cast<std::size_t>(priority)];
+}
+
+void Scheduler::worker_loop() {
+  QueuedRequest item;
+  while (queue_.pop(item)) {
+    const auto dispatched = std::chrono::steady_clock::now();
+    const double queue_wait = seconds_between(item.enqueued_at, dispatched);
+
+    const Response response = service_.execute(item.request);
+
+    const double service_time =
+        seconds_between(dispatched, std::chrono::steady_clock::now());
+
+    RequestTelemetry telemetry;
+    telemetry.request_id = response.request_id;
+    telemetry.priority = response.priority;
+    telemetry.kind = response.kind;
+    telemetry.queue_wait_s = queue_wait;
+    telemetry.service_time_s = service_time;
+    telemetry.calibration_epoch = response.calibration_epoch;
+    telemetry.flags = static_cast<std::uint32_t>(response.flags());
+
+    {
+      const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+      PriorityTelemetry& account =
+          telemetry_[static_cast<std::size_t>(response.priority)];
+      ++account.completed;
+      account.queue_wait.add(queue_wait);
+      account.service_time.add(service_time);
+    }
+    if (sink_ != nullptr) {
+      sink_->on_response(response);
+      sink_->on_telemetry(telemetry);
+    }
+  }
+}
+
+}  // namespace idp::serve

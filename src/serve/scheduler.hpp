@@ -1,0 +1,110 @@
+/// \file scheduler.hpp
+/// The service scheduler: the component that turns the deterministic
+/// per-request engine (serve/service.hpp) into a running service. Two
+/// execution modes share one guarantee -- the response payload of request
+/// r depends only on r, because the run-id lease is r's alone:
+///
+/// - replay(log, parallelism): execute a recorded request log with every
+///   response written to its pre-assigned slot, fanned out over
+///   sim::BatchRunner. Bitwise identical at parallelism 1 / N / hardware,
+///   and bitwise identical to what live mode produced for the same log
+///   (the serve workload of tests/determinism pins this).
+/// - start()/submit()/drain_and_stop(): live mode. Worker threads pop the
+///   bounded priority RequestQueue, execute, and feed responses plus
+///   wall-clock telemetry (queue wait, service time) to a ResultSink and
+///   the per-priority latency histograms. Admission control is the
+///   caller's choice per request: submit() rejects when full (open-loop
+///   load shedding), submit_wait() blocks (backpressure).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+#include "serve/result_sink.hpp"
+#include "serve/service.hpp"
+#include "util/stats.hpp"
+
+namespace idp::serve {
+
+/// Live-mode sizing.
+struct SchedulerConfig {
+  RequestQueueConfig queue;
+  /// Worker threads for live mode; 0 = hardware concurrency.
+  std::size_t workers = 0;
+};
+
+/// Per-priority latency account (seconds).
+struct PriorityTelemetry {
+  std::uint64_t completed = 0;
+  util::LatencyHistogram queue_wait;
+  util::LatencyHistogram service_time;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(DiagnosticsService& service, SchedulerConfig config = {});
+
+  /// Stops live mode (draining accepted requests) if still running.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  const SchedulerConfig& config() const { return config_; }
+
+  // --- replay mode ----------------------------------------------------------
+
+  /// Execute a recorded log; responses land in log order. parallelism 0 =
+  /// hardware concurrency, 1 = sequential inline. Independent of live
+  /// mode and of the queue.
+  std::vector<Response> replay(std::span<const Request> log,
+                               std::size_t parallelism = 0);
+
+  // --- live mode ------------------------------------------------------------
+
+  /// Launch the worker threads. `sink` (optional) receives every response
+  /// and telemetry record; it must outlive drain_and_stop(). Live mode is
+  /// one-shot per Scheduler: starting again after drain_and_stop throws
+  /// (the queue closed permanently; construct a fresh Scheduler instead).
+  void start(ResultSink* sink = nullptr);
+
+  /// Non-blocking admission (explicit reject when full).
+  Admission submit(Request request);
+
+  /// Blocking admission (backpressure).
+  Admission submit_wait(Request request);
+
+  /// Close the queue, drain every accepted request, join the workers and
+  /// close the sink. Idempotent.
+  void drain_and_stop();
+
+  bool running() const { return running_; }
+
+  const RequestQueue& queue() const { return queue_; }
+
+  /// Requests fully served in live mode.
+  std::uint64_t completed() const;
+
+  /// Copy of one priority class's latency account.
+  PriorityTelemetry telemetry(Priority priority) const;
+
+ private:
+  void worker_loop();
+
+  DiagnosticsService& service_;
+  SchedulerConfig config_;
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+  ResultSink* sink_ = nullptr;
+  bool running_ = false;
+
+  mutable std::mutex telemetry_mutex_;
+  std::array<PriorityTelemetry, kPriorityCount> telemetry_;
+};
+
+}  // namespace idp::serve

@@ -1,0 +1,106 @@
+/// \file traffic.cpp
+/// Synthetic open-loop traffic generation.
+
+#include "serve/traffic.hpp"
+
+#include <cmath>
+
+#include "serve/service.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace idp::serve {
+
+namespace {
+
+/// Seed-domain tag so a user reusing one seed for traffic and the service
+/// engine still gets independent streams.
+constexpr std::uint64_t kTrafficSeedDomain = 0x13198a2e03707344ULL;
+
+}  // namespace
+
+std::vector<Request> synthesize_traffic(const TrafficSpec& spec,
+                                        const DiagnosticsService& service) {
+  util::require(spec.requests > 0, "traffic needs at least one request");
+  util::require(spec.sessions > 0, "traffic needs at least one session");
+  util::require(spec.tenants > 0 && spec.devices > 0,
+                "traffic needs at least one tenant and one device");
+  util::require(spec.duration_h > 0.0, "traffic window must be positive");
+  util::require(spec.stat_fraction >= 0.0 && spec.batch_fraction >= 0.0 &&
+                    spec.stat_fraction + spec.batch_fraction <= 1.0,
+                "priority fractions must be probabilities summing <= 1");
+  util::require(spec.panel_fraction >= 0.0 && spec.qc_fraction >= 0.0 &&
+                    spec.panel_fraction + spec.qc_fraction <= 1.0,
+                "kind fractions must be probabilities summing <= 1");
+
+  const std::size_t n_channels = service.channel_count();
+  std::vector<std::pair<double, double>> ranges;
+  ranges.reserve(n_channels);
+  for (std::size_t c = 0; c < n_channels; ++c) {
+    ranges.push_back(service.calibrated_range_mM(c));
+  }
+
+  // Arrival process: exponential gaps with mean duration / requests (the
+  // open-loop intensity), drawn from a dedicated sequential stream.
+  // Request *content* below is keyed by (seed, index) alone, so growing a
+  // log rescales arrival times but never changes what request r asks for.
+  util::Rng arrivals(spec.seed + kTrafficSeedDomain);
+  const double mean_gap_h =
+      spec.duration_h / static_cast<double>(spec.requests);
+
+  std::vector<Request> log;
+  log.reserve(spec.requests);
+  double t_h = 0.0;
+  for (std::size_t r = 0; r < spec.requests; ++r) {
+    t_h += -mean_gap_h * std::log(1.0 - arrivals.uniform(0.0, 1.0));
+
+    // Request content draws from a per-request stream keyed by (seed, r):
+    // content never depends on how many requests precede it.
+    util::Rng rng(spec.seed + kTrafficSeedDomain +
+                  (r + 1) * 0x9e3779b97f4a7c15ULL);
+
+    Request request;
+    request.id = r;
+    request.time_h = t_h;
+
+    const std::size_t s = rng.index(spec.sessions);
+    request.session.tenant =
+        static_cast<std::uint32_t>(s % spec.tenants);
+    request.session.patient = s;
+    request.session.device =
+        static_cast<std::uint32_t>((s / spec.tenants) % spec.devices);
+
+    const double u_priority = rng.uniform(0.0, 1.0);
+    if (u_priority < spec.stat_fraction) {
+      request.priority = Priority::kStat;
+    } else if (u_priority > 1.0 - spec.batch_fraction) {
+      request.priority = Priority::kBatch;
+    } else {
+      request.priority = Priority::kRoutine;
+    }
+
+    const double u_kind = rng.uniform(0.0, 1.0);
+    if (u_kind < spec.panel_fraction) {
+      request.kind = RequestKind::kPanelScan;
+      request.concentrations_mM.reserve(n_channels);
+      for (std::size_t c = 0; c < n_channels; ++c) {
+        const auto [lo, hi] = ranges[c];
+        request.concentrations_mM.push_back(
+            rng.uniform(lo + 0.05 * (hi - lo), lo + 0.95 * (hi - lo)));
+      }
+    } else if (u_kind > 1.0 - spec.qc_fraction) {
+      request.kind = RequestKind::kQcCheck;
+      request.channel = static_cast<std::uint32_t>(rng.index(n_channels));
+    } else {
+      request.kind = RequestKind::kQuantifiedRead;
+      request.channel = static_cast<std::uint32_t>(rng.index(n_channels));
+      const auto [lo, hi] = ranges[request.channel];
+      request.concentrations_mM.push_back(
+          rng.uniform(lo + 0.05 * (hi - lo), lo + 0.95 * (hi - lo)));
+    }
+    log.push_back(std::move(request));
+  }
+  return log;
+}
+
+}  // namespace idp::serve

@@ -1,0 +1,45 @@
+/// \file traffic.hpp
+/// Deterministic synthetic traffic for the service runtime: an open-loop
+/// mixed request log -- panel scans, quantified single-analyte reads and
+/// QC checks at stat/routine/batch priorities -- from a configurable
+/// population of sessions, with exponential inter-arrival gaps over a
+/// service window. Request r of a spec depends only on (spec, r), so a
+/// log is itself replayable content: the load bench, the example and the
+/// determinism sweep all draw from here.
+#pragma once
+
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace idp::serve {
+
+class DiagnosticsService;
+
+/// Mix and population of a synthetic request log. Fractions are
+/// probabilities; the remainders (routine priority, quantified reads) are
+/// implied.
+struct TrafficSpec {
+  std::size_t requests = 1000;
+  std::size_t sessions = 100;  ///< distinct (tenant, patient, device) triples
+  std::uint32_t tenants = 4;
+  std::uint32_t devices = 2;  ///< devices per patient
+  std::uint64_t seed = 1;
+  double duration_h = 24.0;  ///< arrival window (exponential gaps)
+
+  double stat_fraction = 0.05;
+  double batch_fraction = 0.20;  ///< routine = 1 - stat - batch
+
+  double panel_fraction = 0.25;
+  double qc_fraction = 0.10;  ///< quantified reads = 1 - panel - qc
+};
+
+/// Synthesize `spec.requests` requests against the service's panel:
+/// concentrations are drawn uniformly inside each channel's calibrated
+/// window (so quantification is exercised in-range), arrival times are
+/// sorted, ids are dense 0..n-1 in arrival order. Deterministic per
+/// (spec, service panel).
+std::vector<Request> synthesize_traffic(const TrafficSpec& spec,
+                                        const DiagnosticsService& service);
+
+}  // namespace idp::serve

@@ -64,6 +64,111 @@ double max_value(std::span<const double> xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
+double percentile_sorted(std::span<const double> sorted, double q) {
+  require(!sorted.empty(), "percentile of empty sample set");
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<double> percentiles_of(std::vector<double>& values,
+                                   std::span<const double> qs) {
+  require(!values.empty(), "percentiles of empty sample set");
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(percentile_sorted(values, q));
+  return out;
+}
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value,
+                                   std::size_t bins_per_decade)
+    : min_value_(min_value),
+      log_min_(std::log10(min_value)),
+      bins_per_decade_(static_cast<double>(bins_per_decade)) {
+  require(min_value > 0.0 && max_value > min_value,
+          "histogram needs 0 < min_value < max_value");
+  require(bins_per_decade > 0, "histogram needs at least one bin per decade");
+  const double decades = std::log10(max_value) - log_min_;
+  counts_.assign(static_cast<std::size_t>(
+                     std::ceil(decades * bins_per_decade_)) +
+                     1,
+                 0);
+}
+
+void LatencyHistogram::add(double value) {
+  if (count_ == 0) {
+    min_seen_ = max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++count_;
+  sum_ += value;
+  double bin = 0.0;
+  if (value > min_value_) {
+    bin = (std::log10(value) - log_min_) * bins_per_decade_;
+  }
+  const auto idx = static_cast<std::size_t>(std::max(0.0, bin));
+  ++counts_[std::min(idx, counts_.size() - 1)];
+}
+
+double LatencyHistogram::min() const { return count_ == 0 ? 0.0 : min_seen_; }
+
+double LatencyHistogram::max() const { return count_ == 0 ? 0.0 : max_seen_; }
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_ - 1);
+  // The extreme ranks are tracked exactly; interpolation only applies to
+  // interior ranks.
+  if (rank <= 0.0) return min_seen_;
+  if (rank >= static_cast<double>(count_ - 1)) return max_seen_;
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts_[b]);
+    if (rank < next || b == counts_.size() - 1) {
+      // Interpolate inside the bin in log space: the bin spans one
+      // geometric step starting at 10^(log_min + b / bins_per_decade).
+      const double frac =
+          std::clamp((rank - cumulative) / static_cast<double>(counts_[b]),
+                     0.0, 1.0);
+      const double log_lo =
+          log_min_ + static_cast<double>(b) / bins_per_decade_;
+      const double value =
+          std::pow(10.0, log_lo + frac / bins_per_decade_);
+      return std::clamp(value, min_seen_, max_seen_);
+    }
+    cumulative = next;
+  }
+  return max_seen_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  require(counts_.size() == other.counts_.size() &&
+              min_value_ == other.min_value_ &&
+              bins_per_decade_ == other.bins_per_decade_,
+          "histogram bin configurations differ");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_seen_ = other.min_seen_;
+    max_seen_ = other.max_seen_;
+  } else {
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void RunningStats::add(double x) {
   ++n_;
   const double delta = x - mean_;

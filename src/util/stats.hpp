@@ -32,6 +32,57 @@ double max_abs(std::span<const double> xs);
 double min_value(std::span<const double> xs);
 double max_value(std::span<const double> xs);
 
+/// Interpolated percentile of an already-sorted sample set, q in [0, 1]
+/// (throws std::invalid_argument on an empty span). The rank is
+/// q * (n - 1) with linear interpolation between neighbouring order
+/// statistics -- a single sample is every percentile of itself.
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Read several interpolated percentiles of an unsorted sample set: sorts
+/// `values` in place once, then reads one percentile per entry of `qs`
+/// (throws std::invalid_argument on an empty sample set).
+std::vector<double> percentiles_of(std::vector<double>& values,
+                                   std::span<const double> qs);
+
+/// Streaming fixed-bin log-scale histogram for positive, latency-shaped
+/// data (service times, queue waits): decades between `min_value` and
+/// `max_value` are split into `bins_per_decade` geometric bins, add() is
+/// O(1) with no allocation, and percentile() interpolates inside the
+/// selected bin in log space. Exact extremes are tracked so percentile
+/// estimates clamp into [min-seen, max-seen] (a one-sample histogram
+/// reports that sample exactly). Values outside the configured span clamp
+/// into the edge bins. Not thread-safe; callers aggregate under their own
+/// lock and merge() per-thread instances.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double min_value = 1e-6, double max_value = 1e3,
+                            std::size_t bins_per_decade = 16);
+
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double min() const;   ///< exact smallest added value (0 when empty)
+  double max() const;   ///< exact largest added value (0 when empty)
+  double mean() const;  ///< exact running mean (0 when empty)
+
+  /// Interpolated percentile estimate, q in [0, 1]; 0 when empty.
+  double percentile(double q) const;
+
+  /// Fold another histogram in; bin configurations must match.
+  void merge(const LatencyHistogram& other);
+
+  std::size_t bin_count() const { return counts_.size(); }
+
+ private:
+  double min_value_;
+  double log_min_;
+  double bins_per_decade_;
+  std::vector<std::size_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
 /// Streaming mean/variance accumulator (Welford). Numerically stable;
 /// used by long-running noise measurements where storing samples is wasteful.
 class RunningStats {

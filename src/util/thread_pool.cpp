@@ -1,6 +1,7 @@
 /// \file thread_pool.cpp
-/// Fixed-size worker pool implementation: FIFO queue, condition-variable
-/// wakeups and an idle barrier used by the batch runtime.
+/// Fixed-size worker pool implementation: FIFO queue (optionally bounded),
+/// condition-variable wakeups and an idle barrier used by the batch runtime
+/// and the service scheduler.
 
 #include "util/thread_pool.hpp"
 
@@ -15,7 +16,8 @@ std::size_t ThreadPool::default_parallelism() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t max_queued)
+    : max_queued_(max_queued) {
   if (threads == 0) threads = default_parallelism();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -29,17 +31,40 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   task_ready_.notify_all();
+  space_.notify_all();  // blocked submitters observe the shutdown
   for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   util::require(static_cast<bool>(task), "empty task");
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     util::require(!stop_, "pool is shutting down");
+    if (max_queued_ > 0) {
+      space_.wait(lock,
+                  [this] { return stop_ || queue_.size() < max_queued_; });
+      util::require(!stop_, "pool is shutting down");
+    }
     queue_.push_back(std::move(task));
   }
   task_ready_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  util::require(static_cast<bool>(task), "empty task");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    util::require(!stop_, "pool is shutting down");
+    if (max_queued_ > 0 && queue_.size() >= max_queued_) return false;
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -58,6 +83,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    if (max_queued_ > 0) space_.notify_one();
     task();
     {
       const std::lock_guard<std::mutex> lock(mutex_);

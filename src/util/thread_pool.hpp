@@ -5,6 +5,11 @@
 /// stealing. Determinism of the simulation results never depends on the
 /// scheduling order -- callers (sim::BatchRunner) make every task write to a
 /// pre-assigned slot and derive all randomness from explicit run ids.
+///
+/// The queue is unbounded by default; constructing with `max_queued > 0`
+/// bounds it, at which point submit() blocks while the queue is full
+/// (backpressure) and try_submit() rejects instead of blocking -- the two
+/// admission-control behaviours the service runtime builds on.
 #pragma once
 
 #include <condition_variable>
@@ -20,10 +25,18 @@ namespace idp::util {
 /// Fixed-size thread pool with a shared FIFO queue.
 class ThreadPool {
  public:
-  /// \param threads  worker count; 0 means default_parallelism().
-  explicit ThreadPool(std::size_t threads = 0);
+  /// \param threads     worker count; 0 means default_parallelism().
+  /// \param max_queued  queue bound; 0 means unbounded. With a bound,
+  ///                    submit() blocks while `max_queued` tasks are
+  ///                    already waiting and try_submit() returns false.
+  explicit ThreadPool(std::size_t threads = 0, std::size_t max_queued = 0);
 
-  /// Joins all workers after draining the queue.
+  /// Shutdown semantics: the destructor first *drains* the queue -- every
+  /// task already accepted (by submit or try_submit) runs to completion --
+  /// then joins all workers. Tasks are never discarded; only submissions
+  /// racing the destructor can fail, by throwing "pool is shutting down".
+  /// Pinned by tests/util/thread_pool_test.cpp (DrainsQueueOnDestruction,
+  /// DestructorDrainsTasksQueuedBehindSlowTask).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,9 +45,21 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task. Tasks must not throw (wrap exceptions yourself);
-  /// an escaping exception terminates the process.
+  /// Queue bound (0 = unbounded).
+  std::size_t max_queued() const { return max_queued_; }
+
+  /// Tasks currently waiting in the queue (not the ones being executed).
+  std::size_t queued() const;
+
+  /// Enqueue a task; on a bounded pool this blocks while the queue is full
+  /// (backpressure). Tasks must not throw (wrap exceptions yourself); an
+  /// escaping exception terminates the process.
   void submit(std::function<void()> task);
+
+  /// Non-blocking enqueue: returns false (and does not take the task) when
+  /// a bounded queue is full; always true on an unbounded pool. Throws the
+  /// same "pool is shutting down" error as submit() after shutdown began.
+  bool try_submit(std::function<void()> task);
 
   /// Block until the queue is empty and no task is running.
   void wait_idle();
@@ -47,9 +72,11 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
+  std::condition_variable space_;  ///< signalled on pop of a bounded queue
+  std::size_t max_queued_ = 0;
   std::size_t active_ = 0;
   bool stop_ = false;
 };

@@ -23,6 +23,7 @@
 #include "core/explorer.hpp"
 #include "dsp/calibration.hpp"
 #include "scenario/longitudinal.hpp"
+#include "serve/request.hpp"
 #include "sim/engine.hpp"
 
 namespace idp::test {
@@ -124,6 +125,35 @@ inline void fold(BitDigest& d, const scenario::CohortReport& report) {
       d.add(band.p90);
     }
   }
+}
+
+inline void fold(BitDigest& d, const serve::Response& response) {
+  d.add_u64(response.request_id);
+  d.add_u64(response.session.patient);
+  d.add_u64((static_cast<std::uint64_t>(response.session.tenant) << 32) |
+            response.session.device);
+  d.add_u64(static_cast<std::uint64_t>(response.priority));
+  d.add_u64(static_cast<std::uint64_t>(response.kind));
+  d.add(response.time_h);
+  d.add(response.sensor_age_days);
+  d.add_u64(response.calibration_epoch);
+  for (const serve::ChannelResult& c : response.channels) {
+    d.add_u64(c.channel);
+    d.add_u64(static_cast<std::uint64_t>(c.target));
+    d.add(c.truth_mM);
+    d.add(c.response);
+    d.add(c.estimate.value);
+    d.add(c.estimate.ci_low);
+    d.add(c.estimate.ci_high);
+    d.add_u64(static_cast<std::uint32_t>(c.estimate.flags));
+  }
+  d.add(response.qc_blank_residual);
+  d.add(response.qc_standard_residual);
+}
+
+inline void fold(BitDigest& d, std::span<const serve::Response> responses) {
+  for (const serve::Response& r : responses) fold(d, r);
+  d.add_u64(responses.size());
 }
 
 inline void fold(BitDigest& d, const plat::ExplorationResult& result) {

@@ -1,10 +1,11 @@
 /// \file determinism_sweep_test.cpp
 /// The unified bitwise-determinism sweep: one parameterized test drives the
-/// four parallel workloads -- multiplexed panel scan, design-space
-/// explorer, calibration campaigns and the longitudinal cohort (with
-/// degradation + adaptive recalibration active) -- across 5 seeds at
-/// parallelism {1, 2, hardware} and asserts digest equality against the
-/// sequential run. This replaces the per-subsystem copy-pasted
+/// five parallel workloads -- multiplexed panel scan, design-space
+/// explorer, calibration campaigns, the longitudinal cohort (with
+/// degradation + adaptive recalibration active) and the diagnostics
+/// service (a replayed mixed request log with degradation + scheduled
+/// recalibration epochs) -- across 5 seeds at parallelism {1, 2, hardware}
+/// and asserts digest equality against the sequential run. This replaces the per-subsystem copy-pasted
 /// determinism tests; the shared scaffolding lives in
 /// tests/common/determinism.hpp.
 
@@ -18,6 +19,8 @@
 #include "core/explorer.hpp"
 #include "quant/calibration_store.hpp"
 #include "scenario/longitudinal.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/traffic.hpp"
 
 namespace idp {
 namespace {
@@ -134,6 +137,46 @@ std::uint64_t cohort_digest(std::uint64_t seed, std::size_t parallelism) {
   return test::digest_of(runner.run(plans, cohort));
 }
 
+std::uint64_t serve_digest(std::uint64_t seed, std::size_t parallelism) {
+  // The service-layer acceptance criterion: one recorded mixed request log
+  // (panel scans, quantified reads, QC checks, three priority classes,
+  // several sessions) replayed through the diagnostics service, with
+  // degradation and scheduled recalibration epochs live so the warm
+  // session caches are exercised, digests identically at any parallelism.
+  quant::CampaignConfig campaign;
+  campaign.seed = 626262;
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = seed;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.05;
+  aging.enzyme_decay_per_day = 0.02;
+  aging.seed = seed ^ 0x5e47e;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration_interval_days = 4.0;
+  serve::DiagnosticsService service(store, config);
+
+  serve::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.sessions = 6;
+  traffic.seed = 11;  // one fixed log; the *service* seed varies
+  traffic.duration_h = 9.0 * 24.0;  // crosses two epoch boundaries
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(traffic, service);
+
+  serve::Scheduler scheduler(service);
+  const std::vector<serve::Response> responses =
+      scheduler.replay(log, parallelism);
+  test::BitDigest d;
+  test::fold(d, std::span<const serve::Response>(responses));
+  return d.value();
+}
+
 // --- the parameterized sweep ------------------------------------------------
 
 struct Workload {
@@ -164,7 +207,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Workload{"panel", panel_digest},
                       Workload{"explorer", explorer_digest, false},
                       Workload{"campaign", campaign_digest},
-                      Workload{"cohort", cohort_digest}),
+                      Workload{"cohort", cohort_digest},
+                      Workload{"serve", serve_digest}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 }  // namespace

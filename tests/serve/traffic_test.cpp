@@ -1,0 +1,164 @@
+/// \file traffic_test.cpp
+/// Synthetic traffic: determinism, replayable content, mix and population
+/// properties, and spec validation.
+
+#include "serve/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace idp::serve {
+namespace {
+
+quant::CampaignConfig test_campaign() {
+  quant::CampaignConfig config;
+  config.calibration_points = 4;
+  config.blank_measurements = 4;
+  config.ca_duration_s = 4.0;
+  return config;
+}
+
+ServiceConfig test_service_config() {
+  ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  return config;
+}
+
+bool same_request(const Request& a, const Request& b) {
+  return a.id == b.id && a.session == b.session && a.priority == b.priority &&
+         a.kind == b.kind && a.channel == b.channel && a.time_h == b.time_h &&
+         a.concentrations_mM == b.concentrations_mM;
+}
+
+TEST(Traffic, DeterministicPerSpecAndSeedSensitive) {
+  quant::CalibrationStore store(test_campaign());
+  DiagnosticsService service(store, test_service_config());
+  TrafficSpec spec;
+  spec.requests = 64;
+  spec.sessions = 10;
+  const std::vector<Request> a = synthesize_traffic(spec, service);
+  const std::vector<Request> b = synthesize_traffic(spec, service);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(same_request(a[i], b[i])) << "request " << i;
+  }
+  spec.seed = 2;
+  const std::vector<Request> c = synthesize_traffic(spec, service);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_request(a[i], c[i])) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Traffic, GrowingALogKeepsEarlierRequestContent) {
+  // Request *content* (session, priority, kind, concentrations) is keyed
+  // by (seed, index) alone, so growing a log never changes what earlier
+  // requests ask for. Arrival times do rescale -- the window is spread
+  // over more requests -- which is why only content is compared here.
+  quant::CalibrationStore store(test_campaign());
+  DiagnosticsService service(store, test_service_config());
+  TrafficSpec spec;
+  spec.requests = 20;
+  const std::vector<Request> small = synthesize_traffic(spec, service);
+  spec.requests = 40;
+  const std::vector<Request> large = synthesize_traffic(spec, service);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    const Request& a = small[i];
+    const Request& b = large[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.session, b.session);
+    EXPECT_EQ(a.priority, b.priority);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.concentrations_mM, b.concentrations_mM);
+  }
+}
+
+TEST(Traffic, ShapeAndPopulationProperties) {
+  quant::CalibrationStore store(test_campaign());
+  DiagnosticsService service(store, test_service_config());
+  TrafficSpec spec;
+  spec.requests = 500;
+  spec.sessions = 40;
+  spec.tenants = 3;
+  spec.devices = 2;
+  const std::vector<Request> log = synthesize_traffic(spec, service);
+  ASSERT_EQ(log.size(), 500u);
+
+  std::array<std::size_t, kPriorityCount> by_priority{};
+  std::size_t panels = 0, reads = 0, qcs = 0;
+  std::set<SessionKey> sessions;
+  double previous_time = 0.0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const Request& r = log[i];
+    EXPECT_EQ(r.id, i);  // dense ids in arrival order
+    EXPECT_GE(r.time_h, previous_time);  // arrivals sorted
+    previous_time = r.time_h;
+    sessions.insert(r.session);
+    EXPECT_LT(r.session.tenant, spec.tenants);
+    EXPECT_LT(r.session.device, spec.devices);
+    ++by_priority[static_cast<std::size_t>(r.priority)];
+    switch (r.kind) {
+      case RequestKind::kPanelScan: {
+        ++panels;
+        ASSERT_EQ(r.concentrations_mM.size(), service.channel_count());
+        for (std::size_t c = 0; c < r.concentrations_mM.size(); ++c) {
+          const auto [lo, hi] = service.calibrated_range_mM(c);
+          EXPECT_GT(r.concentrations_mM[c], lo);
+          EXPECT_LT(r.concentrations_mM[c], hi);
+        }
+        break;
+      }
+      case RequestKind::kQuantifiedRead: {
+        ++reads;
+        ASSERT_EQ(r.concentrations_mM.size(), 1u);
+        EXPECT_LT(r.channel, service.channel_count());
+        const auto [lo, hi] = service.calibrated_range_mM(r.channel);
+        EXPECT_GT(r.concentrations_mM[0], lo);
+        EXPECT_LT(r.concentrations_mM[0], hi);
+        break;
+      }
+      case RequestKind::kQcCheck: {
+        ++qcs;
+        EXPECT_TRUE(r.concentrations_mM.empty());
+        EXPECT_LT(r.channel, service.channel_count());
+        break;
+      }
+    }
+  }
+  // Mix lands near the spec (binomial, 500 draws: generous bounds).
+  EXPECT_NEAR(static_cast<double>(by_priority[0]), 25.0, 25.0);   // stat 5%
+  EXPECT_NEAR(static_cast<double>(by_priority[2]), 100.0, 50.0);  // batch 20%
+  EXPECT_NEAR(static_cast<double>(panels), 125.0, 60.0);          // 25%
+  EXPECT_NEAR(static_cast<double>(qcs), 50.0, 35.0);              // 10%
+  EXPECT_GT(reads, 200u);
+  // Thousands-of-sessions shape in miniature: most sessions are touched.
+  EXPECT_GT(sessions.size(), spec.sessions / 2);
+  EXPECT_LE(sessions.size(), spec.sessions);
+}
+
+TEST(Traffic, ValidatesSpec) {
+  quant::CalibrationStore store(test_campaign());
+  DiagnosticsService service(store, test_service_config());
+  TrafficSpec zero;
+  zero.requests = 0;
+  EXPECT_THROW(synthesize_traffic(zero, service), std::invalid_argument);
+  TrafficSpec bad_mix;
+  bad_mix.stat_fraction = 0.8;
+  bad_mix.batch_fraction = 0.5;
+  EXPECT_THROW(synthesize_traffic(bad_mix, service), std::invalid_argument);
+  TrafficSpec bad_kind;
+  bad_kind.panel_fraction = 0.9;
+  bad_kind.qc_fraction = 0.3;
+  EXPECT_THROW(synthesize_traffic(bad_kind, service), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idp::serve

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -65,6 +66,129 @@ TEST(RunningStats, MatchesBatchStatistics) {
   }
   EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
   EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+}
+
+TEST(Percentile, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile_sorted(empty, 0.5), std::invalid_argument);
+  std::vector<double> values;
+  const std::vector<double> qs{0.5};
+  EXPECT_THROW(percentiles_of(values, qs), std::invalid_argument);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 1.0), 42.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 5.0);
+  // rank 0.9 * 4 = 3.6 between 30 and 40.
+  const std::vector<double> five{0.0, 10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(five, 0.9), 36.0);
+}
+
+TEST(Percentile, EndpointsAreMinAndMax) {
+  const std::vector<double> sorted{-3.0, 1.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 8.0);
+}
+
+TEST(Percentile, PercentilesOfSortsOnceAndReadsMany) {
+  std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  const std::vector<double> qs{0.0, 0.5, 1.0};
+  const std::vector<double> ps = percentiles_of(values, qs);
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ps[0], 1.0);
+  EXPECT_DOUBLE_EQ(ps[1], 3.0);
+  EXPECT_DOUBLE_EQ(ps[2], 5.0);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+}
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, OneSampleIsExact) {
+  LatencyHistogram h;
+  h.add(3.7e-3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.min(), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.7e-3);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneAndBinAccurate) {
+  LatencyHistogram h(1e-6, 1e3, 32);
+  Rng rng(13);
+  std::vector<double> exact;
+  for (int i = 0; i < 5000; ++i) {
+    // Lognormal-ish latencies around 1 ms.
+    const double v = 1e-3 * std::exp(rng.gaussian(0.8));
+    exact.push_back(v);
+    h.add(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  double previous = 0.0;
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double estimate = h.percentile(q);
+    const double truth = percentile_sorted(exact, q);
+    // 32 bins/decade means one bin spans a factor 10^(1/32) ~ 7.5%.
+    EXPECT_NEAR(estimate, truth, 0.1 * truth) << "q = " << q;
+    EXPECT_GE(estimate, previous);
+    previous = estimate;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), exact.front());
+  EXPECT_DOUBLE_EQ(h.max(), exact.back());
+}
+
+TEST(LatencyHistogram, OutOfRangeValuesClampIntoEdgeBins) {
+  LatencyHistogram h(1e-3, 1.0, 8);
+  h.add(1e-9);  // below min -> first bin
+  h.add(50.0);  // above max -> last bin
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1e-9);  // clamped to exact min seen
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 50.0);  // clamped to exact max seen
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedStream) {
+  LatencyHistogram a, b, combined;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double v = 1e-4 * std::exp(rng.gaussian(1.0));
+    ((i % 2 == 0) ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), combined.percentile(q));
+  }
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+}
+
+TEST(LatencyHistogram, MergeRejectsMismatchedBinning) {
+  LatencyHistogram a(1e-6, 1e3, 16);
+  const LatencyHistogram b(1e-6, 1e3, 8);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, RejectsDegenerateConfig) {
+  EXPECT_THROW(LatencyHistogram(0.0, 1.0, 8), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(1.0, 1.0, 8), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(1e-6, 1e3, 0), std::invalid_argument);
 }
 
 TEST(LinearFit, RecoversExactLine) {

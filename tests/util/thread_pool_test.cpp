@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 namespace idp::util {
@@ -62,6 +64,90 @@ TEST(ThreadPool, DrainsQueueOnDestruction) {
     }
   }  // destructor joins after draining
   EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, DestructorDrainsTasksQueuedBehindSlowTask) {
+  // Shutdown-while-tasks-queued: a single worker is held busy while 16
+  // tasks wait in the queue, then the pool is destroyed. The documented
+  // contract is that accepted tasks are *never* discarded -- the
+  // destructor drains the queue before joining.
+  std::atomic<int> count{0};
+  std::atomic<bool> first_started{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&] {
+      first_started = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      count.fetch_add(1);
+    });
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    while (!first_started) std::this_thread::yield();
+    // Destructor runs now, with the worker mid-task and 16 tasks queued.
+  }
+  EXPECT_EQ(count.load(), 17);
+}
+
+TEST(ThreadPool, TrySubmitRejectsWhenBoundedQueueFull) {
+  std::atomic<bool> release{false};
+  std::atomic<int> count{0};
+  std::atomic<bool> started{false};
+  {
+    ThreadPool pool(1, /*max_queued=*/2);
+    EXPECT_EQ(pool.max_queued(), 2u);
+    // Occupy the single worker so queued tasks stay queued (wait until the
+    // gate task left the queue, or it would count against the bound).
+    pool.submit([&] {
+      started = true;
+      while (!release) std::this_thread::yield();
+      count.fetch_add(1);
+    });
+    while (!started) std::this_thread::yield();
+    // Fill the bounded queue.
+    while (pool.try_submit([&count] { count.fetch_add(1); })) {
+    }
+    EXPECT_EQ(pool.queued(), 2u);
+    EXPECT_FALSE(pool.try_submit([&count] { count.fetch_add(1); }));
+    release = true;
+    pool.wait_idle();
+    // Space freed up again: try_submit succeeds.
+    EXPECT_TRUE(pool.try_submit([&count] { count.fetch_add(1); }));
+  }
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, BoundedSubmitBlocksUntilSpace) {
+  std::atomic<bool> release{false};
+  std::atomic<int> count{0};
+  std::atomic<bool> blocked_submit_returned{false};
+  ThreadPool pool(1, /*max_queued=*/1);
+  pool.submit([&] {
+    while (!release) std::this_thread::yield();
+    count.fetch_add(1);
+  });
+  pool.submit([&count] { count.fetch_add(1); });  // fills the queue
+  std::thread submitter([&] {
+    pool.submit([&count] { count.fetch_add(1); });  // backpressure: blocks
+    blocked_submit_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(blocked_submit_returned.load());
+  release = true;
+  submitter.join();
+  EXPECT_TRUE(blocked_submit_returned.load());
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, UnboundedTrySubmitAlwaysAccepts) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(pool.try_submit([&count] { count.fetch_add(1); }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64);
 }
 
 }  // namespace
