@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/shard_coordinator.hpp"
 #include "serve/traffic.hpp"
 #include "util/thread_pool.hpp"
 
@@ -146,6 +147,42 @@ BENCHMARK(BM_ServeReplay)
     ->Arg(4)
     ->Arg(0)
     ->ArgName("parallelism")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Shard-count scaling of the distributed replay path: the same recorded
+/// log routed across K in-process shards and merged back through the
+/// coordinator (perfect transport; the network cost modelled here is the
+/// routing + envelope + sorted-merge overhead, not wire latency). K=1 vs
+/// BM_ServeReplay isolates the coordinator's own tax.
+void BM_ShardedReplay(benchmark::State& state) {
+  static quant::CalibrationStore store(bench_campaign());
+  static const std::vector<serve::Request> log = [] {
+    serve::DiagnosticsService service(store, bench_service_config());
+    serve::TrafficSpec spec = bench_traffic(512);
+    spec.sessions = 128;
+    return serve::synthesize_traffic(spec, service);
+  }();
+
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  serve::ShardClusterConfig cluster_config;
+  cluster_config.router.shards = shards;
+  serve::ShardCluster cluster(store, bench_service_config(), cluster_config);
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    const serve::ShardedReplayResult result = cluster.replay(log, 0);
+    responses += result.responses.size();
+    benchmark::DoNotOptimize(result.responses.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.SetLabel("512-request log, merged across " +
+                 std::to_string(shards) + " shard(s), hw parallelism");
+}
+BENCHMARK(BM_ShardedReplay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("shards")
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

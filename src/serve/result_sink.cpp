@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/error.hpp"
+
 namespace idp::serve {
 
 namespace {
@@ -74,6 +76,10 @@ CsvResultSink::~CsvResultSink() { close(); }
 
 void CsvResultSink::on_response(const Response& response) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  // A buffered response after close() would never reach the file -- the
+  // admission-control philosophy applies to sinks too: never swallow
+  // silently.
+  util::require(!closed_, "result sink is closed");
   responses_.push_back(response);
 }
 
@@ -87,6 +93,7 @@ void CsvResultSink::on_telemetry(const RequestTelemetry& telemetry) {
       std::to_string(telemetry.calibration_epoch),
       std::to_string(telemetry.flags)};
   const std::lock_guard<std::mutex> lock(mutex_);
+  util::require(!closed_, "result sink is closed");
   telemetry_.write_row(row);
 }
 

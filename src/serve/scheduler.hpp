@@ -43,6 +43,13 @@ struct PriorityTelemetry {
   std::uint64_t completed = 0;
   util::LatencyHistogram queue_wait;
   util::LatencyHistogram service_time;
+
+  /// Fold another account in (cross-shard / cross-worker aggregation).
+  void merge(const PriorityTelemetry& other) {
+    completed += other.completed;
+    queue_wait.merge(other.queue_wait);
+    service_time.merge(other.service_time);
+  }
 };
 
 class Scheduler {

@@ -1,0 +1,217 @@
+/// \file shard_coordinator.cpp
+/// ShardCluster + ResultMerger implementation: routing, deterministic
+/// merged replay over a (possibly faulty) transport, and the live fan-in
+/// mode.
+
+#include "serve/shard_coordinator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "sim/batch.hpp"
+#include "util/error.hpp"
+
+namespace idp::serve {
+
+// --- ResultMerger -----------------------------------------------------------
+
+void ResultMerger::accept(const ResponseEnvelope& envelope) {
+  ++stats_.delivered;
+
+  // Reorder depth: how far behind its shard's newest-seen sequence this
+  // arrival is. Tracked before dedup so duplicate redeliveries count too.
+  auto [newest, inserted] =
+      newest_sequence_.try_emplace(envelope.shard, envelope.sequence);
+  if (!inserted) {
+    if (envelope.sequence < newest->second) {
+      stats_.max_reorder_distance = std::max(
+          stats_.max_reorder_distance, newest->second - envelope.sequence);
+    } else {
+      newest->second = envelope.sequence;
+    }
+  }
+
+  const auto [it, fresh] =
+      by_id_.try_emplace(envelope.response.request_id, envelope.response);
+  (void)it;
+  if (!fresh) ++stats_.duplicates_dropped;
+}
+
+std::vector<Response> ResultMerger::finish(std::size_t expected) {
+  // A shortfall means the transport lost messages: the merge contract is
+  // at-least-once delivery, and a silently truncated global log would
+  // defeat the bitwise-replay guarantee downstream consumers rely on.
+  util::require(by_id_.size() == expected,
+                "merge incomplete: transport lost responses");
+  std::vector<Response> out;
+  out.reserve(by_id_.size());
+  for (auto& [id, response] : by_id_) out.push_back(std::move(response));
+  by_id_.clear();
+  newest_sequence_.clear();
+  return out;
+}
+
+// --- ShardCluster -----------------------------------------------------------
+
+ShardCluster::ShardCluster(quant::CalibrationStore& store,
+                           ServiceConfig service, ShardClusterConfig config)
+    : config_(config), router_(config.router) {
+  // Every shard gets an identically configured service over the shared
+  // store. The store's campaign cache is first-insert-wins with stable
+  // addresses and campaign builds are pure functions of their run-id
+  // block, so shards sharing it stay bitwise independent of each other.
+  services_.reserve(router_.shard_count());
+  for (std::size_t s = 0; s < router_.shard_count(); ++s) {
+    services_.push_back(std::make_unique<DiagnosticsService>(store, service));
+  }
+}
+
+ShardCluster::~ShardCluster() { drain_and_stop(); }
+
+DiagnosticsService& ShardCluster::shard(std::size_t s) {
+  util::require(s < services_.size(), "shard index out of range");
+  return *services_[s];
+}
+
+LeaseCensus ShardCluster::lease_census(std::span<const Request> log) const {
+  LeaseCensus census;
+  census.per_shard.resize(shard_count());
+  const DiagnosticsService& reference = *services_.front();
+  const std::uint64_t lease_width =
+      reference.config().run_ids_per_request;
+  std::map<std::uint64_t, std::size_t> block_owner;
+  std::vector<std::set<std::uint64_t>> shard_sessions(shard_count());
+  for (const Request& r : log) {
+    const std::size_t s = router_.route(r.session);
+    ShardLeaseDomain& domain = census.per_shard[s];
+    const std::uint64_t base = reference.lease_base(r.id);
+    if (domain.requests == 0) {
+      domain.first_run_id = base;
+      domain.last_run_id = base + lease_width - 1;
+    } else {
+      domain.first_run_id = std::min(domain.first_run_id, base);
+      domain.last_run_id = std::max(domain.last_run_id, base + lease_width - 1);
+    }
+    ++domain.requests;
+    shard_sessions[s].insert(hash_of(r.session));
+    // A lease block claimed twice -- by another shard (routing bug) or by
+    // the same shard (duplicate request id) -- breaks the disjointness the
+    // determinism contract rests on.
+    const auto [owner, fresh] = block_owner.try_emplace(base, s);
+    (void)owner;
+    if (!fresh) census.disjoint = false;
+  }
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    census.per_shard[s].sessions = shard_sessions[s].size();
+  }
+  return census;
+}
+
+ShardedReplayResult ShardCluster::replay(std::span<const Request> log,
+                                         std::size_t parallelism,
+                                         ShardTransport* transport) {
+  DirectTransport direct;
+  if (transport == nullptr) transport = &direct;
+
+  // Route up front: shard assignment and per-shard send sequences are
+  // fixed before anything executes, exactly like run-id leases.
+  std::vector<std::size_t> shard_of(log.size());
+  std::vector<std::vector<std::size_t>> routed(shard_count());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    shard_of[i] = router_.route(log[i].session);
+    routed[shard_of[i]].push_back(i);
+  }
+
+  // Execute everything through one BatchRunner (each request on its own
+  // shard's service) so parallelism semantics match Scheduler::replay and
+  // shards genuinely run concurrently.
+  std::vector<Response> responses(log.size());
+  const sim::BatchRunner runner(parallelism);
+  runner.run(log.size(), [&](std::size_t i) {
+    responses[i] = services_[shard_of[i]]->execute(log[i]);
+  });
+
+  // Stream shard result streams into the transport round-robin, so
+  // cross-shard interleaving is real even before the transport reorders.
+  ShardedReplayResult result;
+  result.per_shard_requests.reserve(shard_count());
+  for (const std::vector<std::size_t>& indices : routed) {
+    result.per_shard_requests.push_back(indices.size());
+  }
+  std::vector<std::size_t> cursor(shard_count(), 0);
+  for (bool pending = !log.empty(); pending;) {
+    pending = false;
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      if (cursor[s] >= routed[s].size()) continue;
+      ResponseEnvelope envelope;
+      envelope.shard = s;
+      envelope.sequence = cursor[s];
+      envelope.response = std::move(responses[routed[s][cursor[s]]]);
+      transport->send(std::move(envelope));
+      if (++cursor[s] < routed[s].size()) pending = true;
+    }
+  }
+
+  // Coordinator drain + sorted merge keyed on request id.
+  ResultMerger merger;
+  ResponseEnvelope envelope;
+  while (transport->poll(envelope)) merger.accept(envelope);
+  result.merge = merger.stats();
+  result.responses = merger.finish(log.size());
+  return result;
+}
+
+void ShardCluster::start(ResultSink* sink) {
+  util::require(!running_, "cluster is already running");
+  util::require(!live_used_,
+                "cluster cannot restart after drain_and_stop (its shard "
+                "schedulers are one-shot; construct a fresh cluster)");
+  live_used_ = true;
+  fan_in_ = std::make_unique<FanInSink>(sink, shard_count());
+  schedulers_.reserve(shard_count());
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    schedulers_.push_back(
+        std::make_unique<Scheduler>(*services_[s], config_.scheduler));
+    schedulers_.back()->start(fan_in_.get());
+  }
+  running_ = true;
+}
+
+Admission ShardCluster::submit(Request request) {
+  util::require(running_, "cluster is not running");
+  return schedulers_[router_.route(request.session)]->submit(
+      std::move(request));
+}
+
+Admission ShardCluster::submit_wait(Request request) {
+  util::require(running_, "cluster is not running");
+  return schedulers_[router_.route(request.session)]->submit_wait(
+      std::move(request));
+}
+
+void ShardCluster::drain_and_stop() {
+  if (!running_) return;
+  for (const std::unique_ptr<Scheduler>& scheduler : schedulers_) {
+    scheduler->drain_and_stop();  // closes the fan-in once per shard
+  }
+  running_ = false;
+}
+
+std::uint64_t ShardCluster::completed() const {
+  std::uint64_t n = 0;
+  for (const std::unique_ptr<Scheduler>& scheduler : schedulers_) {
+    n += scheduler->completed();
+  }
+  return n;
+}
+
+PriorityTelemetry ShardCluster::telemetry(Priority priority) const {
+  PriorityTelemetry merged;
+  for (const std::unique_ptr<Scheduler>& scheduler : schedulers_) {
+    merged.merge(scheduler->telemetry(priority));
+  }
+  return merged;
+}
+
+}  // namespace idp::serve

@@ -1,0 +1,215 @@
+/// \file shard_coordinator.hpp
+/// Multi-shard scale-out of the service runtime: a ShardCluster owns K
+/// per-shard DiagnosticsService instances behind one consistent-hash
+/// router, and a coordinator-side ResultMerger folds the per-shard result
+/// streams into one deterministic global log.
+///
+/// Determinism contract (the distributed extension of the PR 5 guarantee):
+/// every shard runs an *identically configured* service over one shared
+/// CalibrationStore, and a response is a pure function of (request,
+/// service configuration) -- request id leases the same run-id block on
+/// any shard, the session hash seeds the same degradation site and
+/// recalibration campaign blocks, and the router assigns each session to
+/// exactly one shard. The per-shard run-id sub-domains are therefore
+/// carved from the existing lease scheme *by routing*: shard s owns the
+/// serve-domain (2^42) blocks of exactly its routed request ids and the
+/// recalibration-domain (2^43) blocks of exactly its routed sessions,
+/// disjoint across shards (lease_census() audits this for a log). The
+/// merged K-shard replay is consequently bitwise identical to single-node
+/// Scheduler::replay for the same traffic log -- at any K, any
+/// parallelism, and under any at-least-once transport fault schedule
+/// (message reorder, delay, duplication), which tests/netsim/ proves.
+///
+/// Merge contract: the global log is the request-id-sorted set of unique
+/// responses -- the same canonical order CsvResultSink writes -- with
+/// duplicates dropped by first arrival and loss detected loudly
+/// (ResultMerger::finish throws when responses are missing).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+#include "serve/result_sink.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/service.hpp"
+#include "serve/shard_router.hpp"
+#include "serve/shard_transport.hpp"
+
+namespace idp::serve {
+
+/// Observability of one merge pass.
+struct MergeStats {
+  std::uint64_t delivered = 0;          ///< envelopes accepted by the merger
+  std::uint64_t duplicates_dropped = 0; ///< redeliveries of an already-merged id
+  /// Largest per-shard sequence inversion observed at arrival: how far
+  /// behind its shard's newest-seen sequence a message arrived. 0 on an
+  /// in-order transport.
+  std::uint64_t max_reorder_distance = 0;
+};
+
+/// Coordinator-side sorted merge of per-shard response streams, keyed on
+/// request id. Accepts envelopes in any order, drops duplicate request ids
+/// (first arrival wins -- arrivals of one id are bitwise identical, so
+/// "first" is immaterial to content), and finishes into the canonical
+/// request-id-ordered log.
+class ResultMerger {
+ public:
+  /// Fold one delivered envelope in.
+  void accept(const ResponseEnvelope& envelope);
+
+  /// Responses merged so far (unique request ids).
+  std::size_t merged() const { return by_id_.size(); }
+
+  const MergeStats& stats() const { return stats_; }
+
+  /// Finish the merge: requires exactly `expected` unique responses (a
+  /// shortfall means the transport lost messages -- throws instead of
+  /// returning a silently truncated log) and returns them sorted by
+  /// request id.
+  std::vector<Response> finish(std::size_t expected);
+
+ private:
+  std::map<std::uint64_t, Response> by_id_;
+  std::map<std::size_t, std::uint64_t> newest_sequence_; ///< per shard
+  MergeStats stats_;
+};
+
+/// Per-shard slice of the serve run-id domains a routed log leases.
+struct ShardLeaseDomain {
+  std::uint64_t requests = 0;    ///< requests routed to this shard
+  std::uint64_t sessions = 0;    ///< distinct sessions routed to this shard
+  std::uint64_t first_run_id = 0; ///< smallest leased serve-domain run id
+  std::uint64_t last_run_id = 0;  ///< largest leased serve-domain run id
+};
+
+/// Audit of how a log's run-id leases split across shards.
+struct LeaseCensus {
+  std::vector<ShardLeaseDomain> per_shard;
+  /// Every serve-domain lease block is owned by exactly one shard (false
+  /// would mean duplicate request ids in the log or a routing bug).
+  bool disjoint = true;
+};
+
+/// Cluster sizing.
+struct ShardClusterConfig {
+  ShardRouterConfig router;
+  /// Live-mode sizing of each shard's scheduler (queue + workers).
+  SchedulerConfig scheduler;
+};
+
+/// Result of one deterministic sharded replay.
+struct ShardedReplayResult {
+  /// The merged global log, ordered by request id; bitwise identical to
+  /// single-node Scheduler::replay of the same log.
+  std::vector<Response> responses;
+  MergeStats merge;
+  std::vector<std::size_t> per_shard_requests;
+};
+
+/// K identically configured service shards behind one router.
+///
+/// Two modes, mirroring Scheduler:
+/// - replay(log, parallelism, transport): deterministic merged replay --
+///   route, execute every request on its shard (fanned out over one
+///   sim::BatchRunner), stream the per-shard responses through the
+///   transport (round-robin across shards so streams genuinely
+///   interleave), merge. Default transport is the lossless DirectTransport;
+///   tests substitute the fault-injecting simulated network.
+/// - start()/submit()/drain_and_stop(): live mode -- each shard runs its
+///   own Scheduler over its own bounded priority queue, all fanning into
+///   one shared sink; submit() routes by session key. Per-priority latency
+///   telemetry merges across shards via util::LatencyHistogram::merge.
+class ShardCluster {
+ public:
+  ShardCluster(quant::CalibrationStore& store, ServiceConfig service,
+               ShardClusterConfig config = {});
+  ~ShardCluster();
+
+  ShardCluster(const ShardCluster&) = delete;
+  ShardCluster& operator=(const ShardCluster&) = delete;
+
+  std::size_t shard_count() const { return services_.size(); }
+  const ShardRouter& router() const { return router_; }
+  const ShardClusterConfig& config() const { return config_; }
+
+  DiagnosticsService& shard(std::size_t s);
+
+  /// Shard a session key routes to.
+  std::size_t route(const SessionKey& key) const { return router_.route(key); }
+
+  /// Audit the per-shard run-id sub-domains a log would lease.
+  LeaseCensus lease_census(std::span<const Request> log) const;
+
+  // --- deterministic replay -------------------------------------------------
+
+  /// Merged K-shard replay of a recorded log. parallelism 0 = hardware,
+  /// 1 = sequential inline (per the BatchRunner contract); `transport`
+  /// nullptr uses a lossless in-order DirectTransport.
+  ShardedReplayResult replay(std::span<const Request> log,
+                             std::size_t parallelism = 0,
+                             ShardTransport* transport = nullptr);
+
+  // --- live mode ------------------------------------------------------------
+
+  /// Start every shard's scheduler. `sink` (optional) receives every
+  /// response and telemetry record across all shards; it is closed exactly
+  /// once, after the last shard drained. One-shot, like Scheduler.
+  void start(ResultSink* sink = nullptr);
+
+  /// Route + non-blocking admission on the owning shard's queue.
+  Admission submit(Request request);
+
+  /// Route + blocking admission (backpressure on the owning shard).
+  Admission submit_wait(Request request);
+
+  /// Drain and stop every shard, then close the sink. Idempotent.
+  void drain_and_stop();
+
+  bool running() const { return running_; }
+
+  /// Requests fully served in live mode, across all shards.
+  std::uint64_t completed() const;
+
+  /// One priority class's latency account, merged across all shards.
+  PriorityTelemetry telemetry(Priority priority) const;
+
+ private:
+  /// Forwards every shard scheduler's results into one user sink, closing
+  /// it only after the *last* shard's drain (each Scheduler closes its
+  /// sink; the fan-in turns K closes into one).
+  class FanInSink final : public ResultSink {
+   public:
+    FanInSink(ResultSink* inner, std::size_t shards)
+        : inner_(inner), open_shards_(shards) {}
+    void on_response(const Response& response) override {
+      if (inner_ != nullptr) inner_->on_response(response);
+    }
+    void on_telemetry(const RequestTelemetry& telemetry) override {
+      if (inner_ != nullptr) inner_->on_telemetry(telemetry);
+    }
+    void close() override {
+      if (open_shards_.fetch_sub(1) == 1 && inner_ != nullptr) {
+        inner_->close();
+      }
+    }
+
+   private:
+    ResultSink* inner_;
+    std::atomic<std::size_t> open_shards_;
+  };
+
+  ShardClusterConfig config_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<DiagnosticsService>> services_;
+  std::vector<std::unique_ptr<Scheduler>> schedulers_; ///< live mode only
+  std::unique_ptr<FanInSink> fan_in_;
+  bool running_ = false;
+  bool live_used_ = false;
+};
+
+}  // namespace idp::serve

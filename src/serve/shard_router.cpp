@@ -1,0 +1,64 @@
+/// \file shard_router.cpp
+/// Consistent-hash ring construction and lookup.
+
+#include "serve/shard_router.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace idp::serve {
+
+namespace {
+
+/// splitmix64 finaliser (the same full-avalanche mix as hash_of).
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Domain tag keeping ring points off any other splitmix consumer's stream.
+constexpr std::uint64_t kRingSeedDomain = 0xa5a348e2b4b3d1c7ULL;
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterConfig config) : config_(config) {
+  util::require(config_.shards > 0, "router needs at least one shard");
+  util::require(config_.vnodes > 0,
+                "router needs at least one virtual node per shard");
+  ring_.reserve(config_.shards * config_.vnodes);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    for (std::size_t v = 0; v < config_.vnodes; ++v) {
+      // The point of (shard, vnode) never depends on the shard *count*, so
+      // adding shard K+1 adds points without moving any existing ones --
+      // the consistent-hashing property.
+      const std::uint64_t point =
+          splitmix(kRingSeedDomain ^ (static_cast<std::uint64_t>(s) << 32) ^
+                   static_cast<std::uint64_t>(v));
+      ring_.emplace_back(point, static_cast<std::uint32_t>(s));
+    }
+  }
+  // Sort by (point, shard): the shard tiebreak makes the (astronomically
+  // unlikely) point collision deterministic too.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ShardRouter::owner_of(std::uint64_t hash) const {
+  // First ring point at or after the hash, wrapping to the smallest point.
+  const auto it =
+      std::lower_bound(ring_.begin(), ring_.end(), hash,
+                       [](const std::pair<std::uint64_t, std::uint32_t>& e,
+                          std::uint64_t h) { return e.first < h; });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+std::vector<std::size_t> ShardRouter::route_counts(
+    std::span<const Request> log) const {
+  std::vector<std::size_t> counts(config_.shards, 0);
+  for (const Request& r : log) ++counts[route(r.session)];
+  return counts;
+}
+
+}  // namespace idp::serve

@@ -1,0 +1,63 @@
+/// \file shard_router.hpp
+/// Consistent-hash session routing for the sharded service runtime.
+///
+/// A ShardRouter places `vnodes` virtual points per shard on a 64-bit hash
+/// ring and routes a session key to the shard owning the first ring point
+/// at or after hash_of(key). The mapping is a pure function of
+/// (shard count, vnodes, key) -- no state, no locks -- so every node of a
+/// cluster and every replay of a recorded log agree on the placement
+/// without coordination. Consistent hashing (rather than `hash % K`) keeps
+/// resharding cheap: growing K -> K+1 remaps only the keys whose ring
+/// successor changed, about 1/(K+1) of the population, instead of nearly
+/// all of them.
+///
+/// Routing is by *session* (tenant, patient, device), never by request id:
+/// every request of one sensor deployment lands on the same shard, so the
+/// shard's session registry and warm recalibration caches behave exactly
+/// as they would on a single node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace idp::serve {
+
+/// Ring geometry.
+struct ShardRouterConfig {
+  /// Number of shards (K); must be > 0.
+  std::size_t shards = 1;
+
+  /// Virtual points per shard; more points flatten the load split at the
+  /// cost of a larger (still tiny) ring. Must be > 0.
+  std::size_t vnodes = 64;
+};
+
+/// Deterministic consistent-hash ring over the session-key hash space.
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterConfig config = {});
+
+  const ShardRouterConfig& config() const { return config_; }
+  std::size_t shard_count() const { return config_.shards; }
+
+  /// Shard owning a session key.
+  std::size_t route(const SessionKey& key) const {
+    return owner_of(hash_of(key));
+  }
+
+  /// Shard owning a raw 64-bit hash (the ring successor of `hash`).
+  std::size_t owner_of(std::uint64_t hash) const;
+
+  /// Requests of a log routed to each shard (index = shard).
+  std::vector<std::size_t> route_counts(std::span<const Request> log) const;
+
+ private:
+  ShardRouterConfig config_;
+  /// (ring point, shard), sorted by point; lookups binary-search this.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+}  // namespace idp::serve

@@ -1,0 +1,23 @@
+/// \file shard_transport.cpp
+/// DirectTransport: the perfect in-order shard message channel.
+
+#include "serve/shard_transport.hpp"
+
+#include <utility>
+
+namespace idp::serve {
+
+void DirectTransport::send(ResponseEnvelope envelope) {
+  pending_.push_back(std::move(envelope));
+  ++sent_;
+}
+
+bool DirectTransport::poll(ResponseEnvelope& out) {
+  if (pending_.empty()) return false;
+  out = std::move(pending_.front());
+  pending_.pop_front();
+  ++delivered_;
+  return true;
+}
+
+}  // namespace idp::serve

@@ -1,0 +1,69 @@
+/// \file shard_transport.hpp
+/// The shard -> coordinator message boundary: response envelopes, the
+/// transport interface the coordinator drains, and the perfect (lossless,
+/// in-order, zero-delay) DirectTransport default.
+///
+/// The transport is where distribution faults live. A shard stamps every
+/// response with its origin shard and a per-shard send sequence; the
+/// coordinator's merger must reconstruct one deterministic global log from
+/// whatever arrival order the transport produces. The contract the sharded
+/// determinism sweep enforces is *at-least-once, no-loss* delivery:
+/// messages may be arbitrarily reordered, delayed and duplicated (the
+/// simulated network under tests/netsim/ injects exactly those faults from
+/// a seed), but every sent envelope is eventually delivered at least once.
+/// Loss would need an acknowledgement/retransmit layer, which is future
+/// work -- the merger therefore *detects* loss (ResultMerger::finish
+/// throws) rather than silently producing a shorter log.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "serve/request.hpp"
+
+namespace idp::serve {
+
+/// One shard -> coordinator message.
+struct ResponseEnvelope {
+  std::size_t shard = 0;      ///< origin shard
+  std::uint64_t sequence = 0; ///< per-shard send order (0, 1, ...)
+  Response response;
+};
+
+/// Message channel between the shards and the coordinator. Single-threaded
+/// use: the deterministic replay path sends and drains from one thread
+/// (live mode bypasses the transport and fans into a locked sink instead).
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Accept one envelope for (eventual) delivery.
+  virtual void send(ResponseEnvelope envelope) = 0;
+
+  /// Deliver the next pending envelope; false when nothing is pending.
+  virtual bool poll(ResponseEnvelope& out) = 0;
+
+  /// Envelopes accepted by send().
+  virtual std::uint64_t sent() const = 0;
+
+  /// Envelopes handed out by poll() (>= sent() when duplicates exist).
+  virtual std::uint64_t delivered() const = 0;
+};
+
+/// The ideal network: FIFO, lossless, no duplication. The sharded replay
+/// under this transport is the reference the fault-injecting simulated
+/// network is compared against.
+class DirectTransport final : public ShardTransport {
+ public:
+  void send(ResponseEnvelope envelope) override;
+  bool poll(ResponseEnvelope& out) override;
+  std::uint64_t sent() const override { return sent_; }
+  std::uint64_t delivered() const override { return delivered_; }
+
+ private:
+  std::deque<ResponseEnvelope> pending_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace idp::serve

@@ -86,6 +86,7 @@ std::vector<double> percentiles_of(std::vector<double>& values,
 LatencyHistogram::LatencyHistogram(double min_value, double max_value,
                                    std::size_t bins_per_decade)
     : min_value_(min_value),
+      max_value_(max_value),
       log_min_(std::log10(min_value)),
       bins_per_decade_(static_cast<double>(bins_per_decade)) {
   require(min_value > 0.0 && max_value > min_value,
@@ -152,8 +153,13 @@ double LatencyHistogram::percentile(double q) const {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
+  // Compare the full configured geometry, not just the derived bin count:
+  // different max_values can round to the same bin count (e.g. spans of
+  // 999 vs 1000 at 16 bins/decade), which would silently mis-attribute the
+  // merged tail.
   require(counts_.size() == other.counts_.size() &&
               min_value_ == other.min_value_ &&
+              max_value_ == other.max_value_ &&
               bins_per_decade_ == other.bins_per_decade_,
           "histogram bin configurations differ");
   if (other.count_ == 0) return;

@@ -60,6 +60,11 @@ class LatencyHistogram {
 
   void add(double value);
   std::size_t count() const { return count_; }
+  double min_value() const { return min_value_; }  ///< configured span floor
+  double max_value() const { return max_value_; }  ///< configured span ceiling
+  std::size_t bins_per_decade() const {
+    return static_cast<std::size_t>(bins_per_decade_);
+  }
   double min() const;   ///< exact smallest added value (0 when empty)
   double max() const;   ///< exact largest added value (0 when empty)
   double mean() const;  ///< exact running mean (0 when empty)
@@ -74,6 +79,7 @@ class LatencyHistogram {
 
  private:
   double min_value_;
+  double max_value_;
   double log_min_;
   double bins_per_decade_;
   std::vector<std::size_t> counts_;

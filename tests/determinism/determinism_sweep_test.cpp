@@ -1,10 +1,11 @@
 /// \file determinism_sweep_test.cpp
 /// The unified bitwise-determinism sweep: one parameterized test drives the
-/// five parallel workloads -- multiplexed panel scan, design-space
+/// six parallel workloads -- multiplexed panel scan, design-space
 /// explorer, calibration campaigns, the longitudinal cohort (with
-/// degradation + adaptive recalibration active) and the diagnostics
+/// degradation + adaptive recalibration active), the diagnostics
 /// service (a replayed mixed request log with degradation + scheduled
-/// recalibration epochs) -- across 5 seeds at parallelism {1, 2, hardware}
+/// recalibration epochs) and the 2-shard cluster replay merged across the
+/// fault-injecting simulated network -- across 5 seeds at parallelism {1, 2, hardware}
 /// and asserts digest equality against the sequential run. This replaces the per-subsystem copy-pasted
 /// determinism tests; the shared scaffolding lives in
 /// tests/common/determinism.hpp.
@@ -17,9 +18,11 @@
 
 #include "common/determinism.hpp"
 #include "core/explorer.hpp"
+#include "netsim/sim_network.hpp"
 #include "quant/calibration_store.hpp"
 #include "scenario/longitudinal.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/shard_coordinator.hpp"
 #include "serve/traffic.hpp"
 
 namespace idp {
@@ -177,6 +180,56 @@ std::uint64_t serve_digest(std::uint64_t seed, std::size_t parallelism) {
   return d.value();
 }
 
+std::uint64_t sharded_digest(std::uint64_t seed, std::size_t parallelism) {
+  // The distributed acceptance criterion: the serve workload's traffic
+  // shape replayed through a 2-shard cluster with the simulated network
+  // injecting reorder, bounded delay and duplication between the shards
+  // and the coordinator. The fault schedule's seed varies with the
+  // parallelism level, so digest equality across levels ALSO proves the
+  // merged log is invariant to the transport's fault schedule -- not just
+  // to thread scheduling.
+  quant::CampaignConfig campaign;
+  campaign.seed = 626262;
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = seed;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.05;
+  aging.enzyme_decay_per_day = 0.02;
+  aging.seed = seed ^ 0x5e47e;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration_interval_days = 4.0;
+
+  serve::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.sessions = 6;
+  traffic.seed = 11;  // one fixed log; the *service* seed varies
+  traffic.duration_h = 9.0 * 24.0;
+
+  serve::ShardClusterConfig cluster_config;
+  cluster_config.router.shards = 2;
+  serve::ShardCluster cluster(store, config, cluster_config);
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(traffic, cluster.shard(0));
+
+  test::SimNetConfig net;
+  net.seed = seed ^ (0xd15ULL + parallelism);  // hostile: varies per level
+  net.max_delay_ticks = 32;
+  net.duplicate_prob = 0.15;
+  test::SimNetTransport transport(net);
+
+  const std::vector<serve::Response> responses =
+      cluster.replay(log, parallelism, &transport).responses;
+  test::BitDigest d;
+  test::fold(d, std::span<const serve::Response>(responses));
+  return d.value();
+}
+
 // --- the parameterized sweep ------------------------------------------------
 
 struct Workload {
@@ -208,7 +261,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Workload{"explorer", explorer_digest, false},
                       Workload{"campaign", campaign_digest},
                       Workload{"cohort", cohort_digest},
-                      Workload{"serve", serve_digest}),
+                      Workload{"serve", serve_digest},
+                      Workload{"sharded", sharded_digest}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 }  // namespace

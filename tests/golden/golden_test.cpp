@@ -24,8 +24,12 @@
 
 #include "afe/mux.hpp"
 #include "bio/library.hpp"
+#include "netsim/sim_network.hpp"
 #include "quant/calibration_store.hpp"
 #include "scenario/longitudinal.hpp"
+#include "serve/result_sink.hpp"
+#include "serve/shard_coordinator.hpp"
+#include "serve/traffic.hpp"
 #include "sim/engine.hpp"
 #include "util/csv.hpp"
 
@@ -371,6 +375,56 @@ TEST(Golden, CohortReportMatchesFixture) {
   const util::CsvTable table = util::read_csv(tmp);
   std::remove(tmp.c_str());
   check_golden("cohort_report", table, 1e-9, 1e-18);
+}
+
+TEST(Golden, ShardedReplayK2MatchesFixture) {
+  // The merged cross-shard response log: a fixed mixed request log replayed
+  // through a 2-shard cluster with the seeded simulated network injecting
+  // reorder, bounded delay and duplication between the shards and the
+  // coordinator. The fixture pins the merged canonical response CSV -- the
+  // exact payload the single-node scheduler would produce -- so any change
+  // to routing, lease assignment, the merge or the service model shows up
+  // as a diff here.
+  quant::CampaignConfig campaign = golden_campaign();
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = 0x601d;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.05;
+  aging.enzyme_decay_per_day = 0.02;
+  aging.seed = 0x601d ^ 0x5e47e;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration_interval_days = 4.0;
+
+  serve::ShardClusterConfig cluster_config;
+  cluster_config.router.shards = 2;
+  serve::ShardCluster cluster(store, config, cluster_config);
+
+  serve::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.sessions = 6;
+  traffic.seed = 0x601d;
+  traffic.duration_h = 9.0 * 24.0;  // crosses two recalibration epochs
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(traffic, cluster.shard(0));
+
+  test::SimNetConfig net;
+  net.seed = 0x601d;
+  net.max_delay_ticks = 32;
+  net.duplicate_prob = 0.15;
+  test::SimNetTransport transport(net);
+
+  const serve::ShardedReplayResult result = cluster.replay(log, 1, &transport);
+  const std::string tmp = ::testing::TempDir() + "/idp_golden_sharded.csv";
+  serve::write_responses_csv(result.responses, tmp);
+  const util::CsvTable table = util::read_csv(tmp);
+  std::remove(tmp.c_str());
+  check_golden("sharded_replay_k2", table, 1e-9, 1e-18);
 }
 
 }  // namespace

@@ -185,6 +185,89 @@ TEST(LatencyHistogram, MergeRejectsMismatchedBinning) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(LatencyHistogram, MergeRejectsMismatchedMaxValue) {
+  // 999 and 1000 as span ceilings round to the SAME bin count (144) at 16
+  // bins/decade, so a bin-count-only compatibility check would silently
+  // merge histograms with different bin edges. The merge must compare the
+  // configured span, not just the derived geometry.
+  LatencyHistogram a(1e-6, 999.0, 16);
+  const LatencyHistogram b(1e-6, 1000.0, 16);
+  ASSERT_EQ(a.bin_count(), b.bin_count()) << "test premise broken";
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, MergeEmptyIntoEmptyStaysEmpty) {
+  LatencyHistogram a;
+  const LatencyHistogram b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, MergeNonEmptyIntoEmptyPreservesExactStatistics) {
+  LatencyHistogram a;  // empty receiver
+  LatencyHistogram b;
+  b.add(2e-4);
+  b.add(8e-4);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 2e-4);
+  EXPECT_DOUBLE_EQ(a.max(), 8e-4);
+  EXPECT_DOUBLE_EQ(a.mean(), 5e-4);
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), 2e-4);
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 8e-4);
+}
+
+TEST(LatencyHistogram, MergeEmptyIntoNonEmptyIsTheIdentity) {
+  LatencyHistogram a;
+  a.add(3e-3);
+  a.add(9e-3);
+  const double p50_before = a.percentile(0.5);
+  const LatencyHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 3e-3);
+  EXPECT_DOUBLE_EQ(a.max(), 9e-3);
+  EXPECT_DOUBLE_EQ(a.mean(), 6e-3);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), p50_before);
+}
+
+TEST(LatencyHistogram, MergeOfTwoOneSampleHistogramsBracketsBothSamples) {
+  LatencyHistogram a, b;
+  a.add(1e-4);
+  b.add(1e-2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 1e-4);
+  EXPECT_DOUBLE_EQ(a.max(), 1e-2);
+  EXPECT_DOUBLE_EQ(a.mean(), (1e-4 + 1e-2) / 2.0);
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), 1e-4);
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 1e-2);
+  // Interior percentiles stay inside the exact-extreme clamp.
+  for (double q : {0.25, 0.5, 0.75}) {
+    EXPECT_GE(a.percentile(q), 1e-4);
+    EXPECT_LE(a.percentile(q), 1e-2);
+  }
+}
+
+TEST(LatencyHistogram, SingleBinHistogramReportsExactExtremes) {
+  // A span under one decade at 1 bin/decade degenerates to one payload bin
+  // (plus the constant overflow bin); the exact-extreme clamp must still
+  // make percentiles sane in this minimal geometry.
+  LatencyHistogram h(1.0, 2.0, 1);
+  ASSERT_EQ(h.bin_count(), 2u);
+  h.add(1.25);
+  h.add(1.75);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.25);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.75);
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 1.25);
+  EXPECT_LE(p50, 1.75);
+}
+
 TEST(LatencyHistogram, RejectsDegenerateConfig) {
   EXPECT_THROW(LatencyHistogram(0.0, 1.0, 8), std::invalid_argument);
   EXPECT_THROW(LatencyHistogram(1.0, 1.0, 8), std::invalid_argument);
