@@ -3,8 +3,10 @@
 /// quantified reads, QC checks at stat/routine/batch priority) from
 /// thousands of sessions pushed through the live scheduler, reporting
 /// sustained throughput plus p50/p90/p99 queue-wait and service-time
-/// latency per priority class as benchmark counters, and the replay path's
-/// parallel scaling. Writes google-benchmark JSON to BENCH_serve.json
+/// latency per priority class as benchmark counters, the replay path's
+/// parallel scaling, and the fault-tolerant replay's throughput under
+/// injected loss and a shard-crash failover. Writes google-benchmark JSON
+/// to BENCH_serve.json
 /// (override with --benchmark_out=...) so successive PRs accumulate a
 /// comparable service-workload measurement.
 
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "netsim/sim_network.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/shard_coordinator.hpp"
 #include "serve/traffic.hpp"
@@ -183,6 +186,69 @@ BENCHMARK(BM_ShardedReplay)
     ->Arg(2)
     ->Arg(4)
     ->ArgName("shards")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Fault-tolerance tax of the distributed replay: the same recorded log
+/// through the retrying/failover replay path over the simulated network
+/// at 0% / 1% / 5% message loss across 2 shards, plus a one-shard-crash
+/// failover run. The counters expose what the recovery cost in virtual
+/// time and extra work; throughput shows what it cost in wall time.
+void BM_FaultedReplay(benchmark::State& state) {
+  static quant::CalibrationStore store(bench_campaign());
+  static const std::vector<serve::Request> log = [] {
+    serve::DiagnosticsService service(store, bench_service_config());
+    serve::TrafficSpec spec = bench_traffic(512);
+    spec.sessions = 128;
+    return serve::synthesize_traffic(spec, service);
+  }();
+
+  const double drop_prob = static_cast<double>(state.range(0)) / 1000.0;
+  const bool crash_one_shard = state.range(1) != 0;
+  serve::ShardClusterConfig cluster_config;
+  cluster_config.router.shards = 2;
+  serve::ShardCluster cluster(store, bench_service_config(), cluster_config);
+
+  std::size_t responses = 0;
+  serve::FaultStats faults;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    test::SimNetConfig net;
+    net.seed = 29;
+    net.max_delay_ticks = 24;
+    net.duplicate_prob = 0.05;
+    net.drop_prob = drop_prob;
+    if (crash_one_shard) {
+      // The 512 initial dispatches alone advance the clock past tick 512,
+      // so the outage must reach well into the delivery phase to bite.
+      net.crashes = {{.shard = cluster.route(log[0].session),
+                      .from_tick = 10,
+                      .until_tick = 900}};
+    }
+    test::SimNetTransport transport(net);
+    const serve::FaultTolerantReplayResult result =
+        cluster.replay_fault_tolerant(log, 0, &transport);
+    responses += result.responses.size();
+    faults = result.faults;  // identical every iteration (seeded)
+    ++iterations;
+    benchmark::DoNotOptimize(result.responses.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["retries"] = static_cast<double>(faults.retries);
+  state.counters["reroutes"] = static_cast<double>(faults.reroutes);
+  state.counters["dropped"] = static_cast<double>(faults.messages_dropped);
+  state.counters["failovers"] = static_cast<double>(faults.shard_failovers);
+  state.counters["final_tick"] = static_cast<double>(faults.final_tick);
+  state.SetLabel("512-request log, 2 shards, drop=" +
+                 std::to_string(state.range(0)) + "permille" +
+                 (crash_one_shard ? ", one shard crashed [10,900)" : ""));
+}
+BENCHMARK(BM_FaultedReplay)
+    ->Args({0, 0})
+    ->Args({10, 0})
+    ->Args({50, 0})
+    ->Args({10, 1})
+    ->ArgNames({"drop_permille", "crash"})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,73 @@
+/// \file failure_detector.cpp
+/// Timeout-based heartbeat failure detector implementation.
+
+#include "serve/failure_detector.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace idp::serve {
+
+const char* to_string(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kUp:
+      return "up";
+    case ShardHealth::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+FailureDetector::FailureDetector(FailureDetectorConfig config,
+                                 std::size_t shards)
+    : config_(config), last_seen_(shards, 0), down_(shards, false) {
+  util::require(shards > 0, "failure detector needs at least one shard");
+  util::require(config_.heartbeat_interval_ticks > 0,
+                "heartbeat interval must be positive");
+  util::require(config_.timeout_ticks > config_.heartbeat_interval_ticks,
+                "a timeout within one heartbeat interval would flap on "
+                "every healthy shard");
+}
+
+void FailureDetector::heartbeat(std::size_t shard, std::uint64_t now) {
+  util::require(shard < last_seen_.size(), "heartbeat from unknown shard");
+  last_seen_[shard] = std::max(last_seen_[shard], now);
+  if (down_[shard]) {
+    down_[shard] = false;
+    ++rejoins_;
+  }
+}
+
+void FailureDetector::update(std::uint64_t now) {
+  for (std::size_t s = 0; s < last_seen_.size(); ++s) {
+    if (!down_[s] && now > last_seen_[s] + config_.timeout_ticks) {
+      down_[s] = true;
+      ++failovers_;
+    }
+  }
+}
+
+ShardHealth FailureDetector::health(std::size_t shard) const {
+  util::require(shard < down_.size(), "unknown shard");
+  return down_[shard] ? ShardHealth::kDown : ShardHealth::kUp;
+}
+
+std::size_t FailureDetector::up_count() const {
+  std::size_t up = 0;
+  for (const bool d : down_) {
+    if (!d) ++up;
+  }
+  return up;
+}
+
+std::size_t FailureDetector::route_around(std::size_t preferred) const {
+  util::require(preferred < down_.size(), "unknown shard");
+  for (std::size_t offset = 0; offset < down_.size(); ++offset) {
+    const std::size_t candidate = (preferred + offset) % down_.size();
+    if (!down_[candidate]) return candidate;
+  }
+  return preferred;  // everything is down: keep knocking on the primary
+}
+
+}  // namespace idp::serve

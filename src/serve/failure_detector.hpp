@@ -1,0 +1,85 @@
+/// \file failure_detector.hpp
+/// Heartbeat-based shard liveness for the fault-tolerant coordinator.
+///
+/// Every live shard emits a heartbeat each `heartbeat_interval_ticks` of
+/// virtual time; the coordinator feeds arrivals into the FailureDetector
+/// and declares a shard down after `timeout_ticks` of silence. The
+/// detector is the coordinator's ONLY source of liveness -- it never peeks
+/// at the transport's crash schedule -- so a partition that swallows
+/// heartbeats is indistinguishable from a crash, exactly as in a real
+/// cluster.
+///
+/// False positives are safe by construction: declaring a live shard down
+/// merely reroutes its retransmits to a peer, and since every response is
+/// a pure function of its request (run-id leases are keyed by request id,
+/// not by shard) the rerouted execution is bitwise identical and the
+/// merger dedups whichever copy arrives second. The detector therefore
+/// tunes for availability, not for certainty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace idp::serve {
+
+/// Liveness timing, in virtual ticks.
+struct FailureDetectorConfig {
+  /// Cadence at which each live shard emits a heartbeat.
+  std::uint64_t heartbeat_interval_ticks = 16;
+
+  /// Silence after which a shard is declared down. Must exceed the
+  /// heartbeat interval (with delivery-jitter margin) or healthy shards
+  /// flap.
+  std::uint64_t timeout_ticks = 96;
+};
+
+enum class ShardHealth : std::uint8_t {
+  kUp = 0,
+  kDown = 1,
+};
+
+const char* to_string(ShardHealth health);
+
+/// Timeout-based liveness ledger over K shards. Single-threaded, driven
+/// by the coordinator loop. Every shard starts with a full grace period
+/// (treated as heard-from at tick 0).
+class FailureDetector {
+ public:
+  FailureDetector(FailureDetectorConfig config, std::size_t shards);
+
+  const FailureDetectorConfig& config() const { return config_; }
+  std::size_t shard_count() const { return last_seen_.size(); }
+
+  /// A heartbeat from `shard` arrived at tick `now`. Positive evidence
+  /// flips a down shard back to up immediately (rejoin).
+  void heartbeat(std::size_t shard, std::uint64_t now);
+
+  /// Sweep for timeouts at tick `now`, declaring silent shards down.
+  void update(std::uint64_t now);
+
+  /// Current verdict for one shard (as of the last update()/heartbeat()).
+  ShardHealth health(std::size_t shard) const;
+
+  /// Shards currently considered up.
+  std::size_t up_count() const;
+
+  /// Failover routing: the first up shard at or after `preferred`,
+  /// scanning cyclically. Returns `preferred` itself when it is up -- or
+  /// when every shard is down, in which case the caller keeps retrying
+  /// the primary until something recovers.
+  std::size_t route_around(std::size_t preferred) const;
+
+  /// up -> down declarations observed.
+  std::uint64_t failovers() const { return failovers_; }
+  /// down -> up recoveries observed.
+  std::uint64_t rejoins() const { return rejoins_; }
+
+ private:
+  FailureDetectorConfig config_;
+  std::vector<std::uint64_t> last_seen_;
+  std::vector<bool> down_;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t rejoins_ = 0;
+};
+
+}  // namespace idp::serve

@@ -1,5 +1,7 @@
 /// \file request_queue.cpp
-/// Bounded multi-class priority queue implementation.
+/// Bounded multi-class priority queue implementation, including the
+/// overload controller (shed watermarks) and the bounded-wait admission
+/// path.
 
 #include "serve/request_queue.hpp"
 
@@ -18,6 +20,10 @@ const char* to_string(Admission admission) {
       return "rejected_full";
     case Admission::kRejectedClosed:
       return "rejected_closed";
+    case Admission::kRejectedShed:
+      return "rejected_shed";
+    case Admission::kRejectedTimeout:
+      return "rejected_timeout";
   }
   return "unknown";
 }
@@ -28,6 +34,17 @@ RequestQueue::RequestQueue(RequestQueueConfig config) : config_(config) {
                 "could only reject)");
   util::require(config_.stat_reserve < config_.capacity,
                 "stat_reserve must leave room for non-stat admission");
+  const std::size_t usable = config_.capacity - config_.stat_reserve;
+  util::require(config_.batch_shed_depth <= usable,
+                "batch_shed_depth above the non-stat capacity could never "
+                "fire before rejected_full");
+  util::require(config_.routine_shed_depth <= usable,
+                "routine_shed_depth above the non-stat capacity could never "
+                "fire before rejected_full");
+  util::require(config_.batch_shed_depth == 0 ||
+                    config_.routine_shed_depth == 0 ||
+                    config_.batch_shed_depth <= config_.routine_shed_depth,
+                "overload must shed batch work before routine work");
 }
 
 bool RequestQueue::has_space_locked(Priority priority) const {
@@ -35,6 +52,14 @@ bool RequestQueue::has_space_locked(Priority priority) const {
                                  ? config_.capacity
                                  : config_.capacity - config_.stat_reserve;
   return depth_ < usable;
+}
+
+bool RequestQueue::should_shed_locked(Priority priority) const {
+  const std::size_t watermark =
+      priority == Priority::kBatch     ? config_.batch_shed_depth
+      : priority == Priority::kRoutine ? config_.routine_shed_depth
+                                       : 0;  // stat is never shed
+  return watermark > 0 && depth_ >= watermark;
 }
 
 Admission RequestQueue::push_locked(Request&& request) {
@@ -53,6 +78,10 @@ Admission RequestQueue::try_push(Request request) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return Admission::kRejectedClosed;
+    if (should_shed_locked(request.priority)) {
+      ++shed_;
+      return Admission::kRejectedShed;
+    }
     if (!has_space_locked(request.priority)) {
       ++rejected_;
       return Admission::kRejectedFull;
@@ -67,9 +96,39 @@ Admission RequestQueue::push_wait(Request request) {
   Admission admission;
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    // An overloaded class does not get to wait out the storm on the
+    // queue's doorstep: shedding exists to push the backlog back to the
+    // caller immediately.
+    if (!closed_ && should_shed_locked(request.priority)) {
+      ++shed_;
+      return Admission::kRejectedShed;
+    }
     space_.wait(lock, [&] {
       return closed_ || has_space_locked(request.priority);
     });
+    if (closed_) return Admission::kRejectedClosed;
+    admission = push_locked(std::move(request));
+  }
+  ready_.notify_one();
+  return admission;
+}
+
+Admission RequestQueue::push_wait_for(Request request,
+                                      std::chrono::nanoseconds timeout) {
+  Admission admission;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!closed_ && should_shed_locked(request.priority)) {
+      ++shed_;
+      return Admission::kRejectedShed;
+    }
+    const bool woke = space_.wait_for(lock, timeout, [&] {
+      return closed_ || has_space_locked(request.priority);
+    });
+    if (!woke) {
+      ++timed_out_;
+      return Admission::kRejectedTimeout;
+    }
     if (closed_) return Admission::kRejectedClosed;
     admission = push_locked(std::move(request));
   }
@@ -147,6 +206,28 @@ std::uint64_t RequestQueue::accepted() const {
 std::uint64_t RequestQueue::rejected() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return rejected_;
+}
+
+std::uint64_t RequestQueue::shed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::uint64_t RequestQueue::timed_out() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return timed_out_;
+}
+
+QueueStats RequestQueue::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  QueueStats stats;
+  stats.depth = depth_;
+  stats.high_water = high_water_;
+  stats.accepted = accepted_;
+  stats.rejected_full = rejected_;
+  stats.shed = shed_;
+  stats.timed_out = timed_out_;
+  return stats;
 }
 
 }  // namespace idp::serve

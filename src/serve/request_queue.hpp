@@ -8,6 +8,14 @@
 /// routine before batch) and FIFO within a class, so a stat request can
 /// never be inverted behind lower-priority work.
 ///
+/// Graceful degradation: the queue doubles as the overload controller.
+/// Optional shed watermarks turn sustained depth into *early, explicit*
+/// rejection of the lowest-value classes -- batch work sheds first, then
+/// routine, stat never -- so under overload the queue keeps headroom for
+/// the traffic whose latency matters instead of filling up with batch
+/// backlog. A shed is an admission outcome (kRejectedShed) with its own
+/// counter, never a silent drop.
+///
 /// Determinism note: the queue orders *dispatch*, never results. Response
 /// payloads derive from leased run-id blocks (serve/service.hpp), so the
 /// service's output is bitwise independent of arrival interleaving or of
@@ -35,16 +43,50 @@ struct RequestQueueConfig {
   /// admission requires depth < capacity - stat_reserve. Must be smaller
   /// than capacity.
   std::size_t stat_reserve = 0;
+
+  /// Overload shedding: once depth >= batch_shed_depth, batch admissions
+  /// return kRejectedShed instead of queueing (0 disables). Must not
+  /// exceed the non-stat usable capacity, or the watermark could never
+  /// fire before kRejectedFull made it moot.
+  std::size_t batch_shed_depth = 0;
+
+  /// Same watermark for routine work; sheds after batch (must be >=
+  /// batch_shed_depth when both are enabled). Stat is never shed.
+  std::size_t routine_shed_depth = 0;
 };
 
 /// Outcome of an admission attempt.
 enum class Admission : std::uint8_t {
   kAccepted = 0,
-  kRejectedFull = 1,    ///< explicit backpressure signal to the caller
-  kRejectedClosed = 2,  ///< the service is shutting down
+  kRejectedFull = 1,     ///< explicit backpressure signal to the caller
+  kRejectedClosed = 2,   ///< the service is shutting down
+  kRejectedShed = 3,     ///< overload controller shed this class early
+  kRejectedTimeout = 4,  ///< push_wait_for expired before space appeared
 };
 
 const char* to_string(Admission admission);
+
+/// Snapshot of the queue's admission accounting -- the telemetry surface
+/// the scheduler and the sharded cluster expose. Every offered request is
+/// in exactly one bucket; nothing is ever dropped silently.
+struct QueueStats {
+  std::size_t depth = 0;
+  std::size_t high_water = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t shed = 0;       ///< overload-controller rejections
+  std::uint64_t timed_out = 0;  ///< bounded waits that expired
+
+  /// Fold another queue's account in (cross-shard aggregation).
+  void merge(const QueueStats& other) {
+    depth += other.depth;
+    high_water = high_water > other.high_water ? high_water : other.high_water;
+    accepted += other.accepted;
+    rejected_full += other.rejected_full;
+    shed += other.shed;
+    timed_out += other.timed_out;
+  }
+};
 
 /// One queued request plus its enqueue instant (for queue-wait telemetry).
 struct QueuedRequest {
@@ -59,12 +101,21 @@ class RequestQueue {
 
   const RequestQueueConfig& config() const { return config_; }
 
-  /// Non-blocking admission: accepted, or rejected-full / rejected-closed.
+  /// Non-blocking admission: accepted, or rejected-full / rejected-shed /
+  /// rejected-closed.
   Admission try_push(Request request);
 
   /// Blocking admission (backpressure): waits for space, then accepts;
-  /// returns kRejectedClosed if the queue closes while waiting.
+  /// returns kRejectedClosed if the queue closes while waiting. A class
+  /// above its shed watermark does not wait -- overload means "go away
+  /// now", so it returns kRejectedShed immediately.
   Admission push_wait(Request request);
+
+  /// Bounded-wait admission: like push_wait, but gives up with
+  /// kRejectedTimeout once `timeout` elapses without space. Callers that
+  /// cannot block forever on a full queue use this instead of try_push
+  /// polling loops.
+  Admission push_wait_for(Request request, std::chrono::nanoseconds timeout);
 
   /// Blocking dispatch: pops the oldest request of the highest non-empty
   /// priority class. Returns false when the queue is closed *and* drained
@@ -87,10 +138,19 @@ class RequestQueue {
   /// Admission counters (accepted / rejected-full since construction).
   std::uint64_t accepted() const;
   std::uint64_t rejected() const;
+  /// Requests shed by the overload controller.
+  std::uint64_t shed() const;
+  /// Bounded waits that expired.
+  std::uint64_t timed_out() const;
+
+  /// One consistent snapshot of all the counters above.
+  QueueStats stats() const;
 
  private:
   /// Admission rule for one class given the current depth.
   bool has_space_locked(Priority priority) const;
+  /// Overload rule: above its watermark, a class sheds instead of queueing.
+  bool should_shed_locked(Priority priority) const;
   Admission push_locked(Request&& request);
 
   RequestQueueConfig config_;
@@ -102,6 +162,8 @@ class RequestQueue {
   std::size_t high_water_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t timed_out_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,61 @@
+/// \file retry.cpp
+/// Capped-exponential-backoff retry ledger implementation.
+
+#include "serve/retry.hpp"
+
+#include "util/error.hpp"
+
+namespace idp::serve {
+
+std::uint64_t backoff_ticks(const RetryPolicy& policy, std::size_t attempt) {
+  util::require(policy.response_timeout_ticks > 0,
+                "retry policy needs a positive response timeout");
+  util::require(policy.max_backoff_ticks >= policy.response_timeout_ticks,
+                "backoff cap below the base timeout can never be reached");
+  std::uint64_t backoff = policy.response_timeout_ticks;
+  for (std::size_t i = 0; i < attempt; ++i) {
+    if (backoff >= policy.max_backoff_ticks / 2) {
+      return policy.max_backoff_ticks;  // doubling again would saturate
+    }
+    backoff *= 2;
+  }
+  return backoff < policy.max_backoff_ticks ? backoff
+                                            : policy.max_backoff_ticks;
+}
+
+RetryTracker::RetryTracker(RetryPolicy policy) : policy_(policy) {
+  util::require(policy_.max_attempts > 0,
+                "retry policy needs at least one attempt");
+  // Surface bad tick parameters at construction, not first deadline.
+  (void)backoff_ticks(policy_, 0);
+}
+
+std::size_t RetryTracker::dispatched(std::size_t index, std::uint64_t now) {
+  const std::size_t attempt = attempts_[index]++;
+  util::ensure(attempt < policy_.max_attempts,
+               "request exhausted its retry budget -- the fault schedule "
+               "starved delivery outright");
+  ++dispatches_;
+  if (attempt > 0) ++retries_;
+  deadlines_.emplace(now + backoff_ticks(policy_, attempt), index);
+  return attempt;
+}
+
+void RetryTracker::completed(std::size_t index) {
+  attempts_.erase(index);
+  // The armed deadline (if any) stays in the multimap; expired() skips
+  // slots that are no longer outstanding, which keeps completion O(log n)
+  // instead of a linear deadline scan.
+}
+
+std::vector<std::size_t> RetryTracker::expired(std::uint64_t now) {
+  std::vector<std::size_t> due;
+  while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+    const std::size_t index = deadlines_.begin()->second;
+    deadlines_.erase(deadlines_.begin());
+    if (attempts_.find(index) != attempts_.end()) due.push_back(index);
+  }
+  return due;
+}
+
+}  // namespace idp::serve

@@ -1,0 +1,87 @@
+/// \file retry.hpp
+/// Virtual-clock retry machinery for the fault-tolerant coordinator.
+///
+/// Under a lossy transport the coordinator must re-request missing
+/// responses instead of throwing. Two pieces make that deterministic:
+///
+/// - RetryPolicy: a deadline plus capped exponential backoff, expressed in
+///   *virtual ticks* (the transport's clock), never wall time. The entire
+///   retransmit schedule is therefore a pure function of the fault
+///   schedule, and a hostile replay is exactly as reproducible as a
+///   fault-free one.
+/// - RetryTracker: the coordinator-side ledger of outstanding requests --
+///   which slot was dispatched when, which deadline fires next, which
+///   requests completed. A retransmit is always safe: responses are pure
+///   functions of their request, and the merger dedups on request id, so
+///   at-least-once dispatch composes into exactly-once merge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace idp::serve {
+
+/// Deadline + capped exponential backoff, in virtual ticks.
+struct RetryPolicy {
+  /// Deadline for the first dispatch: if no response merged within this
+  /// many ticks, the request is retransmitted.
+  std::uint64_t response_timeout_ticks = 96;
+
+  /// Backoff ceiling: the doubled deadline saturates here, so a request
+  /// stranded by a long outage keeps probing at a bounded cadence instead
+  /// of backing off into silence.
+  std::uint64_t max_backoff_ticks = 1024;
+
+  /// Dispatches (initial + retransmits) a request may consume before the
+  /// replay gives up loudly. Exhaustion means the fault schedule starved
+  /// delivery outright -- an error, never a silent shortfall.
+  std::size_t max_attempts = 24;
+};
+
+/// Deadline after dispatch number `attempt` (0-based): capped exponential
+/// backoff, response_timeout_ticks * 2^attempt saturating at
+/// max_backoff_ticks. Pure; overflow-safe for any attempt count.
+std::uint64_t backoff_ticks(const RetryPolicy& policy, std::size_t attempt);
+
+/// Coordinator-side ledger of outstanding dispatches and their virtual
+/// deadlines. Single-threaded, like the merge loop that drives it.
+class RetryTracker {
+ public:
+  explicit RetryTracker(RetryPolicy policy);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Record a dispatch of request slot `index` at tick `now`: arms the
+  /// slot's next deadline with the policy's backoff and returns the
+  /// 0-based attempt number just consumed. Throws util::Error once the
+  /// slot's retry budget is exhausted.
+  std::size_t dispatched(std::size_t index, std::uint64_t now);
+
+  /// Mark a slot complete: its pending deadline is disarmed and it will
+  /// never be returned by expired() again. Idempotent.
+  void completed(std::size_t index);
+
+  /// Slots whose deadline has passed at `now` and which are still
+  /// incomplete, in deterministic (deadline, arm-order) order. Each expiry
+  /// is returned once; re-dispatching re-arms the slot.
+  std::vector<std::size_t> expired(std::uint64_t now);
+
+  /// Dispatches recorded so far.
+  std::uint64_t dispatches() const { return dispatches_; }
+  /// Dispatches beyond each slot's first (the retransmit count).
+  std::uint64_t retries() const { return retries_; }
+  /// Slots dispatched but not yet completed.
+  std::size_t outstanding() const { return attempts_.size(); }
+
+ private:
+  RetryPolicy policy_;
+  std::map<std::size_t, std::size_t> attempts_;  ///< slot -> dispatch count
+  /// (deadline tick, slot); multimap keeps equal-tick expiries in arm
+  /// order, so the retransmit sequence is deterministic.
+  std::multimap<std::uint64_t, std::size_t> deadlines_;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace idp::serve

@@ -67,6 +67,11 @@ Admission Scheduler::submit_wait(Request request) {
   return queue_.push_wait(std::move(request));
 }
 
+Admission Scheduler::submit_wait_for(Request request,
+                                     std::chrono::nanoseconds timeout) {
+  return queue_.push_wait_for(std::move(request), timeout);
+}
+
 void Scheduler::drain_and_stop() {
   if (!running_) return;
   queue_.close();  // pushes reject from here on; pops drain what was accepted

@@ -86,6 +86,10 @@ class Scheduler {
   /// Blocking admission (backpressure).
   Admission submit_wait(Request request);
 
+  /// Bounded-wait admission: blocks up to `timeout` for queue space, then
+  /// returns Admission::kRejectedTimeout (deadline-style backpressure).
+  Admission submit_wait_for(Request request, std::chrono::nanoseconds timeout);
+
   /// Close the queue, drain every accepted request, join the workers and
   /// close the sink. Idempotent.
   void drain_and_stop();
@@ -93,6 +97,10 @@ class Scheduler {
   bool running() const { return running_; }
 
   const RequestQueue& queue() const { return queue_; }
+
+  /// Snapshot of the queue's admission accounting (accepted / rejected /
+  /// shed / timed out), taken under one lock.
+  QueueStats queue_stats() const { return queue_.stats(); }
 
   /// Requests fully served in live mode.
   std::uint64_t completed() const;

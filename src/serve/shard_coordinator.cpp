@@ -1,7 +1,7 @@
 /// \file shard_coordinator.cpp
 /// ShardCluster + ResultMerger implementation: routing, deterministic
-/// merged replay over a (possibly faulty) transport, and the live fan-in
-/// mode.
+/// merged replay over a (possibly faulty) transport, the fault-tolerant
+/// retry/failover replay loop, and the live fan-in mode.
 
 #include "serve/shard_coordinator.hpp"
 
@@ -16,11 +16,22 @@ namespace idp::serve {
 
 // --- ResultMerger -----------------------------------------------------------
 
-void ResultMerger::accept(const ResponseEnvelope& envelope) {
+bool ResultMerger::accept(const ResponseEnvelope& envelope) {
   ++stats_.delivered;
 
-  // Reorder depth: how far behind its shard's newest-seen sequence this
-  // arrival is. Tracked before dedup so duplicate redeliveries count too.
+  const auto [it, fresh] =
+      by_id_.try_emplace(envelope.response.request_id, envelope.response);
+  (void)it;
+  if (!fresh) {
+    // Redelivery of an already-merged id: counted, content dropped. A
+    // duplicate says nothing about wire reordering of fresh traffic, so
+    // it must not feed the reorder tracker below.
+    ++stats_.duplicates_seen;
+    return false;
+  }
+
+  // Reorder depth over first deliveries only: how far behind its shard's
+  // newest-seen sequence this fresh arrival is.
   auto [newest, inserted] =
       newest_sequence_.try_emplace(envelope.shard, envelope.sequence);
   if (!inserted) {
@@ -31,17 +42,13 @@ void ResultMerger::accept(const ResponseEnvelope& envelope) {
       newest->second = envelope.sequence;
     }
   }
-
-  const auto [it, fresh] =
-      by_id_.try_emplace(envelope.response.request_id, envelope.response);
-  (void)it;
-  if (!fresh) ++stats_.duplicates_dropped;
+  return true;
 }
 
 std::vector<Response> ResultMerger::finish(std::size_t expected) {
-  // A shortfall means the transport lost messages: the merge contract is
-  // at-least-once delivery, and a silently truncated global log would
-  // defeat the bitwise-replay guarantee downstream consumers rely on.
+  // A shortfall means the transport lost messages and no retry layer
+  // recovered them: a silently truncated global log would defeat the
+  // bitwise-replay guarantee downstream consumers rely on.
   util::require(by_id_.size() == expected,
                 "merge incomplete: transport lost responses");
   std::vector<Response> out;
@@ -50,6 +57,40 @@ std::vector<Response> ResultMerger::finish(std::size_t expected) {
   by_id_.clear();
   newest_sequence_.clear();
   return out;
+}
+
+// --- FanInSink --------------------------------------------------------------
+
+FanInSink::FanInSink(ResultSink* inner, std::size_t shards)
+    : inner_(inner), open_shards_(shards) {
+  util::require(shards > 0, "fan-in needs at least one shard stream");
+}
+
+void FanInSink::on_response(const Response& response) {
+  util::require(open_shards_.load(std::memory_order_acquire) > 0,
+                "fan-in response after the last shard closed");
+  if (inner_ != nullptr) inner_->on_response(response);
+}
+
+void FanInSink::on_telemetry(const RequestTelemetry& telemetry) {
+  util::require(open_shards_.load(std::memory_order_acquire) > 0,
+                "fan-in telemetry after the last shard closed");
+  if (inner_ != nullptr) inner_->on_telemetry(telemetry);
+}
+
+void FanInSink::close() {
+  // Countdown-close: the K'th close (one per draining shard) closes the
+  // inner sink exactly once. CAS loop so an extra close can never wrap
+  // the counter and resurrect a closed sink -- it throws instead.
+  std::size_t open = open_shards_.load(std::memory_order_acquire);
+  for (;;) {
+    util::require(open > 0, "fan-in closed more times than it has shards");
+    if (open_shards_.compare_exchange_weak(open, open - 1,
+                                           std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  if (open == 1 && inner_ != nullptr) inner_->close();
 }
 
 // --- ShardCluster -----------------------------------------------------------
@@ -74,16 +115,21 @@ DiagnosticsService& ShardCluster::shard(std::size_t s) {
   return *services_[s];
 }
 
-LeaseCensus ShardCluster::lease_census(std::span<const Request> log) const {
+LeaseCensus ShardCluster::census_of(
+    std::span<const Request> log, std::span<const std::size_t> owner_of,
+    std::span<const std::size_t> primary) const {
+  util::require(owner_of.size() == log.size() && primary.size() == log.size(),
+                "census ownership must cover the whole log");
   LeaseCensus census;
   census.per_shard.resize(shard_count());
   const DiagnosticsService& reference = *services_.front();
-  const std::uint64_t lease_width =
-      reference.config().run_ids_per_request;
+  const std::uint64_t lease_width = reference.config().run_ids_per_request;
   std::map<std::uint64_t, std::size_t> block_owner;
   std::vector<std::set<std::uint64_t>> shard_sessions(shard_count());
-  for (const Request& r : log) {
-    const std::size_t s = router_.route(r.session);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const Request& r = log[i];
+    const std::size_t s = owner_of[i];
+    util::require(s < shard_count(), "census owner shard out of range");
     ShardLeaseDomain& domain = census.per_shard[s];
     const std::uint64_t base = reference.lease_base(r.id);
     if (domain.requests == 0) {
@@ -94,10 +140,12 @@ LeaseCensus ShardCluster::lease_census(std::span<const Request> log) const {
       domain.last_run_id = std::max(domain.last_run_id, base + lease_width - 1);
     }
     ++domain.requests;
+    if (s != primary[i]) ++domain.failover_requests;
     shard_sessions[s].insert(hash_of(r.session));
     // A lease block claimed twice -- by another shard (routing bug) or by
-    // the same shard (duplicate request id) -- breaks the disjointness the
-    // determinism contract rests on.
+    // the same shard (duplicate request id) -- breaks the disjointness
+    // the determinism contract rests on. Failover moves whole requests,
+    // never splits a block, so this holds under rerouting too.
     const auto [owner, fresh] = block_owner.try_emplace(base, s);
     (void)owner;
     if (!fresh) census.disjoint = false;
@@ -106,6 +154,24 @@ LeaseCensus ShardCluster::lease_census(std::span<const Request> log) const {
     census.per_shard[s].sessions = shard_sessions[s].size();
   }
   return census;
+}
+
+LeaseCensus ShardCluster::lease_census(std::span<const Request> log) const {
+  std::vector<std::size_t> primary(log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    primary[i] = router_.route(log[i].session);
+  }
+  return census_of(log, primary, primary);
+}
+
+LeaseCensus ShardCluster::lease_census(
+    std::span<const Request> log,
+    std::span<const std::size_t> executed_by) const {
+  std::vector<std::size_t> primary(log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    primary[i] = router_.route(log[i].session);
+  }
+  return census_of(log, executed_by, primary);
 }
 
 ShardedReplayResult ShardCluster::replay(std::span<const Request> log,
@@ -162,6 +228,135 @@ ShardedReplayResult ShardCluster::replay(std::span<const Request> log,
   return result;
 }
 
+FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
+    std::span<const Request> log, std::size_t parallelism,
+    ClusterTransport* transport, const FaultToleranceConfig& fault_config) {
+  DirectClusterTransport direct;
+  if (transport == nullptr) transport = &direct;
+
+  // Route up front, and index responses by request id so arrivals map
+  // back to their log slot.
+  std::vector<std::size_t> shard_of(log.size());
+  std::map<std::uint64_t, std::size_t> index_of;
+  FaultTolerantReplayResult result;
+  result.per_shard_requests.assign(shard_count(), 0);
+  result.executed_by.assign(log.size(), 0);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    shard_of[i] = router_.route(log[i].session);
+    ++result.per_shard_requests[shard_of[i]];
+    const auto [it, fresh] = index_of.try_emplace(log[i].id, i);
+    (void)it;
+    util::require(fresh, "request ids in a log must be unique");
+  }
+
+  // Precompute the primary-route responses through one BatchRunner; this
+  // is the only place `parallelism` applies -- the fault simulation below
+  // is a single-threaded virtual-clock loop, so its behaviour is a pure
+  // function of (log, config, fault schedule) at any parallelism. A real
+  // shard computes a response on first execution and caches it for
+  // retransmits; precomputing expresses the identical purity statement.
+  std::vector<Response> primary_responses(log.size());
+  const sim::BatchRunner runner(parallelism);
+  runner.run(log.size(), [&](std::size_t i) {
+    primary_responses[i] = services_[shard_of[i]]->execute(log[i]);
+  });
+
+  RetryTracker tracker(fault_config.retry);
+  FailureDetector detector(fault_config.detector, shard_count());
+  ResultMerger merger;
+  std::vector<std::uint64_t> next_heartbeat(shard_count(), 0);
+  std::vector<std::uint64_t> next_sequence(shard_count(), 0);
+
+  // Dispatch = (re)transmit one request slot to the best shard the
+  // coordinator currently believes is alive. Failover lives here: when
+  // the detector declared the primary down, the work goes to the first
+  // surviving peer -- which executes it live with the request's own
+  // run-id lease, so the rerouted response is bitwise identical.
+  const auto dispatch = [&](std::size_t index) {
+    (void)tracker.dispatched(index, transport->now());
+    const std::size_t primary = shard_of[index];
+    const std::size_t target = detector.route_around(primary);
+    if (target != primary) ++result.faults.reroutes;
+    transport->send_work(WorkEnvelope{target, static_cast<std::uint64_t>(index)});
+  };
+
+  for (std::size_t i = 0; i < log.size(); ++i) dispatch(i);
+
+  while (merger.merged() < log.size()) {
+    util::ensure(transport->now() <= fault_config.max_ticks,
+                 "fault schedule starved the replay: virtual-time ceiling "
+                 "exceeded before every response merged");
+
+    // Shard side: live shards emit heartbeats on their cadence. Crashed
+    // shards stay silent, which is exactly the evidence the detector
+    // turns into a failover.
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      if (!transport->shard_up(s)) continue;
+      if (transport->now() >= next_heartbeat[s]) {
+        transport->send_heartbeat(
+            HeartbeatEnvelope{s, transport->now()});
+        ++result.faults.heartbeats;
+        next_heartbeat[s] =
+            transport->now() + detector.config().heartbeat_interval_ticks;
+      }
+    }
+
+    // Shard side: matured work arrivals execute. Work addressed to a
+    // crashed shard is lost with it (the retry deadline recovers the
+    // request). Re-execution is harmless: any shard's execution of
+    // request r is bitwise identical, and the merger dedups.
+    WorkEnvelope work;
+    while (transport->poll_work(work)) {
+      if (!transport->shard_up(work.shard)) continue;
+      const std::size_t index = static_cast<std::size_t>(work.work_id);
+      ++result.faults.executions;
+      ResponseEnvelope envelope;
+      envelope.shard = work.shard;
+      envelope.sequence = next_sequence[work.shard]++;
+      envelope.response = work.shard == shard_of[index]
+                              ? primary_responses[index]
+                              : services_[work.shard]->execute(log[index]);
+      transport->send(std::move(envelope));
+    }
+
+    // Coordinator side: fold in liveness evidence, then sweep timeouts.
+    HeartbeatEnvelope heartbeat;
+    while (transport->poll_heartbeat(heartbeat)) {
+      detector.heartbeat(heartbeat.shard, transport->now());
+    }
+    detector.update(transport->now());
+
+    // Coordinator side: merge matured responses; completion cancels the
+    // pending retry.
+    ResponseEnvelope envelope;
+    while (transport->poll_ready(envelope)) {
+      if (merger.accept(envelope)) {
+        const std::size_t index = index_of.at(envelope.response.request_id);
+        result.executed_by[index] = envelope.shard;
+        tracker.completed(index);
+      }
+    }
+
+    // Retransmit everything past its deadline (capped exponential
+    // backoff; throws once a request exhausts its attempt budget).
+    for (const std::size_t index : tracker.expired(transport->now())) {
+      dispatch(index);
+    }
+
+    transport->advance(1);
+  }
+
+  result.faults.dispatches = tracker.dispatches();
+  result.faults.retries = tracker.retries();
+  result.faults.messages_dropped = transport->dropped();
+  result.faults.shard_failovers = detector.failovers();
+  result.faults.shard_rejoins = detector.rejoins();
+  result.faults.final_tick = transport->now();
+  result.merge = merger.stats();
+  result.responses = merger.finish(log.size());
+  return result;
+}
+
 void ShardCluster::start(ResultSink* sink) {
   util::require(!running_, "cluster is already running");
   util::require(!live_used_,
@@ -190,6 +385,13 @@ Admission ShardCluster::submit_wait(Request request) {
       std::move(request));
 }
 
+Admission ShardCluster::submit_wait_for(Request request,
+                                        std::chrono::nanoseconds timeout) {
+  util::require(running_, "cluster is not running");
+  return schedulers_[router_.route(request.session)]->submit_wait_for(
+      std::move(request), timeout);
+}
+
 void ShardCluster::drain_and_stop() {
   if (!running_) return;
   for (const std::unique_ptr<Scheduler>& scheduler : schedulers_) {
@@ -210,6 +412,14 @@ PriorityTelemetry ShardCluster::telemetry(Priority priority) const {
   PriorityTelemetry merged;
   for (const std::unique_ptr<Scheduler>& scheduler : schedulers_) {
     merged.merge(scheduler->telemetry(priority));
+  }
+  return merged;
+}
+
+QueueStats ShardCluster::queue_stats() const {
+  QueueStats merged;
+  for (const std::unique_ptr<Scheduler>& scheduler : schedulers_) {
+    merged.merge(scheduler->queue_stats());
   }
   return merged;
 }

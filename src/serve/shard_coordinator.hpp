@@ -20,10 +20,23 @@
 /// parallelism, and under any at-least-once transport fault schedule
 /// (message reorder, delay, duplication), which tests/netsim/ proves.
 ///
+/// Fault tolerance (the PR 7 extension): replay_fault_tolerant() survives
+/// *loss* as well -- per-message drops, shard crash/restart windows and
+/// bidirectional partitions -- by combining a virtual-clock retry policy
+/// (serve/retry.hpp), heartbeat failure detection with failover rerouting
+/// (serve/failure_detector.hpp) and the merger's request-id dedup. The
+/// purity argument makes every recovery action safe: a retransmitted or
+/// failed-over execution of request r is bitwise identical to the
+/// original, because r's run-id lease belongs to r, not to any shard. The
+/// merged hostile replay is therefore STILL bitwise identical to fault-
+/// free single-node execution, and the lease census proves run-id
+/// ownership stayed disjoint even after rerouting.
+///
 /// Merge contract: the global log is the request-id-sorted set of unique
 /// responses -- the same canonical order CsvResultSink writes -- with
-/// duplicates dropped by first arrival and loss detected loudly
-/// (ResultMerger::finish throws when responses are missing).
+/// duplicates counted (never silently swallowed) and dropped by first
+/// arrival, and loss detected loudly (ResultMerger::finish throws when
+/// responses are missing).
 #pragma once
 
 #include <atomic>
@@ -33,8 +46,10 @@
 #include <span>
 #include <vector>
 
+#include "serve/failure_detector.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/result_sink.hpp"
+#include "serve/retry.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/service.hpp"
 #include "serve/shard_router.hpp"
@@ -44,11 +59,16 @@ namespace idp::serve {
 
 /// Observability of one merge pass.
 struct MergeStats {
-  std::uint64_t delivered = 0;          ///< envelopes accepted by the merger
-  std::uint64_t duplicates_dropped = 0; ///< redeliveries of an already-merged id
-  /// Largest per-shard sequence inversion observed at arrival: how far
-  /// behind its shard's newest-seen sequence a message arrived. 0 on an
-  /// in-order transport.
+  std::uint64_t delivered = 0;       ///< envelopes accepted by the merger
+  /// Redeliveries of an already-merged request id (transport duplicates
+  /// and retransmits). Counted explicitly: first arrival wins on content,
+  /// but the *event* is never swallowed silently.
+  std::uint64_t duplicates_seen = 0;
+  /// Largest per-shard sequence inversion observed across *fresh*
+  /// arrivals: how far behind its shard's newest-seen sequence a
+  /// first-delivery arrived. Duplicates are skipped -- a late redelivery
+  /// of an old sequence says nothing about wire reordering of new
+  /// traffic. 0 on an in-order transport.
   std::uint64_t max_reorder_distance = 0;
 };
 
@@ -59,8 +79,9 @@ struct MergeStats {
 /// request-id-ordered log.
 class ResultMerger {
  public:
-  /// Fold one delivered envelope in.
-  void accept(const ResponseEnvelope& envelope);
+  /// Fold one delivered envelope in. Returns true when the envelope was
+  /// fresh (first delivery of its request id), false for a duplicate.
+  bool accept(const ResponseEnvelope& envelope);
 
   /// Responses merged so far (unique request ids).
   std::size_t merged() const { return by_id_.size(); }
@@ -68,9 +89,9 @@ class ResultMerger {
   const MergeStats& stats() const { return stats_; }
 
   /// Finish the merge: requires exactly `expected` unique responses (a
-  /// shortfall means the transport lost messages -- throws instead of
-  /// returning a silently truncated log) and returns them sorted by
-  /// request id.
+  /// shortfall means the transport lost responses and no retry layer
+  /// recovered them -- throws instead of returning a silently truncated
+  /// log) and returns them sorted by request id.
   std::vector<Response> finish(std::size_t expected);
 
  private:
@@ -79,12 +100,39 @@ class ResultMerger {
   MergeStats stats_;
 };
 
+/// Fan-in of K shard result streams into one sink: forwards every
+/// response and telemetry record, and turns K close() calls (one per
+/// draining shard scheduler) into exactly one close of the inner sink --
+/// after the *last* shard finished. Thread-safe; misuse is loud:
+/// forwarding after the last close, or closing more times than there are
+/// shards, throws instead of corrupting the downstream sink.
+class FanInSink final : public ResultSink {
+ public:
+  FanInSink(ResultSink* inner, std::size_t shards);
+
+  void on_response(const Response& response) override;
+  void on_telemetry(const RequestTelemetry& telemetry) override;
+  void close() override;
+
+  /// Shards that have not yet closed their stream.
+  std::size_t open_shards() const {
+    return open_shards_.load(std::memory_order_acquire);
+  }
+
+ private:
+  ResultSink* inner_;
+  std::atomic<std::size_t> open_shards_;
+};
+
 /// Per-shard slice of the serve run-id domains a routed log leases.
 struct ShardLeaseDomain {
-  std::uint64_t requests = 0;    ///< requests routed to this shard
-  std::uint64_t sessions = 0;    ///< distinct sessions routed to this shard
+  std::uint64_t requests = 0;    ///< requests this shard served
+  std::uint64_t sessions = 0;    ///< distinct sessions this shard served
   std::uint64_t first_run_id = 0; ///< smallest leased serve-domain run id
   std::uint64_t last_run_id = 0;  ///< largest leased serve-domain run id
+  /// Requests this shard served on behalf of a crashed/partitioned peer
+  /// (router primary elsewhere). 0 in fault-free operation.
+  std::uint64_t failover_requests = 0;
 };
 
 /// Audit of how a log's run-id leases split across shards.
@@ -92,6 +140,8 @@ struct LeaseCensus {
   std::vector<ShardLeaseDomain> per_shard;
   /// Every serve-domain lease block is owned by exactly one shard (false
   /// would mean duplicate request ids in the log or a routing bug).
+  /// Failover rerouting preserves this by construction: a lease belongs
+  /// to its request id, and each id merges exactly once.
   bool disjoint = true;
 };
 
@@ -111,15 +161,59 @@ struct ShardedReplayResult {
   std::vector<std::size_t> per_shard_requests;
 };
 
+/// Knobs of the fault-tolerant replay path.
+struct FaultToleranceConfig {
+  RetryPolicy retry;
+  FailureDetectorConfig detector;
+  /// Hard ceiling on simulated virtual time: exceeding it means the fault
+  /// schedule starved the replay outright, which throws rather than
+  /// spinning forever.
+  std::uint64_t max_ticks = 1'000'000;
+};
+
+/// Fault-handling observability of one fault-tolerant replay. Every count
+/// is a pure function of (log, configuration, transport fault schedule).
+struct FaultStats {
+  std::uint64_t dispatches = 0;   ///< work sends, initial + retransmit
+  std::uint64_t retries = 0;      ///< dispatches beyond each request's first
+  std::uint64_t reroutes = 0;     ///< dispatches sent to a non-primary shard
+  std::uint64_t executions = 0;   ///< shard-side request executions
+  std::uint64_t heartbeats = 0;   ///< heartbeats emitted by live shards
+  std::uint64_t messages_dropped = 0;  ///< transport loss injections
+  std::uint64_t shard_failovers = 0;   ///< up -> down declarations
+  std::uint64_t shard_rejoins = 0;     ///< down -> up recoveries
+  std::uint64_t final_tick = 0;        ///< virtual completion time
+};
+
+/// Result of one fault-tolerant replay: the merged log (bitwise identical
+/// to the fault-free path) plus what it took to get there.
+struct FaultTolerantReplayResult {
+  std::vector<Response> responses;
+  MergeStats merge;
+  FaultStats faults;
+  /// Primary (router) request counts per shard, as in ShardedReplayResult.
+  std::vector<std::size_t> per_shard_requests;
+  /// Shard whose execution produced each merged response, in log order.
+  /// Differs from the primary route exactly where failover rerouted.
+  std::vector<std::size_t> executed_by;
+};
+
 /// K identically configured service shards behind one router.
 ///
-/// Two modes, mirroring Scheduler:
+/// Three modes, mirroring Scheduler:
 /// - replay(log, parallelism, transport): deterministic merged replay --
 ///   route, execute every request on its shard (fanned out over one
 ///   sim::BatchRunner), stream the per-shard responses through the
 ///   transport (round-robin across shards so streams genuinely
-///   interleave), merge. Default transport is the lossless DirectTransport;
-///   tests substitute the fault-injecting simulated network.
+///   interleave), merge. Default transport is the lossless
+///   DirectTransport; requires at-least-once delivery (no loss).
+/// - replay_fault_tolerant(log, parallelism, transport, config): the
+///   resilient replay -- same guarantees, but over a ClusterTransport
+///   that may drop messages, crash shards and partition links. The
+///   coordinator re-requests past-deadline responses with capped
+///   exponential backoff and reroutes around shards its failure detector
+///   declared down; recovered shards rejoin without re-executing work
+///   that already merged.
 /// - start()/submit()/drain_and_stop(): live mode -- each shard runs its
 ///   own Scheduler over its own bounded priority queue, all fanning into
 ///   one shared sink; submit() routes by session key. Per-priority latency
@@ -142,8 +236,16 @@ class ShardCluster {
   /// Shard a session key routes to.
   std::size_t route(const SessionKey& key) const { return router_.route(key); }
 
-  /// Audit the per-shard run-id sub-domains a log would lease.
+  /// Audit the per-shard run-id sub-domains a log would lease under pure
+  /// router placement (no failover).
   LeaseCensus lease_census(std::span<const Request> log) const;
+
+  /// Audit a *completed* replay: attributes each request's lease block to
+  /// the shard that actually produced its merged response (`executed_by`
+  /// from FaultTolerantReplayResult). Disjointness must survive failover
+  /// rerouting -- leases are keyed by request id, never by shard.
+  LeaseCensus lease_census(std::span<const Request> log,
+                           std::span<const std::size_t> executed_by) const;
 
   // --- deterministic replay -------------------------------------------------
 
@@ -153,6 +255,16 @@ class ShardCluster {
   ShardedReplayResult replay(std::span<const Request> log,
                              std::size_t parallelism = 0,
                              ShardTransport* transport = nullptr);
+
+  /// Fault-tolerant merged replay over a lossy/crashy/partitioned
+  /// transport. The merged responses are bitwise identical to replay()
+  /// and to single-node Scheduler::replay at any parallelism and under
+  /// any seeded fault schedule (tests/netsim/ pins this). `transport`
+  /// nullptr uses the perfect DirectClusterTransport.
+  FaultTolerantReplayResult replay_fault_tolerant(
+      std::span<const Request> log, std::size_t parallelism = 0,
+      ClusterTransport* transport = nullptr,
+      const FaultToleranceConfig& fault_config = {});
 
   // --- live mode ------------------------------------------------------------
 
@@ -167,6 +279,10 @@ class ShardCluster {
   /// Route + blocking admission (backpressure on the owning shard).
   Admission submit_wait(Request request);
 
+  /// Route + bounded-wait admission (kRejectedTimeout once `timeout`
+  /// expires on a full owning-shard queue).
+  Admission submit_wait_for(Request request, std::chrono::nanoseconds timeout);
+
   /// Drain and stop every shard, then close the sink. Idempotent.
   void drain_and_stop();
 
@@ -178,30 +294,16 @@ class ShardCluster {
   /// One priority class's latency account, merged across all shards.
   PriorityTelemetry telemetry(Priority priority) const;
 
- private:
-  /// Forwards every shard scheduler's results into one user sink, closing
-  /// it only after the *last* shard's drain (each Scheduler closes its
-  /// sink; the fan-in turns K closes into one).
-  class FanInSink final : public ResultSink {
-   public:
-    FanInSink(ResultSink* inner, std::size_t shards)
-        : inner_(inner), open_shards_(shards) {}
-    void on_response(const Response& response) override {
-      if (inner_ != nullptr) inner_->on_response(response);
-    }
-    void on_telemetry(const RequestTelemetry& telemetry) override {
-      if (inner_ != nullptr) inner_->on_telemetry(telemetry);
-    }
-    void close() override {
-      if (open_shards_.fetch_sub(1) == 1 && inner_ != nullptr) {
-        inner_->close();
-      }
-    }
+  /// Admission accounting (accepted / rejected / shed / timed out),
+  /// merged across all shard queues. Zeros before start().
+  QueueStats queue_stats() const;
 
-   private:
-    ResultSink* inner_;
-    std::atomic<std::size_t> open_shards_;
-  };
+ private:
+  /// Shared census core: attribute each request's lease block to
+  /// owner_of[i], with `primary` used to flag failover attributions.
+  LeaseCensus census_of(std::span<const Request> log,
+                        std::span<const std::size_t> owner_of,
+                        std::span<const std::size_t> primary) const;
 
   ShardClusterConfig config_;
   ShardRouter router_;

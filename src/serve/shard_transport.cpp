@@ -1,5 +1,6 @@
 /// \file shard_transport.cpp
-/// DirectTransport: the perfect in-order shard message channel.
+/// DirectTransport and DirectClusterTransport: the perfect in-order
+/// shard message channels (lossless reference implementations).
 
 #include "serve/shard_transport.hpp"
 
@@ -17,6 +18,44 @@ bool DirectTransport::poll(ResponseEnvelope& out) {
   out = std::move(pending_.front());
   pending_.pop_front();
   ++delivered_;
+  return true;
+}
+
+void DirectClusterTransport::send(ResponseEnvelope envelope) {
+  ++now_;
+  pending_.push_back(std::move(envelope));
+  ++sent_;
+}
+
+bool DirectClusterTransport::poll(ResponseEnvelope& out) {
+  if (pending_.empty()) return false;
+  out = std::move(pending_.front());
+  pending_.pop_front();
+  ++delivered_;
+  return true;
+}
+
+void DirectClusterTransport::send_work(WorkEnvelope work) {
+  ++now_;
+  work_pending_.push_back(work);
+}
+
+bool DirectClusterTransport::poll_work(WorkEnvelope& out) {
+  if (work_pending_.empty()) return false;
+  out = work_pending_.front();
+  work_pending_.pop_front();
+  return true;
+}
+
+void DirectClusterTransport::send_heartbeat(HeartbeatEnvelope heartbeat) {
+  ++now_;
+  heartbeat_pending_.push_back(heartbeat);
+}
+
+bool DirectClusterTransport::poll_heartbeat(HeartbeatEnvelope& out) {
+  if (heartbeat_pending_.empty()) return false;
+  out = heartbeat_pending_.front();
+  heartbeat_pending_.pop_front();
   return true;
 }
 

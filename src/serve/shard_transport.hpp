@@ -1,19 +1,25 @@
 /// \file shard_transport.hpp
-/// The shard -> coordinator message boundary: response envelopes, the
-/// transport interface the coordinator drains, and the perfect (lossless,
-/// in-order, zero-delay) DirectTransport default.
+/// The shard <-> coordinator message boundary: response envelopes, the
+/// transport interfaces the coordinator drains, and the perfect (lossless,
+/// in-order, zero-delay) defaults.
 ///
 /// The transport is where distribution faults live. A shard stamps every
 /// response with its origin shard and a per-shard send sequence; the
 /// coordinator's merger must reconstruct one deterministic global log from
-/// whatever arrival order the transport produces. The contract the sharded
-/// determinism sweep enforces is *at-least-once, no-loss* delivery:
-/// messages may be arbitrarily reordered, delayed and duplicated (the
-/// simulated network under tests/netsim/ injects exactly those faults from
-/// a seed), but every sent envelope is eventually delivered at least once.
-/// Loss would need an acknowledgement/retransmit layer, which is future
-/// work -- the merger therefore *detects* loss (ResultMerger::finish
-/// throws) rather than silently producing a shorter log.
+/// whatever arrival order the transport produces. Two fault models, two
+/// interfaces:
+///
+/// - ShardTransport (the PR 6 contract): *at-least-once, no-loss*
+///   delivery. Messages may be arbitrarily reordered, delayed and
+///   duplicated, but every sent envelope is eventually delivered at least
+///   once; ResultMerger::finish therefore treats a shortfall as an error.
+/// - ClusterTransport (the fault-tolerance contract): messages MAY BE
+///   LOST -- per-message drops, shard crash/restart windows, bidirectional
+///   partitions. The transport carries three message classes (work
+///   dispatches, responses, heartbeats) on one virtual clock, and the
+///   coordinator compensates with retry (serve/retry.hpp) and failover
+///   (serve/failure_detector.hpp) instead of throwing. The simulated
+///   network under tests/netsim/ injects all of those faults from a seed.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +68,94 @@ class DirectTransport final : public ShardTransport {
 
  private:
   std::deque<ResponseEnvelope> pending_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Coordinator -> shard work dispatch (initial assignment or retransmit).
+struct WorkEnvelope {
+  std::size_t shard = 0;     ///< destination shard
+  std::uint64_t work_id = 0; ///< coordinator-side request slot (log index)
+};
+
+/// Shard -> coordinator liveness beacon.
+struct HeartbeatEnvelope {
+  std::size_t shard = 0;
+  std::uint64_t sent_tick = 0;
+};
+
+/// Virtual-clock transport between the coordinator and its shards for the
+/// fault-tolerant replay path. Carries work dispatches (coordinator ->
+/// shard), responses (shard -> coordinator, via the inherited send/poll
+/// vocabulary) and heartbeats (shard -> coordinator). Unlike the base
+/// ShardTransport contract, any message may be lost.
+///
+/// Clock discipline: every send of any message class advances the virtual
+/// clock by one tick; advance() passes idle ticks. Delayed messages mature
+/// -- become pollable -- only once the clock reaches their delivery tick,
+/// which is what makes retry deadlines meaningful.
+class ClusterTransport : public ShardTransport {
+ public:
+  /// Current virtual tick.
+  virtual std::uint64_t now() const = 0;
+
+  /// Let `ticks` of idle virtual time pass (delayed messages mature).
+  virtual void advance(std::uint64_t ticks) = 0;
+
+  /// Coordinator -> shard: dispatch (or retransmit) one request slot.
+  virtual void send_work(WorkEnvelope work) = 0;
+
+  /// Next matured work arrival; false when none has matured yet.
+  virtual bool poll_work(WorkEnvelope& out) = 0;
+
+  /// Shard -> coordinator liveness beacon.
+  virtual void send_heartbeat(HeartbeatEnvelope heartbeat) = 0;
+
+  /// Next matured heartbeat arrival.
+  virtual bool poll_heartbeat(HeartbeatEnvelope& out) = 0;
+
+  /// Next matured response arrival. Unlike poll() -- which drains the
+  /// backlog regardless of delivery tick for the lossless replay path --
+  /// this respects the virtual clock.
+  virtual bool poll_ready(ResponseEnvelope& out) = 0;
+
+  /// Whether `shard` is executing at the current tick (its crash/restart
+  /// schedule). This is *shard-side* knowledge: the cluster's shard
+  /// simulation consults it to decide whether work executes and
+  /// heartbeats are emitted. The coordinator's failover decisions must
+  /// rely on the FailureDetector (i.e. on heartbeat arrivals) alone.
+  virtual bool shard_up(std::size_t shard) const = 0;
+
+  /// Messages lost so far across all classes (drop + partition injection).
+  virtual std::uint64_t dropped() const = 0;
+};
+
+/// The ideal cluster transport: FIFO, lossless, zero-delay, no crashes,
+/// no partitions. The fault-tolerant replay over this transport is the
+/// reference the hostile simulated network is compared against, and the
+/// default when no transport is supplied.
+class DirectClusterTransport final : public ClusterTransport {
+ public:
+  void send(ResponseEnvelope envelope) override;
+  bool poll(ResponseEnvelope& out) override;
+  std::uint64_t sent() const override { return sent_; }
+  std::uint64_t delivered() const override { return delivered_; }
+
+  std::uint64_t now() const override { return now_; }
+  void advance(std::uint64_t ticks) override { now_ += ticks; }
+  void send_work(WorkEnvelope work) override;
+  bool poll_work(WorkEnvelope& out) override;
+  void send_heartbeat(HeartbeatEnvelope heartbeat) override;
+  bool poll_heartbeat(HeartbeatEnvelope& out) override;
+  bool poll_ready(ResponseEnvelope& out) override { return poll(out); }
+  bool shard_up(std::size_t) const override { return true; }
+  std::uint64_t dropped() const override { return 0; }
+
+ private:
+  std::deque<ResponseEnvelope> pending_;
+  std::deque<WorkEnvelope> work_pending_;
+  std::deque<HeartbeatEnvelope> heartbeat_pending_;
+  std::uint64_t now_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
 };

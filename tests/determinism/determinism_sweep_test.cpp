@@ -1,11 +1,13 @@
 /// \file determinism_sweep_test.cpp
 /// The unified bitwise-determinism sweep: one parameterized test drives the
-/// six parallel workloads -- multiplexed panel scan, design-space
+/// seven parallel workloads -- multiplexed panel scan, design-space
 /// explorer, calibration campaigns, the longitudinal cohort (with
 /// degradation + adaptive recalibration active), the diagnostics
 /// service (a replayed mixed request log with degradation + scheduled
-/// recalibration epochs) and the 2-shard cluster replay merged across the
-/// fault-injecting simulated network -- across 5 seeds at parallelism {1, 2, hardware}
+/// recalibration epochs), the 2-shard cluster replay merged across the
+/// fault-injecting simulated network, and the fault-tolerant replay
+/// recovering from loss/crash/partition schedules via retry + failover
+/// -- across 5 seeds at parallelism {1, 2, hardware}
 /// and asserts digest equality against the sequential run. This replaces the per-subsystem copy-pasted
 /// determinism tests; the shared scaffolding lives in
 /// tests/common/determinism.hpp.
@@ -230,6 +232,62 @@ std::uint64_t sharded_digest(std::uint64_t seed, std::size_t parallelism) {
   return d.value();
 }
 
+std::uint64_t faulted_digest(std::uint64_t seed, std::size_t parallelism) {
+  // The fault-tolerance acceptance criterion: the sharded workload again,
+  // but through the *lossy* replay path -- drops, a shard crash window
+  // and a partition in the schedule -- recovered by retry + failover. The
+  // fault schedule's seed varies with the parallelism level, so digest
+  // equality across levels ALSO proves the merged log is invariant to
+  // loss, crash and partition schedules -- not just to thread scheduling.
+  quant::CampaignConfig campaign;
+  campaign.seed = 626262;
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = seed;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.05;
+  aging.enzyme_decay_per_day = 0.02;
+  aging.seed = seed ^ 0x5e47e;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration_interval_days = 4.0;
+
+  serve::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.sessions = 6;
+  traffic.seed = 11;  // one fixed log; the *service* seed varies
+  traffic.duration_h = 9.0 * 24.0;
+
+  serve::ShardClusterConfig cluster_config;
+  cluster_config.router.shards = 2;
+  serve::ShardCluster cluster(store, config, cluster_config);
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(traffic, cluster.shard(0));
+
+  test::SimNetConfig net;
+  net.seed = seed ^ (0xfa017ULL + parallelism);  // hostile: varies per level
+  net.max_delay_ticks = 24;
+  net.duplicate_prob = 0.10;
+  net.drop_prob = 0.05;
+  net.crashes = {{.shard = cluster.route(log[0].session),
+                  .from_tick = 10,
+                  .until_tick = 300}};
+  net.partitions = {{.shard = 1 - cluster.route(log[0].session),
+                     .from_tick = 350,
+                     .until_tick = 520}};
+  test::SimNetTransport transport(net);
+
+  const std::vector<serve::Response> responses =
+      cluster.replay_fault_tolerant(log, parallelism, &transport).responses;
+  test::BitDigest d;
+  test::fold(d, std::span<const serve::Response>(responses));
+  return d.value();
+}
+
 // --- the parameterized sweep ------------------------------------------------
 
 struct Workload {
@@ -262,7 +320,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Workload{"campaign", campaign_digest},
                       Workload{"cohort", cohort_digest},
                       Workload{"serve", serve_digest},
-                      Workload{"sharded", sharded_digest}),
+                      Workload{"sharded", sharded_digest},
+                      Workload{"faulted", faulted_digest}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 }  // namespace

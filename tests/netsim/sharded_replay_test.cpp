@@ -132,7 +132,7 @@ TEST_P(ShardedReplay, MergedLogIsBitwiseIdenticalToSingleNodeUnderFaults) {
                                 std::size_t{0}),
                 log.size());
       EXPECT_GE(result.merge.delivered, log.size());
-      duplicates_seen += result.merge.duplicates_dropped;
+      duplicates_seen += result.merge.duplicates_seen;
       reorder_seen += result.merge.max_reorder_distance;
     }
   }

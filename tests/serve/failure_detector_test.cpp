@@ -1,0 +1,104 @@
+/// \file failure_detector_test.cpp
+/// FailureDetector properties: grace period, timeout-driven down
+/// declarations, heartbeat rejoin, cyclic failover routing, and the
+/// flap-guard configuration validation.
+
+#include "serve/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace idp {
+namespace {
+
+using serve::FailureDetector;
+using serve::FailureDetectorConfig;
+using serve::ShardHealth;
+
+FailureDetectorConfig timing(std::uint64_t interval, std::uint64_t timeout) {
+  FailureDetectorConfig config;
+  config.heartbeat_interval_ticks = interval;
+  config.timeout_ticks = timeout;
+  return config;
+}
+
+TEST(FailureDetector, ValidatesConfiguration) {
+  EXPECT_THROW(FailureDetector(timing(16, 96), 0), std::invalid_argument);
+  EXPECT_THROW(FailureDetector(timing(0, 96), 2), std::invalid_argument);
+  // A timeout within one heartbeat interval would flap healthy shards.
+  EXPECT_THROW(FailureDetector(timing(16, 16), 2), std::invalid_argument);
+}
+
+TEST(FailureDetector, GracePeriodThenTimeoutThenRejoin) {
+  FailureDetector detector(timing(16, 96), 2);
+
+  // Grace: every shard counts as heard-from at tick 0.
+  detector.update(96);
+  EXPECT_EQ(detector.health(0), ShardHealth::kUp);
+  EXPECT_EQ(detector.up_count(), 2u);
+  EXPECT_EQ(detector.failovers(), 0u);
+
+  // Shard 1 stays chatty, shard 0 goes silent past the timeout.
+  detector.heartbeat(1, 90);
+  detector.update(97);
+  EXPECT_EQ(detector.health(0), ShardHealth::kDown);
+  EXPECT_EQ(detector.health(1), ShardHealth::kUp);
+  EXPECT_EQ(detector.up_count(), 1u);
+  EXPECT_EQ(detector.failovers(), 1u);
+
+  // A repeated sweep must not double-count the same outage.
+  detector.update(150);
+  EXPECT_EQ(detector.failovers(), 1u);
+
+  // Positive evidence rejoins immediately.
+  detector.heartbeat(0, 250);
+  detector.heartbeat(1, 250);
+  EXPECT_EQ(detector.health(0), ShardHealth::kUp);
+  EXPECT_EQ(detector.rejoins(), 1u);
+  detector.update(300);
+  EXPECT_EQ(detector.health(0), ShardHealth::kUp);
+  EXPECT_EQ(detector.failovers(), 1u);
+}
+
+TEST(FailureDetector, LateHeartbeatsNeverRegressLiveness) {
+  FailureDetector detector(timing(16, 96), 1);
+  detector.heartbeat(0, 500);
+  detector.heartbeat(0, 100);  // delayed duplicate from the past
+  detector.update(590);
+  EXPECT_EQ(detector.health(0), ShardHealth::kUp)
+      << "a stale heartbeat rewound the freshness clock";
+}
+
+TEST(FailureDetector, RouteAroundScansCyclicallyForTheFirstUpShard) {
+  FailureDetector detector(timing(16, 96), 4);
+  EXPECT_EQ(detector.route_around(2), 2u) << "an up primary keeps its work";
+
+  // Down 2 and 3: work for either lands on 0 (cyclic wrap).
+  detector.heartbeat(0, 100);
+  detector.heartbeat(1, 100);
+  detector.update(100);
+  EXPECT_EQ(detector.health(2), ShardHealth::kDown);
+  EXPECT_EQ(detector.health(3), ShardHealth::kDown);
+  EXPECT_EQ(detector.route_around(2), 0u)
+      << "failover must scan cyclically from the primary";
+  EXPECT_EQ(detector.route_around(3), 0u);
+  EXPECT_EQ(detector.route_around(1), 1u);
+}
+
+TEST(FailureDetector, AllShardsDownKeepsKnockingOnThePrimary) {
+  FailureDetector detector(timing(16, 96), 3);
+  detector.update(1000);
+  EXPECT_EQ(detector.up_count(), 0u);
+  EXPECT_EQ(detector.route_around(1), 1u)
+      << "with nowhere to fail over, retries stay on the primary";
+}
+
+TEST(FailureDetector, HealthNamesAreStable) {
+  EXPECT_EQ(std::string(serve::to_string(ShardHealth::kUp)), "up");
+  EXPECT_EQ(std::string(serve::to_string(ShardHealth::kDown)), "down");
+}
+
+}  // namespace
+}  // namespace idp

@@ -1,0 +1,112 @@
+/// \file fan_in_sink_test.cpp
+/// FanInSink properties: K concurrent shard streams fan into one inner
+/// sink, the K'th close closes it exactly once, and misuse (over-close,
+/// write after the last close) throws instead of corrupting the sink.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/shard_coordinator.hpp"
+
+namespace idp {
+namespace {
+
+/// Thread-safe counting sink: the fan-in forwards concurrently from many
+/// shard workers, so the counters are atomic.
+class CountingSink final : public serve::ResultSink {
+ public:
+  void on_response(const serve::Response&) override {
+    ASSERT_EQ(closes_.load(), 0u) << "response forwarded into a closed sink";
+    responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_telemetry(const serve::RequestTelemetry&) override {
+    telemetry_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void close() override { closes_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::uint64_t responses() const { return responses_.load(); }
+  std::uint64_t telemetry() const { return telemetry_.load(); }
+  std::uint64_t closes() const { return closes_.load(); }
+
+ private:
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> telemetry_{0};
+  std::atomic<std::uint64_t> closes_{0};
+};
+
+TEST(FanInSink, RequiresAtLeastOneShardStream) {
+  CountingSink inner;
+  EXPECT_THROW(serve::FanInSink(&inner, 0), std::invalid_argument);
+}
+
+TEST(FanInSink, CountdownClosesTheInnerSinkExactlyOnce) {
+  CountingSink inner;
+  serve::FanInSink fan(&inner, 3);
+  EXPECT_EQ(fan.open_shards(), 3u);
+
+  fan.close();
+  fan.close();
+  EXPECT_EQ(inner.closes(), 0u) << "closed before the last shard finished";
+  EXPECT_EQ(fan.open_shards(), 1u);
+  fan.close();
+  EXPECT_EQ(inner.closes(), 1u);
+  EXPECT_EQ(fan.open_shards(), 0u);
+}
+
+TEST(FanInSink, OverCloseAndWriteAfterCloseThrow) {
+  CountingSink inner;
+  serve::FanInSink fan(&inner, 1);
+  fan.close();
+  EXPECT_THROW(fan.close(), std::invalid_argument)
+      << "an extra close must not wrap the countdown";
+  EXPECT_THROW(fan.on_response(serve::Response{}), std::invalid_argument);
+  EXPECT_THROW(fan.on_telemetry(serve::RequestTelemetry{}),
+               std::invalid_argument);
+  EXPECT_EQ(inner.closes(), 1u);
+}
+
+TEST(FanInSink, ToleratesANullInnerSink) {
+  serve::FanInSink fan(nullptr, 2);
+  fan.on_response(serve::Response{});
+  fan.on_telemetry(serve::RequestTelemetry{});
+  fan.close();
+  fan.close();
+  EXPECT_EQ(fan.open_shards(), 0u);
+}
+
+TEST(FanInSink, ConcurrentShardStreamsAllArriveAndCloseOnce) {
+  // K threads, each playing one shard's scheduler: write a burst of
+  // responses + telemetry, then close its stream. Run the whole drill
+  // many times -- the single-close property is a race unless the
+  // countdown is correct.
+  constexpr std::size_t kShards = 8;
+  constexpr std::uint64_t kPerShard = 200;
+  for (int round = 0; round < 20; ++round) {
+    CountingSink inner;
+    serve::FanInSink fan(&inner, kShards);
+    std::vector<std::thread> shards;
+    shards.reserve(kShards);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      shards.emplace_back([&fan] {
+        for (std::uint64_t i = 0; i < kPerShard; ++i) {
+          fan.on_response(serve::Response{});
+          fan.on_telemetry(serve::RequestTelemetry{});
+        }
+        fan.close();
+      });
+    }
+    for (std::thread& t : shards) t.join();
+    EXPECT_EQ(inner.responses(), kShards * kPerShard);
+    EXPECT_EQ(inner.telemetry(), kShards * kPerShard);
+    EXPECT_EQ(inner.closes(), 1u);
+    EXPECT_EQ(fan.open_shards(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace idp

@@ -88,6 +88,13 @@ ConcurrentRunResult run_concurrent(std::uint64_t seed, std::size_t producers,
           case Admission::kRejectedClosed:
             ADD_FAILURE() << "queue closed while producers were live";
             break;
+          case Admission::kRejectedShed:
+          case Admission::kRejectedTimeout:
+            // This drill configures no shed watermarks and never uses
+            // bounded waits.
+            ADD_FAILURE() << "unexpected admission outcome: "
+                          << to_string(admission);
+            break;
         }
       }
     });

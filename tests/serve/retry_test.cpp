@@ -1,0 +1,109 @@
+/// \file retry_test.cpp
+/// RetryPolicy / RetryTracker properties: capped exponential backoff with
+/// overflow safety, deadline bookkeeping on the virtual clock, completion
+/// cancelling pending retries, and the attempt budget failing loudly.
+
+#include "serve/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace idp {
+namespace {
+
+using serve::RetryPolicy;
+using serve::RetryTracker;
+
+TEST(RetryPolicy, BackoffDoublesFromTimeoutAndCaps) {
+  RetryPolicy policy;
+  policy.response_timeout_ticks = 100;
+  policy.max_backoff_ticks = 1000;
+  EXPECT_EQ(serve::backoff_ticks(policy, 0), 100u);
+  EXPECT_EQ(serve::backoff_ticks(policy, 1), 200u);
+  EXPECT_EQ(serve::backoff_ticks(policy, 2), 400u);
+  EXPECT_EQ(serve::backoff_ticks(policy, 3), 800u);
+  EXPECT_EQ(serve::backoff_ticks(policy, 4), 1000u) << "cap must clamp";
+  EXPECT_EQ(serve::backoff_ticks(policy, 5), 1000u);
+}
+
+TEST(RetryPolicy, BackoffIsOverflowSafeAtAbsurdAttemptCounts) {
+  RetryPolicy policy;
+  policy.response_timeout_ticks = 1;
+  policy.max_backoff_ticks = 1ULL << 62;
+  // 2^200 would wrap a shift-based implementation; the cap must hold.
+  EXPECT_EQ(serve::backoff_ticks(policy, 200), policy.max_backoff_ticks);
+}
+
+TEST(RetryPolicy, RejectsDegenerateConfigurations) {
+  RetryPolicy zero_timeout;
+  zero_timeout.response_timeout_ticks = 0;
+  EXPECT_THROW(serve::backoff_ticks(zero_timeout, 0), std::invalid_argument);
+
+  RetryPolicy cap_below_timeout;
+  cap_below_timeout.response_timeout_ticks = 100;
+  cap_below_timeout.max_backoff_ticks = 50;
+  EXPECT_THROW(serve::backoff_ticks(cap_below_timeout, 0),
+               std::invalid_argument);
+  EXPECT_THROW(RetryTracker{cap_below_timeout}, std::invalid_argument);
+
+  RetryPolicy no_attempts;
+  no_attempts.max_attempts = 0;
+  EXPECT_THROW(RetryTracker{no_attempts}, std::invalid_argument);
+}
+
+TEST(RetryTracker, DeadlinesFireOnTheVirtualClockWithBackoff) {
+  RetryPolicy policy;
+  policy.response_timeout_ticks = 96;
+  policy.max_backoff_ticks = 1024;
+  RetryTracker tracker(policy);
+
+  EXPECT_EQ(tracker.dispatched(0, 0), 0u);
+  EXPECT_EQ(tracker.outstanding(), 1u);
+  EXPECT_TRUE(tracker.expired(95).empty()) << "deadline fired early";
+  const std::vector<std::size_t> first = tracker.expired(96);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], 0u);
+
+  // The retransmit's deadline backs off: 96 + 192.
+  EXPECT_EQ(tracker.dispatched(0, 96), 1u);
+  EXPECT_TRUE(tracker.expired(287).empty());
+  EXPECT_EQ(tracker.expired(288).size(), 1u);
+
+  EXPECT_EQ(tracker.dispatches(), 2u);
+  EXPECT_EQ(tracker.retries(), 1u);
+}
+
+TEST(RetryTracker, CompletionCancelsPendingRetries) {
+  RetryTracker tracker(RetryPolicy{});
+  tracker.dispatched(7, 0);
+  tracker.dispatched(8, 0);
+  tracker.completed(7);
+  tracker.completed(7);  // duplicate deliveries complete idempotently
+  EXPECT_EQ(tracker.outstanding(), 1u);
+
+  // Request 7's stale deadline must not resurrect it.
+  const std::vector<std::size_t> expired = tracker.expired(1'000'000);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 8u);
+  tracker.completed(8);
+  EXPECT_EQ(tracker.outstanding(), 0u);
+  EXPECT_TRUE(tracker.expired(2'000'000).empty());
+}
+
+TEST(RetryTracker, ExhaustedAttemptBudgetFailsLoudly) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  RetryTracker tracker(policy);
+  tracker.dispatched(0, 0);
+  tracker.dispatched(0, 100);
+  EXPECT_THROW(tracker.dispatched(0, 200), util::Error)
+      << "an undeliverable request must error, never retry forever";
+}
+
+}  // namespace
+}  // namespace idp
