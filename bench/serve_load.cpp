@@ -18,6 +18,8 @@
 
 #include "bench_common.hpp"
 #include "netsim/sim_network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/shard_coordinator.hpp"
 #include "serve/traffic.hpp"
@@ -65,13 +67,16 @@ void report_priority_latency(benchmark::State& state,
     const std::string prefix = serve::to_string(priority);
     state.counters[prefix + "_served"] +=
         static_cast<double>(t.completed);
-    const std::pair<const char*, double> quantiles[] = {
-        {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}};
-    for (const auto& [tag, q] : quantiles) {
-      state.counters[prefix + "_queue_" + std::string(tag) + "_ms"] =
-          1e3 * t.queue_wait.percentile(q);
-      state.counters[prefix + "_service_" + std::string(tag) + "_ms"] =
-          1e3 * t.service_time.percentile(q);
+    // One canonical summary row per histogram (the same count/min/max/
+    // p50/p90/p99 schema the metrics registry and telemetry CSVs export).
+    const std::pair<const char*, util::LatencySummary> series[] = {
+        {"queue", t.queue_wait.summary()},
+        {"service", t.service_time.summary()}};
+    for (const auto& [tag, summary] : series) {
+      const std::string base = prefix + "_" + std::string(tag) + "_";
+      state.counters[base + "p50_ms"] = 1e3 * summary.p50;
+      state.counters[base + "p90_ms"] = 1e3 * summary.p90;
+      state.counters[base + "p99_ms"] = 1e3 * summary.p99;
     }
   }
 }
@@ -150,6 +155,52 @@ BENCHMARK(BM_ServeReplay)
     ->Arg(4)
     ->Arg(0)
     ->ArgName("parallelism")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Observability tax: the deterministic replay with the full observability
+/// stack attached (TraceRecorder spans from every lease/execution/epoch
+/// event plus service-level metrics counters) against the bare replay.
+/// Target: the observed run stays within 5% of the bare run's wall time
+/// -- compare the two variants' real_time in BENCH_serve.json.
+void BM_ObsOverhead(benchmark::State& state) {
+  static quant::CalibrationStore store(bench_campaign());
+  static const std::vector<serve::Request> log = [] {
+    serve::DiagnosticsService reference(store, bench_service_config());
+    serve::TrafficSpec spec = bench_traffic(512);
+    spec.sessions = 128;
+    return serve::synthesize_traffic(spec, reference);
+  }();
+
+  const bool observed = state.range(0) != 0;
+  serve::DiagnosticsService service(store, bench_service_config());
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  if (observed) {
+    service.set_trace(&trace);
+    service.set_metrics(&metrics);
+  }
+  serve::Scheduler scheduler(service);
+  std::size_t responses = 0;
+  for (auto _ : state) {
+    if (observed) trace.clear();  // clearing is part of the tracing cost
+    const std::vector<serve::Response> out = scheduler.replay(log, 0);
+    responses += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  if (observed) {
+    state.counters["trace_events"] = static_cast<double>(trace.size());
+    state.counters["metric_series"] = static_cast<double>(metrics.size());
+  }
+  state.SetLabel(std::string("512-request log, hw parallelism, ") +
+                 (observed ? "trace + metrics attached (<5% target)"
+                           : "bare replay"));
+}
+BENCHMARK(BM_ObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("observed")
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

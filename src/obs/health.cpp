@@ -1,0 +1,275 @@
+/// \file health.cpp
+/// Feature extraction, the rule classifier, health scoring and the ranked
+/// fleet report.
+
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "quant/drift.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace idp::obs {
+
+const char* to_string(RootCause cause) {
+  switch (cause) {
+    case RootCause::kHealthy: return "healthy";
+    case RootCause::kNetworkFault: return "network_fault";
+    case RootCause::kInterferenceStorm: return "interference_storm";
+    case RootCause::kReferenceDrift: return "reference_drift";
+    case RootCause::kAfeDrift: return "afe_drift";
+    case RootCause::kFouling: return "fouling";
+    case RootCause::kEnzymeDecay: return "enzyme_decay";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Least-squares slope of y against t; 0 when the series is too short or
+/// the time axis degenerate (linear_fit would throw).
+double slope_of(std::span<const double> t, std::span<const double> y) {
+  if (t.size() < 2) return 0.0;
+  if (util::max_value(t) == util::min_value(t)) return 0.0;
+  return util::linear_fit(t, y).slope;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void publish_drift(MetricsRegistry& registry,
+                   const quant::DriftDetector& detector,
+                   const MetricLabels& labels) {
+  registry.gauge("quant.drift.ewma", labels).set(detector.ewma());
+  registry.gauge("quant.drift.cusum", labels).set(detector.cusum());
+  registry.gauge("quant.drift.cusum_pos", labels)
+      .set(detector.cusum_positive());
+  registry.gauge("quant.drift.cusum_neg", labels)
+      .set(detector.cusum_negative());
+  registry.counter("quant.drift.observations", labels)
+      .set(detector.observation_count());
+}
+
+SensorHealthFeatures extract_features(std::span<const QcObservation> series,
+                                      const NetworkFeatures& network,
+                                      const HealthThresholds& thresholds) {
+  SensorHealthFeatures f;
+  f.network = network;
+  f.observations = series.size();
+  if (series.empty()) return f;
+
+  std::vector<QcObservation> obs(series.begin(), series.end());
+  std::sort(obs.begin(), obs.end(),
+            [](const QcObservation& a, const QcObservation& b) {
+              return std::tie(a.age_days, a.blank_residual,
+                              a.standard_residual) <
+                     std::tie(b.age_days, b.blank_residual,
+                              b.standard_residual);
+            });
+
+  const std::size_t n = obs.size();
+  std::vector<double> t(n), blank(n), standard(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = obs[i].age_days;
+    blank[i] = obs[i].blank_residual;
+    standard[i] = obs[i].standard_residual;
+  }
+  f.duration_days = t.back() - t.front();
+
+  f.blank_mean = util::mean(blank);
+  f.blank_trend = slope_of(t, blank);
+  const double blank_median = util::median(blank);
+  for (double b : blank) {
+    if (std::fabs(b - blank_median) > thresholds.blank_spike_sigma) {
+      f.blank_spikes += 1.0;
+    }
+  }
+
+  f.standard_mean = util::mean(standard);
+  f.standard_trend = slope_of(t, standard);
+
+  // Total attenuation: how far the standard residual fell from the first
+  // to the last quarter of the deployment (positive = signal loss).
+  const std::size_t quarter = std::max<std::size_t>(1, n / 4);
+  const double early =
+      util::mean(std::span<const double>(standard.data(), quarter));
+  const double late = util::mean(std::span<const double>(
+      standard.data() + (n - quarter), quarter));
+  f.standard_drop = early - late;
+
+  // Trajectory curvature: the residual series is an affine image of the
+  // attenuation curve, so the normalised late-minus-early slope difference
+  // is scale-free -- ~0.3 for exp(-k*age), ~0.6+ for 1/(1+f*age) at
+  // comparable total attenuation over a deployment.
+  if (n >= 4) {
+    const std::size_t half = n / 2;
+    const double early_slope =
+        slope_of(std::span<const double>(t.data(), half),
+                 std::span<const double>(standard.data(), half));
+    const double late_slope =
+        slope_of(std::span<const double>(t.data() + half, n - half),
+                 std::span<const double>(standard.data() + half, n - half));
+    const double overall = f.standard_trend;
+    if (std::fabs(overall) > 1e-12) {
+      f.curvature = (late_slope - early_slope) / std::fabs(overall);
+    }
+  }
+
+  // Random-walk volatility: stddev of consecutive differences. A ramp
+  // contributes a constant difference (zero spread); a day-to-day random
+  // walk contributes its step sigma.
+  if (n >= 3) {
+    std::vector<double> diffs;
+    diffs.reserve(n - 1);
+    for (std::size_t i = 1; i < n; ++i) {
+      diffs.push_back(standard[i] - standard[i - 1]);
+    }
+    f.volatility = util::stddev(diffs);
+  }
+
+  quant::DriftDetector detector;
+  for (double s : standard) detector.observe(s);
+  f.ewma = detector.ewma();
+  f.cusum = detector.cusum();
+  return f;
+}
+
+RootCause classify(const SensorHealthFeatures& f,
+                   const HealthThresholds& thr) {
+  // Fixed-order tree, most external cause first: network evidence is
+  // independent of sensor chemistry, storms mask everything below them,
+  // and only an un-shifted, quiet baseline lets attenuation shape speak.
+  if (f.network.retry_rate > thr.retry_rate ||
+      f.network.reroute_rate > thr.reroute_rate) {
+    return RootCause::kNetworkFault;
+  }
+  if (f.blank_spikes >= thr.storm_spikes) {
+    return RootCause::kInterferenceStorm;
+  }
+  if (f.volatility > thr.volatility) return RootCause::kReferenceDrift;
+  if (std::fabs(f.blank_trend) > thr.blank_trend) return RootCause::kAfeDrift;
+  if (f.standard_drop > thr.attenuation_drop) {
+    return f.curvature > thr.fouling_curvature ? RootCause::kFouling
+                                               : RootCause::kEnzymeDecay;
+  }
+  return RootCause::kHealthy;
+}
+
+double health_score(const SensorHealthFeatures& f,
+                    const HealthThresholds& thr) {
+  // Each dimension contributes its exceedance beyond 1x threshold; a
+  // sensor inside every threshold scores exactly 1.
+  const auto over = [](double value, double threshold) {
+    return threshold > 0.0 ? std::max(0.0, value / threshold - 1.0) : 0.0;
+  };
+  double severity = 0.0;
+  severity += over(f.network.retry_rate, thr.retry_rate);
+  severity += over(f.network.reroute_rate, thr.reroute_rate);
+  severity += over(f.blank_spikes, thr.storm_spikes);
+  severity += over(f.volatility, thr.volatility);
+  severity += over(std::fabs(f.blank_trend), thr.blank_trend);
+  severity += over(f.standard_drop, thr.attenuation_drop);
+  return 1.0 / (1.0 + severity);
+}
+
+std::size_t FleetHealthReport::count_of(RootCause cause) const {
+  std::size_t n = 0;
+  for (const SensorHealthRecord& r : sensors) {
+    if (r.cause == cause) ++n;
+  }
+  return n;
+}
+
+const std::vector<std::string>& FleetHealthReport::columns() {
+  static const std::vector<std::string> kColumns{
+      "tenant",        "patient",       "device",        "channel",
+      "cause",         "score",         "observations",  "duration_days",
+      "blank_mean",    "blank_trend",   "blank_spikes",  "standard_mean",
+      "standard_trend", "standard_drop", "curvature",    "volatility",
+      "ewma",          "cusum",         "retry_rate",    "reroute_rate",
+      "failovers"};
+  return kColumns;
+}
+
+void FleetHealthReport::to_csv(const std::string& path) const {
+  util::CsvWriter writer(path, columns());
+  for (const SensorHealthRecord& r : sensors) {
+    const SensorHealthFeatures& f = r.features;
+    const std::string cells[] = {
+        std::to_string(r.session.tenant),
+        std::to_string(r.session.patient),
+        std::to_string(r.session.device),
+        std::to_string(r.channel),
+        to_string(r.cause),
+        fmt_double(r.score),
+        std::to_string(f.observations),
+        fmt_double(f.duration_days),
+        fmt_double(f.blank_mean),
+        fmt_double(f.blank_trend),
+        fmt_double(f.blank_spikes),
+        fmt_double(f.standard_mean),
+        fmt_double(f.standard_trend),
+        fmt_double(f.standard_drop),
+        fmt_double(f.curvature),
+        fmt_double(f.volatility),
+        fmt_double(f.ewma),
+        fmt_double(f.cusum),
+        fmt_double(f.network.retry_rate),
+        fmt_double(f.network.reroute_rate),
+        fmt_double(f.network.failovers)};
+    writer.write_row(cells);
+  }
+  writer.close();
+}
+
+void FleetHealthAnalyzer::add_response(const serve::Response& response) {
+  if (response.kind != serve::RequestKind::kQcCheck) return;
+  const std::uint32_t channel =
+      response.channels.empty() ? 0 : response.channels.front().channel;
+  QcObservation obs;
+  obs.age_days = response.sensor_age_days;
+  obs.blank_residual = response.qc_blank_residual;
+  obs.standard_residual = response.qc_standard_residual;
+  series_[SensorId{response.session, channel}].push_back(obs);
+}
+
+void FleetHealthAnalyzer::note_network(const serve::SessionKey& session,
+                                       const NetworkFeatures& network) {
+  network_[session] = network;
+}
+
+FleetHealthReport FleetHealthAnalyzer::report() const {
+  FleetHealthReport report;
+  report.sensors.reserve(series_.size());
+  for (const auto& [id, series] : series_) {
+    NetworkFeatures network;
+    const auto net = network_.find(id.session);
+    if (net != network_.end()) network = net->second;
+    SensorHealthRecord record;
+    record.session = id.session;
+    record.channel = id.channel;
+    record.features = extract_features(series, network, thresholds_);
+    record.cause = classify(record.features, thresholds_);
+    record.score = health_score(record.features, thresholds_);
+    report.sensors.push_back(std::move(record));
+  }
+  std::sort(report.sensors.begin(), report.sensors.end(),
+            [](const SensorHealthRecord& a, const SensorHealthRecord& b) {
+              return std::tie(a.score, a.session, a.channel) <
+                     std::tie(b.score, b.session, b.channel);
+            });
+  return report;
+}
+
+}  // namespace idp::obs

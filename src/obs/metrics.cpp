@@ -1,0 +1,247 @@
+/// \file metrics.cpp
+/// MetricsRegistry implementation: get-or-create entries with stable
+/// addresses, deterministic sorted snapshot, canonical CSV export and
+/// conservation-rule evaluation.
+
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace idp::obs {
+
+namespace {
+
+void append_label(std::string& out, const char* name, std::int32_t v) {
+  if (v < 0) return;
+  if (!out.empty()) out += ',';
+  out += name;
+  out += '=';
+  out += std::to_string(v);
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string label_cell(std::int32_t v) {
+  return v < 0 ? std::string() : std::to_string(v);
+}
+
+}  // namespace
+
+std::string to_string(const MetricLabels& labels) {
+  std::string out;
+  append_label(out, "tenant", labels.tenant);
+  append_label(out, "shard", labels.shard);
+  append_label(out, "priority", labels.priority);
+  append_label(out, "channel", labels.channel);
+  return out;
+}
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+const MetricSample* MetricsSnapshot::find(const std::string& name,
+                                          const MetricLabels& labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(const std::string& name,
+                              const MetricLabels& labels) const {
+  const MetricSample* s = find(name, labels);
+  util::require(s != nullptr, "metric not in snapshot: " + name);
+  return s->value;
+}
+
+double MetricsSnapshot::sum(const std::string& name) const {
+  double total = 0.0;
+  for (const MetricSample& s : samples) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+bool MetricsSnapshot::has(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> MetricsSnapshot::columns() {
+  std::vector<std::string> cols{"metric", "type",     "tenant", "shard",
+                                "priority", "channel", "value"};
+  for (const std::string& c : util::latency_summary_columns()) {
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+void MetricsSnapshot::to_csv(const std::string& path) const {
+  util::CsvWriter writer(path, columns());
+  for (const MetricSample& s : samples) {
+    std::vector<std::string> cells;
+    cells.reserve(13);
+    cells.push_back(s.name);
+    cells.push_back(to_string(s.type));
+    cells.push_back(label_cell(s.labels.tenant));
+    cells.push_back(label_cell(s.labels.shard));
+    cells.push_back(label_cell(s.labels.priority));
+    cells.push_back(label_cell(s.labels.channel));
+    cells.push_back(fmt_double(s.value));
+    for (double v : util::to_row(s.latency)) cells.push_back(fmt_double(v));
+    writer.write_row(cells);
+  }
+  writer.close();
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry::Entry& MetricsRegistry::entry_of(
+    const std::string& name, const MetricLabels& labels, MetricType type,
+    const util::LatencyHistogram* shape) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, fresh] = entries_.try_emplace({name, labels});
+  Entry& entry = it->second;
+  if (fresh) {
+    entry.type = type;
+    switch (type) {
+      case MetricType::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram = std::make_unique<Histogram>(*shape);
+        break;
+    }
+  } else {
+    // A (name, labels) series is pinned to its first-registered type: a
+    // collision is a naming bug that silent coercion would bury.
+    util::require(entry.type == type,
+                  "metric re-registered as a different type: " + name);
+  }
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const MetricLabels& labels) {
+  return *entry_of(name, labels, MetricType::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const MetricLabels& labels) {
+  return *entry_of(name, labels, MetricType::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const MetricLabels& labels,
+                                      const util::LatencyHistogram& shape) {
+  return *entry_of(name, labels, MetricType::kHistogram, &shape).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.samples.reserve(entries_.size());
+  // entries_ is a std::map keyed on (name, labels), so iteration order IS
+  // the canonical snapshot order.
+  for (const auto& [key, entry] : entries_) {
+    MetricSample sample;
+    sample.name = key.first;
+    sample.labels = key.second;
+    sample.type = entry.type;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        sample.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricType::kGauge:
+        sample.value = entry.gauge->value();
+        break;
+      case MetricType::kHistogram: {
+        const util::LatencyHistogram h = entry.histogram->snapshot();
+        sample.latency = h.summary();
+        sample.value = static_cast<double>(sample.latency.count);
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+// --- conservation -----------------------------------------------------------
+
+ConservationReport check_conservation(const MetricsSnapshot& snapshot,
+                                      std::span<const ConservationRule> rules) {
+  ConservationReport report;
+  report.results.reserve(rules.size());
+  for (const ConservationRule& rule : rules) {
+    ConservationResult result;
+    result.rule = rule.name;
+    bool present = false;
+    for (const std::string& name : rule.lhs) {
+      if (snapshot.has(name)) present = true;
+      result.lhs += snapshot.sum(name);
+    }
+    for (const std::string& name : rule.rhs) {
+      if (snapshot.has(name)) present = true;
+      result.rhs += snapshot.sum(name);
+    }
+    if (!present) {
+      result.skipped = true;
+    } else {
+      // Exact equality: every conserved quantity is a count (integers well
+      // inside the double mantissa), so any imbalance is a real leak.
+      result.ok = result.lhs == result.rhs;
+      if (!result.ok) report.ok = false;
+    }
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+const std::vector<ConservationRule>& serve_conservation_rules() {
+  static const std::vector<ConservationRule> kRules{
+      {"queue_admission",
+       {"serve.queue.offered"},
+       {"serve.queue.accepted", "serve.queue.rejected_full",
+        "serve.queue.rejected_closed", "serve.queue.shed",
+        "serve.queue.timed_out"}},
+      {"scheduler_drain",
+       {"serve.queue.accepted"},
+       {"serve.scheduler.completed", "serve.queue.depth"}},
+      {"merge_delivery",
+       {"serve.merge.delivered"},
+       {"serve.merge.merged", "serve.merge.duplicates"}},
+      {"cluster_work",
+       {"serve.cluster.work_arrivals"},
+       {"serve.cluster.executions", "serve.cluster.work_discarded"}},
+  };
+  return kRules;
+}
+
+}  // namespace idp::obs

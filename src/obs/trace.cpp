@@ -1,0 +1,107 @@
+/// \file trace.cpp
+/// TraceRecorder implementation: thread-safe append, canonical sort +
+/// dedup, CSV/JSONL export.
+
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace idp::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAdmission: return "admission";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kLeaseGrant: return "lease_grant";
+    case SpanKind::kShardRoute: return "shard_route";
+    case SpanKind::kExecution: return "execution";
+    case SpanKind::kRetry: return "retry";
+    case SpanKind::kReroute: return "reroute";
+    case SpanKind::kFailover: return "failover";
+    case SpanKind::kRejoin: return "rejoin";
+    case SpanKind::kEpochSwap: return "epoch_swap";
+    case SpanKind::kRecalibration: return "recalibration";
+    case SpanKind::kMerge: return "merge";
+  }
+  return "unknown";
+}
+
+bool trace_event_less(const TraceEvent& a, const TraceEvent& b) {
+  return std::tie(a.key, a.kind, a.entity, a.sequence, a.tick, a.time_h,
+                  a.value) < std::tie(b.key, b.kind, b.entity, b.sequence,
+                                      b.tick, b.time_h, b.value);
+}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> TraceRecorder::sorted() const {
+  std::vector<TraceEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(), trace_event_less);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+const std::vector<std::string>& TraceRecorder::columns() {
+  static const std::vector<std::string> kColumns{
+      "key", "kind", "entity", "sequence", "tick", "time_h", "value"};
+  return kColumns;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void TraceRecorder::to_csv(const std::string& path) const {
+  util::CsvWriter writer(path, columns());
+  for (const TraceEvent& e : sorted()) {
+    const std::string cells[] = {
+        std::to_string(e.key),      to_string(e.kind),
+        std::to_string(e.entity),   std::to_string(e.sequence),
+        std::to_string(e.tick),     fmt_double(e.time_h),
+        fmt_double(e.value)};
+    writer.write_row(cells);
+  }
+  writer.close();
+}
+
+void TraceRecorder::to_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  util::require(out.good(), "cannot open trace JSONL output");
+  for (const TraceEvent& e : sorted()) {
+    out << "{\"key\":" << e.key << ",\"kind\":\"" << to_string(e.kind)
+        << "\",\"entity\":" << e.entity << ",\"sequence\":" << e.sequence
+        << ",\"tick\":" << e.tick << ",\"time_h\":" << fmt_double(e.time_h)
+        << ",\"value\":" << fmt_double(e.value) << "}\n";
+  }
+}
+
+}  // namespace idp::obs

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "sim/batch.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -185,6 +186,27 @@ void CohortReport::to_csv(const std::string& path) const {
         csv.write_row(row);
       }
     }
+  }
+}
+
+void CohortReport::publish_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("scenario.cohort.patients")
+      .set(patients.size());
+  registry.counter("scenario.cohort.samples").set(sample_count());
+  // No unlabeled recalibration total: the per-channel series sum to it
+  // (MetricsSnapshot::sum), and publishing both would double-count.
+  for (std::size_t c = 0; c < targets.size(); ++c) {
+    obs::MetricLabels labels;
+    labels.channel = static_cast<std::int32_t>(c);
+    std::uint64_t recals = 0;
+    for (const RecalibrationEvent& e : recalibrations) {
+      if (e.channel == c) ++recals;
+    }
+    registry.counter("scenario.cohort.recalibrations", labels).set(recals);
+    registry.gauge("quant.drift.max_cusum", labels)
+        .set(max_drift_metric(c));
+    registry.gauge("scenario.cohort.rms_error_mM", labels)
+        .set(rms_error_mM(c));
   }
 }
 

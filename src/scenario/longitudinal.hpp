@@ -34,6 +34,10 @@
 #include "quant/drift.hpp"
 #include "scenario/cohort.hpp"
 
+namespace idp::obs {
+class MetricsRegistry;
+}
+
 namespace idp::scenario {
 
 /// Scenario execution knobs.
@@ -135,6 +139,12 @@ struct CohortReport {
   /// sensor_age_days / drift_metric / qc_residual / calibration_epoch /
   /// recalibrated provenance).
   void to_csv(const std::string& path) const;
+
+  /// Publish the cohort's monitoring outcome into a metrics registry
+  /// (scenario.cohort.* counters, per-channel recalibration counts and
+  /// peak drift statistics). Runs at the sequential aggregation point, so
+  /// the published values inherit the report's parallelism invariance.
+  void publish_metrics(obs::MetricsRegistry& registry) const;
 };
 
 /// Executes longitudinal scenarios against a calibration store. The store

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace idp::serve {
@@ -68,6 +69,14 @@ std::size_t FailureDetector::route_around(std::size_t preferred) const {
     if (!down_[candidate]) return candidate;
   }
   return preferred;  // everything is down: keep knocking on the primary
+}
+
+void FailureDetector::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("serve.detector.failovers").set(failovers_);
+  registry.counter("serve.detector.rejoins").set(rejoins_);
+  registry.gauge("serve.detector.up").set(static_cast<double>(up_count()));
+  registry.gauge("serve.detector.shards")
+      .set(static_cast<double>(shard_count()));
 }
 
 }  // namespace idp::serve

@@ -20,6 +20,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace idp::obs {
+class MetricsRegistry;
+}
+
 namespace idp::serve {
 
 /// Liveness timing, in virtual ticks.
@@ -73,6 +77,13 @@ class FailureDetector {
   std::uint64_t failovers() const { return failovers_; }
   /// down -> up recoveries observed.
   std::uint64_t rejoins() const { return rejoins_; }
+
+  /// Publish the detector's own ledger under serve.detector.* (failover /
+  /// rejoin counters plus an up-shard gauge). The coordinator separately
+  /// publishes the same transitions inside its FaultStats under
+  /// serve.cluster.*; this surface exists so a detector used standalone
+  /// still reports.
+  void publish(obs::MetricsRegistry& registry) const;
 
  private:
   FailureDetectorConfig config_;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace idp::serve {
@@ -77,7 +78,11 @@ Admission RequestQueue::try_push(Request request) {
   Admission admission;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return Admission::kRejectedClosed;
+    ++offered_;
+    if (closed_) {
+      ++rejected_closed_;
+      return Admission::kRejectedClosed;
+    }
     if (should_shed_locked(request.priority)) {
       ++shed_;
       return Admission::kRejectedShed;
@@ -96,6 +101,7 @@ Admission RequestQueue::push_wait(Request request) {
   Admission admission;
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    ++offered_;
     // An overloaded class does not get to wait out the storm on the
     // queue's doorstep: shedding exists to push the backlog back to the
     // caller immediately.
@@ -106,7 +112,10 @@ Admission RequestQueue::push_wait(Request request) {
     space_.wait(lock, [&] {
       return closed_ || has_space_locked(request.priority);
     });
-    if (closed_) return Admission::kRejectedClosed;
+    if (closed_) {
+      ++rejected_closed_;
+      return Admission::kRejectedClosed;
+    }
     admission = push_locked(std::move(request));
   }
   ready_.notify_one();
@@ -118,6 +127,7 @@ Admission RequestQueue::push_wait_for(Request request,
   Admission admission;
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    ++offered_;
     if (!closed_ && should_shed_locked(request.priority)) {
       ++shed_;
       return Admission::kRejectedShed;
@@ -129,7 +139,10 @@ Admission RequestQueue::push_wait_for(Request request,
       ++timed_out_;
       return Admission::kRejectedTimeout;
     }
-    if (closed_) return Admission::kRejectedClosed;
+    if (closed_) {
+      ++rejected_closed_;
+      return Admission::kRejectedClosed;
+    }
     admission = push_locked(std::move(request));
   }
   ready_.notify_one();
@@ -198,36 +211,32 @@ std::size_t RequestQueue::high_water() const {
   return high_water_;
 }
 
-std::uint64_t RequestQueue::accepted() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return accepted_;
-}
-
-std::uint64_t RequestQueue::rejected() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return rejected_;
-}
-
-std::uint64_t RequestQueue::shed() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return shed_;
-}
-
-std::uint64_t RequestQueue::timed_out() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return timed_out_;
-}
-
 QueueStats RequestQueue::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   QueueStats stats;
   stats.depth = depth_;
   stats.high_water = high_water_;
+  stats.offered = offered_;
   stats.accepted = accepted_;
   stats.rejected_full = rejected_;
+  stats.rejected_closed = rejected_closed_;
   stats.shed = shed_;
   stats.timed_out = timed_out_;
   return stats;
+}
+
+void QueueStats::publish(obs::MetricsRegistry& registry,
+                         const obs::MetricLabels& labels) const {
+  registry.counter("serve.queue.offered", labels).set(offered);
+  registry.counter("serve.queue.accepted", labels).set(accepted);
+  registry.counter("serve.queue.rejected_full", labels).set(rejected_full);
+  registry.counter("serve.queue.rejected_closed", labels).set(rejected_closed);
+  registry.counter("serve.queue.shed", labels).set(shed);
+  registry.counter("serve.queue.timed_out", labels).set(timed_out);
+  registry.gauge("serve.queue.depth", labels)
+      .set(static_cast<double>(depth));
+  registry.gauge("serve.queue.high_water", labels)
+      .set(static_cast<double>(high_water));
 }
 
 }  // namespace idp::serve

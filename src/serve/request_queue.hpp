@@ -31,6 +31,11 @@
 
 #include "serve/request.hpp"
 
+namespace idp::obs {
+class MetricsRegistry;
+struct MetricLabels;
+}  // namespace idp::obs
+
 namespace idp::serve {
 
 /// Queue sizing and admission-control knobs.
@@ -67,13 +72,17 @@ enum class Admission : std::uint8_t {
 const char* to_string(Admission admission);
 
 /// Snapshot of the queue's admission accounting -- the telemetry surface
-/// the scheduler and the sharded cluster expose. Every offered request is
-/// in exactly one bucket; nothing is ever dropped silently.
+/// the scheduler and the sharded cluster expose. Airtight by conservation:
+/// offered == accepted + rejected_full + rejected_closed + shed +
+/// timed_out -- every offered request lands in exactly one bucket, nothing
+/// is ever dropped silently (obs::serve_conservation_rules() pins this).
 struct QueueStats {
   std::size_t depth = 0;
   std::size_t high_water = 0;
+  std::uint64_t offered = 0;  ///< admission attempts, any outcome
   std::uint64_t accepted = 0;
   std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_closed = 0;  ///< offers against a closed queue
   std::uint64_t shed = 0;       ///< overload-controller rejections
   std::uint64_t timed_out = 0;  ///< bounded waits that expired
 
@@ -81,11 +90,18 @@ struct QueueStats {
   void merge(const QueueStats& other) {
     depth += other.depth;
     high_water = high_water > other.high_water ? high_water : other.high_water;
+    offered += other.offered;
     accepted += other.accepted;
     rejected_full += other.rejected_full;
+    rejected_closed += other.rejected_closed;
     shed += other.shed;
     timed_out += other.timed_out;
   }
+
+  /// Publish this snapshot into a metrics registry under the canonical
+  /// serve.queue.* names (counters set, depth/high_water as gauges).
+  void publish(obs::MetricsRegistry& registry,
+               const obs::MetricLabels& labels) const;
 };
 
 /// One queued request plus its enqueue instant (for queue-wait telemetry).
@@ -135,13 +151,16 @@ class RequestQueue {
   std::size_t depth() const;
   /// Largest depth ever observed.
   std::size_t high_water() const;
-  /// Admission counters (accepted / rejected-full since construction).
-  std::uint64_t accepted() const;
-  std::uint64_t rejected() const;
-  /// Requests shed by the overload controller.
-  std::uint64_t shed() const;
-  /// Bounded waits that expired.
-  std::uint64_t timed_out() const;
+
+  // Per-counter accessors. These predate the metrics registry and remain
+  // as thin wrappers over stats(); new code should snapshot the registry
+  // (or stats()) instead of polling counters one lock each.
+  std::uint64_t offered() const { return stats().offered; }
+  std::uint64_t accepted() const { return stats().accepted; }
+  std::uint64_t rejected() const { return stats().rejected_full; }
+  std::uint64_t rejected_closed() const { return stats().rejected_closed; }
+  std::uint64_t shed() const { return stats().shed; }
+  std::uint64_t timed_out() const { return stats().timed_out; }
 
   /// One consistent snapshot of all the counters above.
   QueueStats stats() const;
@@ -160,8 +179,10 @@ class RequestQueue {
   std::array<std::deque<QueuedRequest>, kPriorityCount> lanes_;
   std::size_t depth_ = 0;
   std::size_t high_water_ = 0;
+  std::uint64_t offered_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t rejected_closed_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t timed_out_ = 0;
   bool closed_ = false;

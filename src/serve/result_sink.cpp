@@ -65,6 +65,22 @@ void write_responses_csv(std::span<const Response> responses,
   for (const Response& r : responses) write_response_rows(csv, r);
 }
 
+void write_telemetry_summary_csv(std::span<const LatencySummarySeries> series,
+                                 const std::string& path) {
+  std::vector<std::string> columns{"series"};
+  for (const std::string& c : util::latency_summary_columns()) {
+    columns.push_back(c);
+  }
+  util::CsvWriter csv(path, columns);
+  for (const LatencySummarySeries& s : series) {
+    std::vector<std::string> row{s.series};
+    for (const double v : util::to_row(s.histogram.summary())) {
+      row.push_back(format_double(v));
+    }
+    csv.write_row(row);
+  }
+}
+
 CsvResultSink::CsvResultSink(std::string responses_path,
                              std::string telemetry_path)
     : responses_path_(std::move(responses_path)),

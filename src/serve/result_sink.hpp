@@ -23,6 +23,7 @@
 
 #include "serve/request.hpp"
 #include "util/csv.hpp"
+#include "util/stats.hpp"
 
 namespace idp::serve {
 
@@ -56,6 +57,23 @@ class ResultSink {
 /// qc_blank_residual, qc_standard_residual.
 void write_responses_csv(std::span<const Response> responses,
                          const std::string& path);
+
+/// One named latency account for the telemetry-summary export (e.g. the
+/// queue-wait or service-time histogram of one priority class).
+struct LatencySummarySeries {
+  std::string series;
+  util::LatencyHistogram histogram;
+};
+
+/// The telemetry-summary CSV: one row per series under the canonical
+/// latency-summary schema -- a `series` key followed by
+/// util::latency_summary_columns() -- the SAME columns the metrics
+/// registry snapshot (obs::MetricsSnapshot::to_csv) exports for its
+/// histogram samples, so telemetry summaries and registry exports join on
+/// identical headers. Every statistic is order-independent, so summaries
+/// of a deterministic replay reproduce bitwise.
+void write_telemetry_summary_csv(std::span<const LatencySummarySeries> series,
+                                 const std::string& path);
 
 /// CSV sink: buffers responses (sorted and written at close() for the
 /// determinism contract above) and streams telemetry rows as they arrive.

@@ -60,16 +60,44 @@ void Scheduler::start(ResultSink* sink) {
 }
 
 Admission Scheduler::submit(Request request) {
-  return queue_.try_push(std::move(request));
+  const std::uint64_t id = request.id;
+  const Priority priority = request.priority;
+  const double time_h = request.time_h;
+  const Admission admission = queue_.try_push(std::move(request));
+  if (trace_ != nullptr) {
+    trace_->record(id, obs::SpanKind::kAdmission,
+                   static_cast<std::uint64_t>(priority), 0, 0, time_h,
+                   static_cast<double>(admission));
+  }
+  return admission;
 }
 
 Admission Scheduler::submit_wait(Request request) {
-  return queue_.push_wait(std::move(request));
+  const std::uint64_t id = request.id;
+  const Priority priority = request.priority;
+  const double time_h = request.time_h;
+  const Admission admission = queue_.push_wait(std::move(request));
+  if (trace_ != nullptr) {
+    trace_->record(id, obs::SpanKind::kAdmission,
+                   static_cast<std::uint64_t>(priority), 0, 0, time_h,
+                   static_cast<double>(admission));
+  }
+  return admission;
 }
 
 Admission Scheduler::submit_wait_for(Request request,
                                      std::chrono::nanoseconds timeout) {
-  return queue_.push_wait_for(std::move(request), timeout);
+  const std::uint64_t id = request.id;
+  const Priority priority = request.priority;
+  const double time_h = request.time_h;
+  const Admission admission =
+      queue_.push_wait_for(std::move(request), timeout);
+  if (trace_ != nullptr) {
+    trace_->record(id, obs::SpanKind::kAdmission,
+                   static_cast<std::uint64_t>(priority), 0, 0, time_h,
+                   static_cast<double>(admission));
+  }
+  return admission;
 }
 
 void Scheduler::drain_and_stop() {
@@ -92,6 +120,52 @@ std::uint64_t Scheduler::completed() const {
 PriorityTelemetry Scheduler::telemetry(Priority priority) const {
   const std::lock_guard<std::mutex> lock(telemetry_mutex_);
   return telemetry_[static_cast<std::size_t>(priority)];
+}
+
+void Scheduler::set_metrics(obs::MetricsRegistry* metrics, std::int32_t shard) {
+  util::require(!running_, "attach metrics before start()");
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    completed_metric_ = {};
+    queue_wait_metric_ = {};
+    service_time_metric_ = {};
+    return;
+  }
+  // Resolve the per-priority handles once; registry references are stable,
+  // so the worker hot path is an atomic add plus one histogram lock.
+  for (std::size_t p = 0; p < kPriorityCount; ++p) {
+    obs::MetricLabels labels;
+    labels.shard = shard;
+    labels.priority = static_cast<std::int32_t>(p);
+    completed_metric_[p] =
+        &metrics_->counter("serve.scheduler.completed", labels);
+    queue_wait_metric_[p] =
+        &metrics_->histogram("serve.scheduler.queue_wait_s", labels);
+    service_time_metric_[p] =
+        &metrics_->histogram("serve.scheduler.service_time_s", labels);
+  }
+}
+
+void Scheduler::publish_metrics(obs::MetricsRegistry& registry,
+                                std::int32_t shard) const {
+  obs::MetricLabels shard_labels;
+  shard_labels.shard = shard;
+  queue_stats().publish(registry, shard_labels);
+  const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  for (std::size_t p = 0; p < kPriorityCount; ++p) {
+    obs::MetricLabels labels = shard_labels;
+    labels.priority = static_cast<std::int32_t>(p);
+    registry.counter("serve.scheduler.completed", labels)
+        .set(telemetry_[p].completed);
+    if (&registry != metrics_) {
+      // The live registry already saw every observation streamed by the
+      // workers; merging the account again would double-count it.
+      registry.histogram("serve.scheduler.queue_wait_s", labels)
+          .merge(telemetry_[p].queue_wait);
+      registry.histogram("serve.scheduler.service_time_s", labels)
+          .merge(telemetry_[p].service_time);
+    }
+  }
 }
 
 void Scheduler::worker_loop() {
@@ -121,6 +195,18 @@ void Scheduler::worker_loop() {
       ++account.completed;
       account.queue_wait.add(queue_wait);
       account.service_time.add(service_time);
+    }
+    const auto lane = static_cast<std::size_t>(response.priority);
+    if (metrics_ != nullptr) {
+      completed_metric_[lane]->add(1);
+      queue_wait_metric_[lane]->observe(queue_wait);
+      service_time_metric_[lane]->observe(service_time);
+    }
+    if (trace_ != nullptr) {
+      // Observational span: `value` is wall seconds, the one deliberate
+      // exception to the pure-function field contract (live mode only).
+      trace_->record(response.request_id, obs::SpanKind::kQueueWait, lane, 0,
+                     0, response.time_h, queue_wait);
     }
     if (sink_ != nullptr) {
       sink_->on_response(response);

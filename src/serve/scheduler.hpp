@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/result_sink.hpp"
 #include "serve/service.hpp"
@@ -105,8 +107,30 @@ class Scheduler {
   /// Requests fully served in live mode.
   std::uint64_t completed() const;
 
-  /// Copy of one priority class's latency account.
+  /// Copy of one priority class's latency account. Predates the metrics
+  /// registry; kept as the cross-shard merge primitive. publish_metrics()
+  /// is the registry-era surface over the same counters.
   PriorityTelemetry telemetry(Priority priority) const;
+
+  // --- observability ---------------------------------------------------------
+
+  /// Attach a trace recorder (nullptr = tracing off, the default). Live
+  /// admission and dispatch events record here, and the underlying
+  /// service's spans ride along when it carries the same recorder.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Attach a metrics registry for live-mode streaming: workers add to
+  /// serve.scheduler.completed and observe the queue_wait_s /
+  /// service_time_s histograms as requests finish (labels: priority, plus
+  /// `shard` when >= 0). Call before start().
+  void set_metrics(obs::MetricsRegistry* metrics, std::int32_t shard = -1);
+
+  /// Publish the admission account and per-priority completion counters
+  /// (set-semantics) into `registry` under the canonical serve.* names.
+  /// Latency histograms merge in too -- unless `registry` is the live
+  /// registry attached via set_metrics, whose histograms already streamed.
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       std::int32_t shard = -1) const;
 
  private:
   void worker_loop();
@@ -117,6 +141,14 @@ class Scheduler {
   std::vector<std::thread> workers_;
   ResultSink* sink_ = nullptr;
   bool running_ = false;
+
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  /// Cached stable registry handles (one per priority) so the worker hot
+  /// path pays no registry lookup.
+  std::array<obs::Counter*, kPriorityCount> completed_metric_{};
+  std::array<obs::Histogram*, kPriorityCount> queue_wait_metric_{};
+  std::array<obs::Histogram*, kPriorityCount> service_time_metric_{};
 
   mutable std::mutex telemetry_mutex_;
   std::array<PriorityTelemetry, kPriorityCount> telemetry_;

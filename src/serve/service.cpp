@@ -84,31 +84,53 @@ std::uint32_t DiagnosticsService::epoch_for(double sensor_age_days) const {
 const quant::Quantifier& DiagnosticsService::quantifier_for(
     Session& session, std::uint32_t channel, std::uint32_t epoch) {
   if (epoch == 0) return *factory_[channel];
-  return session
-      .epoch_calibration(
-          channel, epoch,
-          [&]() -> quant::Calibration {
-            // Field recalibration at the epoch boundary: rerun the
-            // campaign on this session's sensor in the state it had at
-            // age epoch * cadence, from the run-id block owned by
-            // (session slot, channel, epoch) in the 2^43 domain.
-            const double boundary_age =
-                static_cast<double>(epoch) *
-                config_.recalibration_interval_days;
-            const fault::SensorState sensor = config_.degradation.state_at(
-                boundary_age, fault::SensorSite{session.site_id(), channel});
-            const std::uint64_t block =
-                kServeRecalDomain +
-                (((session.site_id() % kServeSessionSlots) *
-                      kMaxServeChannels +
-                  channel) *
-                     kServeEpochSlots +
-                 epoch) *
-                    quant::CalibrationStore::kRunsPerCampaignBlock;
-            return store_.recalibrate(config_.panel[channel],
-                                      protocols_[channel], sensor, block);
-          })
-      .quantifier;
+  const double boundary_age =
+      static_cast<double>(epoch) * config_.recalibration_interval_days;
+  const quant::Quantifier& quantifier =
+      session
+          .epoch_calibration(
+              channel, epoch,
+              [&]() -> quant::Calibration {
+                // Field recalibration at the epoch boundary: rerun the
+                // campaign on this session's sensor in the state it had at
+                // age epoch * cadence, from the run-id block owned by
+                // (session slot, channel, epoch) in the 2^43 domain.
+                const fault::SensorState sensor = config_.degradation.state_at(
+                    boundary_age,
+                    fault::SensorSite{session.site_id(), channel});
+                const std::uint64_t block =
+                    kServeRecalDomain +
+                    (((session.site_id() % kServeSessionSlots) *
+                          kMaxServeChannels +
+                      channel) *
+                         kServeEpochSlots +
+                     epoch) *
+                        quant::CalibrationStore::kRunsPerCampaignBlock;
+                if (trace_ != nullptr) {
+                  // Campaign-build span. Every field is a pure function of
+                  // (session, channel, epoch), so a racing second build
+                  // (first-insert-wins cache) emits the identical event
+                  // and collapses in sorted(). No metrics counter here
+                  // for the same reason: a build *count* would depend on
+                  // the race, the span set does not.
+                  trace_->record(session.site_id(),
+                                 obs::SpanKind::kRecalibration, channel,
+                                 epoch, 0, boundary_age * 24.0,
+                                 static_cast<double>(block));
+                }
+                return store_.recalibrate(config_.panel[channel],
+                                          protocols_[channel], sensor, block);
+              })
+          .quantifier;
+  if (trace_ != nullptr) {
+    // One logical swap per (session, channel, epoch): re-emissions from
+    // every later request on the warm epoch are exact duplicates and
+    // collapse in sorted().
+    trace_->record(session.site_id(), obs::SpanKind::kEpochSwap, channel,
+                   epoch, 0, boundary_age * 24.0,
+                   static_cast<double>(epoch));
+  }
+  return quantifier;
 }
 
 double DiagnosticsService::measure(Session& session, std::uint32_t channel,
@@ -159,6 +181,27 @@ ChannelResult DiagnosticsService::run_channel(Session& session,
   return result;
 }
 
+void DiagnosticsService::note_run(const Request& request,
+                                  std::uint32_t channel,
+                                  std::uint64_t sequence,
+                                  std::uint64_t run_id) {
+  if (trace_ != nullptr) {
+    trace_->record(request.id, obs::SpanKind::kExecution, channel, sequence,
+                   0, request.time_h, static_cast<double>(run_id));
+  }
+  if (metrics_ != nullptr) {
+    obs::MetricLabels labels;
+    labels.tenant = static_cast<std::int32_t>(request.session.tenant);
+    labels.channel = static_cast<std::int32_t>(channel);
+    metrics_
+        ->counter(request.kind == RequestKind::kQcCheck
+                      ? "serve.service.qc_runs"
+                      : "serve.service.channel_reads",
+                  labels)
+        .add(1);
+  }
+}
+
 Response DiagnosticsService::execute(const Request& request) {
   const std::size_t n_channels = config_.panel.size();
   switch (request.kind) {
@@ -186,6 +229,17 @@ Response DiagnosticsService::execute(const Request& request) {
   const std::uint32_t epoch = epoch_for(age_days);
   const std::uint64_t lease = lease_base(request.id);
 
+  if (trace_ != nullptr) {
+    trace_->record(request.id, obs::SpanKind::kLeaseGrant, lease, 0, 0,
+                   request.time_h, static_cast<double>(epoch));
+  }
+  if (metrics_ != nullptr) {
+    obs::MetricLabels labels;
+    labels.tenant = static_cast<std::int32_t>(request.session.tenant);
+    labels.priority = static_cast<std::int32_t>(request.priority);
+    metrics_->counter("serve.service.requests", labels).add(1);
+  }
+
   Response response;
   response.request_id = request.id;
   response.session = request.session;
@@ -202,6 +256,7 @@ Response DiagnosticsService::execute(const Request& request) {
         response.channels.push_back(run_channel(
             session, c, epoch, age_days, request.concentrations_mM[c],
             lease + c));
+        note_run(request, c, c, lease + c);
       }
       break;
     }
@@ -210,6 +265,7 @@ Response DiagnosticsService::execute(const Request& request) {
                                               age_days,
                                               request.concentrations_mM[0],
                                               lease));
+      note_run(request, request.channel, 0, lease);
       break;
     }
     case RequestKind::kQcCheck: {
@@ -235,6 +291,8 @@ Response DiagnosticsService::execute(const Request& request) {
            util::evaluate(quantifier.fit(), qc_mM)) /
           sigma;
       response.channels.push_back(std::move(standard));
+      note_run(request, request.channel, 0, lease);      // blank
+      note_run(request, request.channel, 1, lease + 1);  // standard
       break;
     }
   }

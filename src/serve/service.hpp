@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "fault/degradation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quant/calibration_store.hpp"
 #include "serve/request.hpp"
 #include "serve/session_registry.hpp"
@@ -129,6 +131,21 @@ class DiagnosticsService {
   SessionRegistry& sessions() { return registry_; }
   const SessionRegistry& sessions() const { return registry_; }
 
+  // --- observability ---------------------------------------------------------
+
+  /// Attach a trace recorder (nullptr = off). execute() then emits
+  /// kLeaseGrant, one kExecution per measured run, and kEpochSwap /
+  /// kRecalibration spans for field-recalibration epochs. Every emitted
+  /// field is a pure function of (request, configuration), so the sorted
+  /// trace inherits the response determinism contract; idempotent
+  /// session-epoch spans collapse in TraceRecorder::sorted().
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Attach a metrics registry (nullptr = off): request / channel-read /
+  /// QC / recalibration counters under serve.service.* (labels: tenant,
+  /// priority, channel). Thread-safe alongside concurrent execute().
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   /// The active quantifier of (session, channel) at an epoch: the factory
   /// curve for epoch 0, the session's warm recalibration otherwise.
@@ -145,12 +162,19 @@ class DiagnosticsService {
   double measure(Session& session, std::uint32_t channel, double age_days,
                  double concentration_mM, std::uint64_t run_id) const;
 
+  /// Observability tap of one measured run: kExecution span plus the
+  /// per-channel read counter. No-op when neither surface is attached.
+  void note_run(const Request& request, std::uint32_t channel,
+                std::uint64_t sequence, std::uint64_t run_id);
+
   quant::CalibrationStore& store_;
   ServiceConfig config_;
   sim::MeasurementEngine engine_;  ///< const seeded calls only
   std::vector<sim::ChannelProtocol> protocols_;
   std::vector<const quant::Quantifier*> factory_;  ///< stable store addresses
   SessionRegistry registry_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace idp::serve

@@ -45,6 +45,30 @@ bool ResultMerger::accept(const ResponseEnvelope& envelope) {
   return true;
 }
 
+void MergeStats::publish(obs::MetricsRegistry& registry,
+                         std::uint64_t merged) const {
+  registry.counter("serve.merge.delivered").set(delivered);
+  registry.counter("serve.merge.merged").set(merged);
+  registry.counter("serve.merge.duplicates").set(duplicates_seen);
+  registry.gauge("serve.merge.reorder_max")
+      .set(static_cast<double>(max_reorder_distance));
+}
+
+void FaultStats::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("serve.cluster.dispatches").set(dispatches);
+  registry.counter("serve.cluster.retries").set(retries);
+  registry.counter("serve.cluster.reroutes").set(reroutes);
+  registry.counter("serve.cluster.executions").set(executions);
+  registry.counter("serve.cluster.work_arrivals").set(work_arrivals);
+  registry.counter("serve.cluster.work_discarded").set(work_discarded);
+  registry.counter("serve.cluster.heartbeats").set(heartbeats);
+  registry.counter("serve.cluster.messages_dropped").set(messages_dropped);
+  registry.counter("serve.cluster.failovers").set(shard_failovers);
+  registry.counter("serve.cluster.rejoins").set(shard_rejoins);
+  registry.gauge("serve.cluster.final_tick")
+      .set(static_cast<double>(final_tick));
+}
+
 std::vector<Response> ResultMerger::finish(std::size_t expected) {
   // A shortfall means the transport lost messages and no retry layer
   // recovered them: a silently truncated global log would defeat the
@@ -187,6 +211,10 @@ ShardedReplayResult ShardCluster::replay(std::span<const Request> log,
   for (std::size_t i = 0; i < log.size(); ++i) {
     shard_of[i] = router_.route(log[i].session);
     routed[shard_of[i]].push_back(i);
+    if (trace_ != nullptr) {
+      trace_->record(log[i].id, obs::SpanKind::kShardRoute, shard_of[i], 0, 0,
+                     log[i].time_h);
+    }
   }
 
   // Execute everything through one BatchRunner (each request on its own
@@ -222,11 +250,28 @@ ShardedReplayResult ShardCluster::replay(std::span<const Request> log,
   // Coordinator drain + sorted merge keyed on request id.
   ResultMerger merger;
   ResponseEnvelope envelope;
-  while (transport->poll(envelope)) merger.accept(envelope);
+  while (transport->poll(envelope)) {
+    if (merger.accept(envelope) && trace_ != nullptr) {
+      trace_->record(envelope.response.request_id, obs::SpanKind::kMerge,
+                     envelope.shard, envelope.sequence, 0,
+                     envelope.response.time_h);
+    }
+  }
   result.merge = merger.stats();
   result.responses = merger.finish(log.size());
+  if (metrics_ != nullptr) {
+    result.merge.publish(*metrics_, result.responses.size());
+  }
   return result;
 }
+
+// GCC 12's -Wfree-nonheap-object misfires on the stack-local bookkeeping
+// vectors below once their destructors inline into this frame (PR 104475
+// family); the allocation and deallocation are both the std::vector's own.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+#endif
 
 FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
     std::span<const Request> log, std::size_t parallelism,
@@ -266,6 +311,7 @@ FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
   ResultMerger merger;
   std::vector<std::uint64_t> next_heartbeat(shard_count(), 0);
   std::vector<std::uint64_t> next_sequence(shard_count(), 0);
+  std::vector<std::uint64_t> attempts(log.size(), 0);
 
   // Dispatch = (re)transmit one request slot to the best shard the
   // coordinator currently believes is alive. Failover lives here: when
@@ -277,6 +323,23 @@ FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
     const std::size_t primary = shard_of[index];
     const std::size_t target = detector.route_around(primary);
     if (target != primary) ++result.faults.reroutes;
+    ++attempts[index];
+    if (trace_ != nullptr) {
+      const std::uint64_t id = log[index].id;
+      const double time_h = log[index].time_h;
+      if (attempts[index] == 1) {
+        trace_->record(id, obs::SpanKind::kShardRoute, target, 0,
+                       transport->now(), time_h);
+      } else {
+        trace_->record(id, obs::SpanKind::kRetry, target,
+                       attempts[index] - 1, transport->now(), time_h);
+      }
+      if (target != primary) {
+        trace_->record(id, obs::SpanKind::kReroute, target,
+                       attempts[index] - 1, transport->now(), time_h,
+                       static_cast<double>(primary));
+      }
+    }
     transport->send_work(WorkEnvelope{target, static_cast<std::uint64_t>(index)});
   };
 
@@ -307,7 +370,13 @@ FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
     // request r is bitwise identical, and the merger dedups.
     WorkEnvelope work;
     while (transport->poll_work(work)) {
-      if (!transport->shard_up(work.shard)) continue;
+      ++result.faults.work_arrivals;
+      if (!transport->shard_up(work.shard)) {
+        // Counted, never silently lost: the retry deadline recovers the
+        // request, and the work conservation identity balances with it.
+        ++result.faults.work_discarded;
+        continue;
+      }
       const std::size_t index = static_cast<std::size_t>(work.work_id);
       ++result.faults.executions;
       ResponseEnvelope envelope;
@@ -324,7 +393,25 @@ FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
     while (transport->poll_heartbeat(heartbeat)) {
       detector.heartbeat(heartbeat.shard, transport->now());
     }
-    detector.update(transport->now());
+    if (trace_ != nullptr) {
+      // Bracket update() to trace the detector's verdict transitions.
+      std::vector<ShardHealth> before(shard_count());
+      for (std::size_t s = 0; s < shard_count(); ++s) {
+        before[s] = detector.health(s);
+      }
+      detector.update(transport->now());
+      for (std::size_t s = 0; s < shard_count(); ++s) {
+        const ShardHealth now_health = detector.health(s);
+        if (now_health == before[s]) continue;
+        trace_->record(s,
+                       now_health == ShardHealth::kDown
+                           ? obs::SpanKind::kFailover
+                           : obs::SpanKind::kRejoin,
+                       0, 0, transport->now());
+      }
+    } else {
+      detector.update(transport->now());
+    }
 
     // Coordinator side: merge matured responses; completion cancels the
     // pending retry.
@@ -334,6 +421,11 @@ FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
         const std::size_t index = index_of.at(envelope.response.request_id);
         result.executed_by[index] = envelope.shard;
         tracker.completed(index);
+        if (trace_ != nullptr) {
+          trace_->record(envelope.response.request_id, obs::SpanKind::kMerge,
+                         envelope.shard, envelope.sequence, transport->now(),
+                         envelope.response.time_h);
+        }
       }
     }
 
@@ -354,8 +446,16 @@ FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
   result.faults.final_tick = transport->now();
   result.merge = merger.stats();
   result.responses = merger.finish(log.size());
+  if (metrics_ != nullptr) {
+    result.merge.publish(*metrics_, result.responses.size());
+    result.faults.publish(*metrics_);
+  }
   return result;
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void ShardCluster::start(ResultSink* sink) {
   util::require(!running_, "cluster is already running");
@@ -368,7 +468,14 @@ void ShardCluster::start(ResultSink* sink) {
   for (std::size_t s = 0; s < shard_count(); ++s) {
     schedulers_.push_back(
         std::make_unique<Scheduler>(*services_[s], config_.scheduler));
-    schedulers_.back()->start(fan_in_.get());
+    Scheduler& scheduler = *schedulers_.back();
+    // Wire observability before the workers exist: the scheduler resolves
+    // its per-priority metric handles under this shard's label.
+    scheduler.set_trace(trace_);
+    if (metrics_ != nullptr) {
+      scheduler.set_metrics(metrics_, static_cast<std::int32_t>(s));
+    }
+    scheduler.start(fan_in_.get());
   }
   running_ = true;
 }
@@ -422,6 +529,26 @@ QueueStats ShardCluster::queue_stats() const {
     merged.merge(scheduler->queue_stats());
   }
   return merged;
+}
+
+void ShardCluster::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  for (const std::unique_ptr<DiagnosticsService>& service : services_) {
+    service->set_trace(trace);
+  }
+}
+
+void ShardCluster::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  for (const std::unique_ptr<DiagnosticsService>& service : services_) {
+    service->set_metrics(metrics);
+  }
+}
+
+void ShardCluster::publish_metrics(obs::MetricsRegistry& registry) const {
+  for (std::size_t s = 0; s < schedulers_.size(); ++s) {
+    schedulers_[s]->publish_metrics(registry, static_cast<std::int32_t>(s));
+  }
 }
 
 }  // namespace idp::serve

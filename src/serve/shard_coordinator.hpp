@@ -46,6 +46,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/failure_detector.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/result_sink.hpp"
@@ -70,6 +72,11 @@ struct MergeStats {
   /// of an old sequence says nothing about wire reordering of new
   /// traffic. 0 on an in-order transport.
   std::uint64_t max_reorder_distance = 0;
+
+  /// Publish under the canonical serve.merge.* names. `merged` is the
+  /// unique-response count (delivered == merged + duplicates, which
+  /// obs::serve_conservation_rules() pins).
+  void publish(obs::MetricsRegistry& registry, std::uint64_t merged) const;
 };
 
 /// Coordinator-side sorted merge of per-shard response streams, keyed on
@@ -178,11 +185,25 @@ struct FaultStats {
   std::uint64_t retries = 0;      ///< dispatches beyond each request's first
   std::uint64_t reroutes = 0;     ///< dispatches sent to a non-primary shard
   std::uint64_t executions = 0;   ///< shard-side request executions
+  /// Work deliveries polled off the transport, duplicates included. The
+  /// airtight arrival-side identity: work_arrivals == executions +
+  /// work_discarded -- every delivered work message either executed or
+  /// died with a crashed shard, never a third fate. (Dispatch-side
+  /// accounting cannot be exact: the transport may both drop and
+  /// duplicate work in flight.)
+  std::uint64_t work_arrivals = 0;
+  /// Work that arrived at a crashed shard and died with it (the retry
+  /// deadline recovers the request).
+  std::uint64_t work_discarded = 0;
   std::uint64_t heartbeats = 0;   ///< heartbeats emitted by live shards
   std::uint64_t messages_dropped = 0;  ///< transport loss injections
   std::uint64_t shard_failovers = 0;   ///< up -> down declarations
   std::uint64_t shard_rejoins = 0;     ///< down -> up recoveries
   std::uint64_t final_tick = 0;        ///< virtual completion time
+
+  /// Publish under the canonical serve.cluster.* names (counters set;
+  /// final_tick as a gauge).
+  void publish(obs::MetricsRegistry& registry) const;
 };
 
 /// Result of one fault-tolerant replay: the merged log (bitwise identical
@@ -298,6 +319,26 @@ class ShardCluster {
   /// merged across all shard queues. Zeros before start().
   QueueStats queue_stats() const;
 
+  // --- observability ---------------------------------------------------------
+
+  /// Attach a trace recorder (nullptr = off) to the cluster and every
+  /// shard service: replay paths then emit kShardRoute / kMerge spans
+  /// (plus kRetry / kReroute / kFailover / kRejoin on the fault-tolerant
+  /// path), and the services emit their execution spans. Attach before
+  /// replaying or start().
+  void set_trace(obs::TraceRecorder* trace);
+
+  /// Attach a metrics registry (nullptr = off) to every shard service,
+  /// and -- when attached before start() -- to each shard's scheduler for
+  /// live latency streaming (labels carry the shard index). The replay
+  /// paths additionally publish their merge/fault stats on completion, so
+  /// one attached registry satisfies every serve conservation rule.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Publish every shard's admission account and completion counters into
+  /// `registry` (per-shard labels), live mode only; no-op before start().
+  void publish_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   /// Shared census core: attribute each request's lease block to
   /// owner_of[i], with `primary` used to flag failover attributions.
@@ -312,6 +353,8 @@ class ShardCluster {
   std::unique_ptr<FanInSink> fan_in_;
   bool running_ = false;
   bool live_used_ = false;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace idp::serve

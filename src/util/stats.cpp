@@ -152,6 +152,48 @@ double LatencyHistogram::percentile(double q) const {
   return max_seen_;
 }
 
+const std::vector<std::string>& latency_summary_columns() {
+  static const std::vector<std::string> kColumns{"count", "min", "max",
+                                                 "p50",   "p90", "p99"};
+  return kColumns;
+}
+
+std::vector<double> to_row(const LatencySummary& summary) {
+  return {static_cast<double>(summary.count),
+          summary.min,
+          summary.max,
+          summary.p50,
+          summary.p90,
+          summary.p99};
+}
+
+LatencySummary LatencyHistogram::summary() const {
+  LatencySummary s;
+  s.count = count_;
+  s.min = min();
+  s.max = max();
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+std::vector<HistogramBinRow> LatencyHistogram::to_rows() const {
+  std::vector<HistogramBinRow> rows;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    HistogramBinRow row;
+    row.bin = b;
+    row.lower = std::pow(10.0, log_min_ + static_cast<double>(b) /
+                                              bins_per_decade_);
+    row.upper = std::pow(10.0, log_min_ + static_cast<double>(b + 1) /
+                                              bins_per_decade_);
+    row.count = counts_[b];
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   // Compare the full configured geometry, not just the derived bin count:
   // different max_values can round to the same bin count (e.g. spans of

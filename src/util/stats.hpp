@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace idp::util {
@@ -44,6 +46,37 @@ double percentile_sorted(std::span<const double> sorted, double q);
 std::vector<double> percentiles_of(std::vector<double>& values,
                                    std::span<const double> qs);
 
+/// The canonical latency-statistic row every export shares: the metrics
+/// registry's CSV snapshot, the serve telemetry-summary CSV and the bench
+/// counters all emit exactly these statistics under exactly these column
+/// names, so downstream tooling parses one schema. Every field is
+/// order-independent (counts, exact extremes, bin-interpolated
+/// percentiles), which keeps summaries of a deterministic replay bitwise
+/// identical at any parallelism.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Column names of LatencySummary, in to_row() order:
+/// count, min, max, p50, p90, p99.
+const std::vector<std::string>& latency_summary_columns();
+
+/// One numeric row matching latency_summary_columns().
+std::vector<double> to_row(const LatencySummary& summary);
+
+/// One occupied histogram bin: geometric bounds plus its sample count.
+struct HistogramBinRow {
+  std::size_t bin = 0;     ///< bin index
+  double lower = 0.0;      ///< inclusive lower bound of the bin's span
+  double upper = 0.0;      ///< exclusive upper bound
+  std::uint64_t count = 0;
+};
+
 /// Streaming fixed-bin log-scale histogram for positive, latency-shaped
 /// data (service times, queue waits): decades between `min_value` and
 /// `max_value` are split into `bins_per_decade` geometric bins, add() is
@@ -71,6 +104,14 @@ class LatencyHistogram {
 
   /// Interpolated percentile estimate, q in [0, 1]; 0 when empty.
   double percentile(double q) const;
+
+  /// The canonical order-independent statistic row (count, exact min/max,
+  /// p50/p90/p99) -- see LatencySummary.
+  LatencySummary summary() const;
+
+  /// Occupied bins as (index, lower, upper, count) rows, in bin order --
+  /// the registry CSV export's per-bin detail. Empty bins are skipped.
+  std::vector<HistogramBinRow> to_rows() const;
 
   /// Fold another histogram in; bin configurations must match.
   void merge(const LatencyHistogram& other);

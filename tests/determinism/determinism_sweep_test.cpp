@@ -1,12 +1,14 @@
 /// \file determinism_sweep_test.cpp
 /// The unified bitwise-determinism sweep: one parameterized test drives the
-/// seven parallel workloads -- multiplexed panel scan, design-space
+/// eight parallel workloads -- multiplexed panel scan, design-space
 /// explorer, calibration campaigns, the longitudinal cohort (with
 /// degradation + adaptive recalibration active), the diagnostics
 /// service (a replayed mixed request log with degradation + scheduled
 /// recalibration epochs), the 2-shard cluster replay merged across the
-/// fault-injecting simulated network, and the fault-tolerant replay
-/// recovering from loss/crash/partition schedules via retry + failover
+/// fault-injecting simulated network, the fault-tolerant replay
+/// recovering from loss/crash/partition schedules via retry + failover,
+/// and the observability surfaces themselves (the canonical trace and
+/// the metrics snapshot of a replayed log)
 /// -- across 5 seeds at parallelism {1, 2, hardware}
 /// and asserts digest equality against the sequential run. This replaces the per-subsystem copy-pasted
 /// determinism tests; the shared scaffolding lives in
@@ -21,6 +23,8 @@
 #include "common/determinism.hpp"
 #include "core/explorer.hpp"
 #include "netsim/sim_network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quant/calibration_store.hpp"
 #include "scenario/longitudinal.hpp"
 #include "serve/scheduler.hpp"
@@ -288,6 +292,76 @@ std::uint64_t faulted_digest(std::uint64_t seed, std::size_t parallelism) {
   return d.value();
 }
 
+std::uint64_t obs_digest(std::uint64_t seed, std::size_t parallelism) {
+  // The observability acceptance criterion: the serve workload replayed
+  // with a TraceRecorder and a MetricsRegistry attached, digesting the
+  // *observability surfaces* instead of the responses. The canonical
+  // trace and the metric snapshot (counters plus order-independent
+  // histogram summaries) must be pure functions of (log, seed, config) --
+  // bitwise identical at any parallelism. Unlike the response workloads,
+  // the trace is schedule metadata (leases, run-ids, epochs, counts): a
+  // pure function of the *log*, blind to the engine noise seed -- so here
+  // the seed varies the traffic log, not the service.
+  quant::CampaignConfig campaign;
+  campaign.seed = 626262;
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = seed;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.05;
+  aging.enzyme_decay_per_day = 0.02;
+  aging.seed = seed ^ 0x5e47e;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration_interval_days = 4.0;
+  serve::DiagnosticsService service(store, config);
+
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  service.set_trace(&trace);
+  service.set_metrics(&metrics);
+
+  serve::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.sessions = 6;
+  traffic.seed = seed;  // the log IS the seed-sensitive input here
+  traffic.duration_h = 9.0 * 24.0;  // crosses two epoch boundaries
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(traffic, service);
+
+  serve::Scheduler scheduler(service);
+  (void)scheduler.replay(log, parallelism);
+
+  test::BitDigest d;
+  for (const obs::TraceEvent& e : trace.sorted()) {
+    d.add_u64(e.key);
+    d.add_u64(static_cast<std::uint64_t>(e.kind));
+    d.add_u64(e.entity);
+    d.add_u64(e.sequence);
+    d.add_u64(e.tick);
+    d.add(e.time_h);
+    d.add(e.value);
+  }
+  d.add_u64(trace.sorted().size());
+  for (const obs::MetricSample& s : metrics.snapshot().samples) {
+    for (const char c : s.name) {
+      d.add_u64(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.tenant)));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.shard)));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.priority)));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.channel)));
+    d.add_u64(static_cast<std::uint64_t>(s.type));
+    d.add(s.value);
+    for (const double v : util::to_row(s.latency)) d.add(v);
+  }
+  return d.value();
+}
+
 // --- the parameterized sweep ------------------------------------------------
 
 struct Workload {
@@ -321,7 +395,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Workload{"cohort", cohort_digest},
                       Workload{"serve", serve_digest},
                       Workload{"sharded", sharded_digest},
-                      Workload{"faulted", faulted_digest}),
+                      Workload{"faulted", faulted_digest},
+                      Workload{"obs", obs_digest}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 }  // namespace

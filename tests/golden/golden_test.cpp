@@ -25,9 +25,12 @@
 #include "afe/mux.hpp"
 #include "bio/library.hpp"
 #include "netsim/sim_network.hpp"
+#include "obs/health.hpp"
+#include "obs/trace.hpp"
 #include "quant/calibration_store.hpp"
 #include "scenario/longitudinal.hpp"
 #include "serve/result_sink.hpp"
+#include "serve/scheduler.hpp"
 #include "serve/shard_coordinator.hpp"
 #include "serve/traffic.hpp"
 #include "sim/engine.hpp"
@@ -425,6 +428,121 @@ TEST(Golden, ShardedReplayK2MatchesFixture) {
   const util::CsvTable table = util::read_csv(tmp);
   std::remove(tmp.c_str());
   check_golden("sharded_replay_k2", table, 1e-9, 1e-18);
+}
+
+TEST(Golden, ObsTraceK2MatchesFixture) {
+  // The canonical observability trace of the ShardedReplayK2 scenario:
+  // the same fixed log through the same 2-shard cluster and seeded
+  // network, with a TraceRecorder attached. The fixture pins the sorted
+  // span table *exactly* (zero tolerance) -- the trace is a pure function
+  // of (log, seed, config), so any change to lease assignment, routing,
+  // epoch scheduling or the span taxonomy itself is a diff here.
+  quant::CampaignConfig campaign = golden_campaign();
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = 0x601d;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.05;
+  aging.enzyme_decay_per_day = 0.02;
+  aging.seed = 0x601d ^ 0x5e47e;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration_interval_days = 4.0;
+
+  serve::ShardClusterConfig cluster_config;
+  cluster_config.router.shards = 2;
+  serve::ShardCluster cluster(store, config, cluster_config);
+  obs::TraceRecorder trace;
+  cluster.set_trace(&trace);
+
+  serve::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.sessions = 6;
+  traffic.seed = 0x601d;
+  traffic.duration_h = 9.0 * 24.0;
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(traffic, cluster.shard(0));
+
+  test::SimNetConfig net;
+  net.seed = 0x601d;
+  net.max_delay_ticks = 32;
+  net.duplicate_prob = 0.15;
+  test::SimNetTransport transport(net);
+
+  (void)cluster.replay(log, 1, &transport);
+  const std::string tmp = ::testing::TempDir() + "/idp_golden_obs_trace.csv";
+  trace.to_csv(tmp);
+  const util::CsvTable table = util::read_csv(tmp);
+  std::remove(tmp.c_str());
+  check_golden("obs_trace_k2", table, 0.0, 0.0);  // exact: no noise anywhere
+}
+
+TEST(Golden, FleetHealthReportMatchesFixture) {
+  // A 30-day degraded fleet through the real service QC path: four
+  // sessions on one service with fouling + enzyme decay + interference
+  // storms live, a QC check per sensor every 3 days, the merged response
+  // log streamed into the FleetHealthAnalyzer. The fixture pins the
+  // ranked root-cause report -- classifier thresholds, feature
+  // extraction, scoring and the ranking order all diff here.
+  quant::CampaignConfig campaign = golden_campaign();
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose};
+  config.engine_seed = 0x601d;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.06;
+  aging.enzyme_decay_per_day = 0.03;
+  aging.sensor_variability = 0.3;
+  aging.storms_per_day = 0.1;
+  aging.storm_current_A = 1e-8;
+  aging.seed = 0x601d;
+  config.degradation = fault::DegradationModel(aging);
+  serve::DiagnosticsService service(store, config);
+
+  std::vector<serve::Request> log;
+  std::uint64_t id = 0;
+  for (std::uint32_t day = 0; day <= 30; day += 3) {
+    for (std::uint64_t patient = 0; patient < 4; ++patient) {
+      serve::Request qc;
+      qc.id = id++;
+      qc.session = {.tenant = 1, .patient = patient, .device = 0};
+      qc.priority = serve::Priority::kRoutine;
+      qc.kind = serve::RequestKind::kQcCheck;
+      qc.channel = 0;
+      qc.time_h = 24.0 * day + static_cast<double>(patient);
+      log.push_back(qc);
+    }
+  }
+
+  serve::Scheduler scheduler(service);
+  const std::vector<serve::Response> responses = scheduler.replay(log, 1);
+
+  // Thresholds tuned to the integrated QC path's residual scale: the
+  // service standardises against the calibration's response sigma, so a
+  // deep attenuation registers as a few sigma (vs the drill's synthetic
+  // 30-sigma-per-unit-signal scale) and honest measurement noise sits
+  // near 1.5 sigma of first-difference volatility.
+  obs::HealthThresholds thresholds;
+  thresholds.volatility = 3.0;
+  thresholds.attenuation_drop = 1.5;
+  obs::FleetHealthAnalyzer analyzer(thresholds);
+  for (const serve::Response& r : responses) analyzer.add_response(r);
+  const obs::FleetHealthReport report = analyzer.report();
+  ASSERT_EQ(report.sensors.size(), 4u);
+
+  const std::string tmp = ::testing::TempDir() + "/idp_golden_fleet.csv";
+  report.to_csv(tmp);
+  const util::CsvTable table = util::read_csv(tmp);
+  std::remove(tmp.c_str());
+  check_golden("fleet_health_report", table, 1e-9, 1e-18);
 }
 
 }  // namespace

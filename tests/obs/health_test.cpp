@@ -1,0 +1,423 @@
+/// \file health_test.cpp
+/// Fleet health suite: feature extraction on synthetic QC series, the
+/// rule classifier's per-cause behaviour, score monotonicity, the
+/// FleetHealthAnalyzer response/network plumbing, and the acceptance
+/// drill -- root-cause attribution over DegradationModel-ground-truth
+/// cohorts must reach >= 90% accuracy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "fault/degradation.hpp"
+#include "obs/health.hpp"
+#include "serve/request.hpp"
+
+namespace idp {
+namespace {
+
+// --- synthetic series helpers -----------------------------------------------
+
+/// A flat, quiet series at a constant residual level.
+std::vector<obs::QcObservation> flat_series(std::size_t n, double level = 0.0) {
+  std::vector<obs::QcObservation> series;
+  series.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series.push_back({static_cast<double>(i), level, level});
+  }
+  return series;
+}
+
+// --- feature extraction -------------------------------------------------------
+
+TEST(ExtractFeatures, EmptyAndSingletonSeriesAreBenign) {
+  const obs::SensorHealthFeatures empty = obs::extract_features({});
+  EXPECT_EQ(empty.observations, 0u);
+  EXPECT_EQ(empty.duration_days, 0.0);
+  EXPECT_EQ(empty.volatility, 0.0);
+  EXPECT_EQ(empty.curvature, 0.0);
+
+  const std::vector<obs::QcObservation> one{{5.0, 1.0, -2.0}};
+  const obs::SensorHealthFeatures f = obs::extract_features(one);
+  EXPECT_EQ(f.observations, 1u);
+  EXPECT_EQ(f.duration_days, 0.0);
+  EXPECT_EQ(f.blank_mean, 1.0);
+  EXPECT_EQ(f.standard_mean, -2.0);
+  EXPECT_EQ(f.blank_trend, 0.0);  // degenerate time axis: slope defined as 0
+}
+
+TEST(ExtractFeatures, IsOrderInvariantAndMeasuresDuration) {
+  std::vector<obs::QcObservation> forward = flat_series(10, 0.5);
+  std::vector<obs::QcObservation> reversed(forward.rbegin(), forward.rend());
+  const obs::SensorHealthFeatures a = obs::extract_features(forward);
+  const obs::SensorHealthFeatures b = obs::extract_features(reversed);
+  EXPECT_EQ(a.duration_days, 9.0);
+  EXPECT_EQ(a.blank_mean, b.blank_mean);
+  EXPECT_EQ(a.standard_trend, b.standard_trend);
+  EXPECT_EQ(a.volatility, b.volatility);
+  EXPECT_EQ(a.curvature, b.curvature);
+}
+
+TEST(ExtractFeatures, RampYieldsTrendWithoutVolatility) {
+  // blank rises 0.2 sigma/day, standard falls 0.4 sigma/day; consecutive
+  // differences are constant, so the walk detector must stay silent.
+  std::vector<obs::QcObservation> series;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double t = static_cast<double>(i);
+    series.push_back({t, 0.2 * t, -0.4 * t});
+  }
+  const obs::SensorHealthFeatures f = obs::extract_features(series);
+  EXPECT_NEAR(f.blank_trend, 0.2, 1e-12);
+  EXPECT_NEAR(f.standard_trend, -0.4, 1e-12);
+  EXPECT_NEAR(f.volatility, 0.0, 1e-12);
+  EXPECT_GT(f.standard_drop, 0.0);  // early-minus-late: positive = loss
+}
+
+TEST(ExtractFeatures, CountsSpikesAgainstTheMedian) {
+  std::vector<obs::QcObservation> series = flat_series(12);
+  series[3].blank_residual = 10.0;  // |10 - 0| > 6 -> spike
+  series[7].blank_residual = -8.0;  // spike
+  series[9].blank_residual = 4.0;   // inside the 6-sigma gate
+  const obs::SensorHealthFeatures f = obs::extract_features(series);
+  EXPECT_EQ(f.blank_spikes, 2.0);
+}
+
+TEST(ExtractFeatures, RandomWalkRaisesVolatility) {
+  // +/- 2 sigma alternation: every first difference is 4 sigma.
+  std::vector<obs::QcObservation> series;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double level = (i % 2 == 0) ? 2.0 : -2.0;
+    series.push_back({static_cast<double>(i), 0.0, level});
+  }
+  const obs::SensorHealthFeatures f = obs::extract_features(series);
+  EXPECT_GT(f.volatility, 3.0);
+  EXPECT_NEAR(std::fabs(f.standard_trend), 0.0, 0.2);
+}
+
+TEST(ExtractFeatures, CurvatureSeparatesFoulingFromDecayShapes) {
+  // Same total attenuation (~50% signal loss over 30 days), different
+  // shapes: 1/(1+f*t) bends early, exp(-k*t) stays near-log-linear.
+  std::vector<obs::QcObservation> fouling, decay;
+  for (std::size_t i = 0; i <= 30; ++i) {
+    const double t = static_cast<double>(i);
+    const double f_level = 30.0 * (1.0 / (1.0 + 0.04 * t) - 1.0);
+    const double k_level = 30.0 * (std::exp(-0.023 * t) - 1.0);
+    fouling.push_back({t, 0.0, f_level});
+    decay.push_back({t, 0.0, k_level});
+  }
+  const obs::SensorHealthFeatures ff = obs::extract_features(fouling);
+  const obs::SensorHealthFeatures fd = obs::extract_features(decay);
+  EXPECT_GT(ff.standard_drop, 6.0);
+  EXPECT_GT(fd.standard_drop, 6.0);
+  const obs::HealthThresholds thresholds;
+  EXPECT_GT(ff.curvature, thresholds.fouling_curvature);
+  EXPECT_LT(fd.curvature, thresholds.fouling_curvature);
+}
+
+// --- classifier branch order --------------------------------------------------
+
+obs::SensorHealthFeatures quiet_features() {
+  // Inside every threshold: classifies healthy, scores exactly 1.
+  obs::SensorHealthFeatures f;
+  f.observations = 31;
+  f.duration_days = 30.0;
+  return f;
+}
+
+TEST(Classify, QuietSensorIsHealthyWithPerfectScore) {
+  const obs::SensorHealthFeatures f = quiet_features();
+  EXPECT_EQ(obs::classify(f), obs::RootCause::kHealthy);
+  EXPECT_EQ(obs::health_score(f), 1.0);
+}
+
+TEST(Classify, NetworkEvidenceWinsOverEverySensorSymptom) {
+  obs::SensorHealthFeatures f = quiet_features();
+  f.network.retry_rate = 1.0;   // over 0.5
+  f.blank_spikes = 10.0;        // would be a storm
+  f.volatility = 5.0;           // would be reference drift
+  EXPECT_EQ(obs::classify(f), obs::RootCause::kNetworkFault);
+
+  obs::SensorHealthFeatures g = quiet_features();
+  g.network.reroute_rate = 0.3;  // reroutes alone suffice
+  EXPECT_EQ(obs::classify(g), obs::RootCause::kNetworkFault);
+}
+
+TEST(Classify, StormMasksDriftAndAttenuation) {
+  obs::SensorHealthFeatures f = quiet_features();
+  f.blank_spikes = 4.0;
+  f.volatility = 5.0;
+  f.standard_drop = 20.0;
+  EXPECT_EQ(obs::classify(f), obs::RootCause::kInterferenceStorm);
+}
+
+TEST(Classify, VolatilityThenBlankTrendThenAttenuationShape) {
+  obs::SensorHealthFeatures f = quiet_features();
+  f.volatility = 2.0;
+  f.blank_trend = 0.5;
+  EXPECT_EQ(obs::classify(f), obs::RootCause::kReferenceDrift);
+
+  f.volatility = 0.0;
+  EXPECT_EQ(obs::classify(f), obs::RootCause::kAfeDrift);
+
+  f.blank_trend = 0.0;
+  f.standard_drop = 10.0;
+  f.curvature = 0.7;
+  EXPECT_EQ(obs::classify(f), obs::RootCause::kFouling);
+
+  f.curvature = 0.3;
+  EXPECT_EQ(obs::classify(f), obs::RootCause::kEnzymeDecay);
+}
+
+TEST(HealthScore, ShrinksWithSeverityAndStaysInUnitInterval) {
+  obs::SensorHealthFeatures mild = quiet_features();
+  mild.standard_drop = 9.0;  // 1.5x the 6-sigma threshold
+  obs::SensorHealthFeatures severe = mild;
+  severe.standard_drop = 30.0;
+  severe.volatility = 6.0;
+
+  const double s_mild = obs::health_score(mild);
+  const double s_severe = obs::health_score(severe);
+  EXPECT_LT(s_mild, 1.0);
+  EXPECT_LT(s_severe, s_mild);
+  EXPECT_GT(s_severe, 0.0);
+  EXPECT_NEAR(s_mild, 1.0 / 1.5, 1e-12);  // 1 / (1 + (9/6 - 1))
+}
+
+// --- the analyzer -------------------------------------------------------------
+
+serve::Response qc_response(const serve::SessionKey& session,
+                            std::uint32_t channel, double age_days,
+                            double blank, double standard) {
+  serve::Response r;
+  r.session = session;
+  r.kind = serve::RequestKind::kQcCheck;
+  r.sensor_age_days = age_days;
+  r.qc_blank_residual = blank;
+  r.qc_standard_residual = standard;
+  serve::ChannelResult c;
+  c.channel = channel;
+  r.channels.push_back(c);
+  return r;
+}
+
+TEST(FleetHealthAnalyzer, OnlyQcChecksContribute) {
+  obs::FleetHealthAnalyzer analyzer;
+  const serve::SessionKey session{1, 2, 3};
+  serve::Response scan = qc_response(session, 0, 1.0, 0.0, 0.0);
+  scan.kind = serve::RequestKind::kPanelScan;
+  analyzer.add_response(scan);
+  EXPECT_EQ(analyzer.sensor_count(), 0u);
+
+  analyzer.add_response(qc_response(session, 0, 1.0, 0.0, 0.0));
+  analyzer.add_response(qc_response(session, 1, 1.0, 0.0, 0.0));
+  EXPECT_EQ(analyzer.sensor_count(), 2u);  // per (session, channel)
+}
+
+TEST(FleetHealthAnalyzer, NetworkEvidenceAppliesToEverySensorOfTheSession) {
+  obs::FleetHealthAnalyzer analyzer;
+  const serve::SessionKey faulted{1, 10, 0};
+  const serve::SessionKey clean{1, 11, 0};
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double t = static_cast<double>(i);
+    analyzer.add_response(qc_response(faulted, 0, t, 0.0, 0.0));
+    analyzer.add_response(qc_response(faulted, 1, t, 0.0, 0.0));
+    analyzer.add_response(qc_response(clean, 0, t, 0.0, 0.0));
+  }
+  analyzer.note_network(faulted, {.retry_rate = 1.5, .reroute_rate = 0.6,
+                                  .failovers = 2.0});
+
+  const obs::FleetHealthReport report = analyzer.report();
+  ASSERT_EQ(report.sensors.size(), 3u);
+  EXPECT_EQ(report.count_of(obs::RootCause::kNetworkFault), 2u);
+  EXPECT_EQ(report.count_of(obs::RootCause::kHealthy), 1u);
+  // Ranked sickest-first: both faulted sensors precede the clean one.
+  EXPECT_EQ(report.sensors[0].session, faulted);
+  EXPECT_EQ(report.sensors[1].session, faulted);
+  EXPECT_LT(report.sensors[1].channel, 2u);
+  EXPECT_EQ(report.sensors[2].session, clean);
+  EXPECT_EQ(report.sensors[2].score, 1.0);
+}
+
+TEST(FleetHealthAnalyzer, ReportIsSortedByScoreThenSessionThenChannel) {
+  obs::FleetHealthAnalyzer analyzer;
+  // Two equally-sick sensors on different sessions plus one healthy: the
+  // tie breaks on the session key for a total deterministic order.
+  for (std::size_t i = 0; i < 12; ++i) {
+    const double t = static_cast<double>(i);
+    const double sick = -1.0 * t;  // 12-sigma attenuation ramp
+    analyzer.add_response(qc_response({2, 5, 0}, 1, t, 0.0, sick));
+    analyzer.add_response(qc_response({1, 9, 0}, 3, t, 0.0, sick));
+    analyzer.add_response(qc_response({0, 1, 0}, 0, t, 0.0, 0.0));
+  }
+  const obs::FleetHealthReport report = analyzer.report();
+  ASSERT_EQ(report.sensors.size(), 3u);
+  EXPECT_EQ(report.sensors[0].session.tenant, 1u);  // tie -> session order
+  EXPECT_EQ(report.sensors[1].session.tenant, 2u);
+  EXPECT_EQ(report.sensors[2].session.tenant, 0u);  // healthy last
+}
+
+// --- acceptance drill: DegradationModel ground truth --------------------------
+
+/// Residual synthesis: maps a fault::SensorState to the standardised QC
+/// residuals the serve QC path produces, with fixed instrument scales.
+/// Signal attenuation (enzyme x membrane x AFE gain) moves the standard
+/// residual at 30 sigma per unit of lost signal; reference shift moves it
+/// at 150 sigma/V; baseline current (AFE offset + storms) moves both
+/// residuals at 1e9 sigma/A; measurement noise is 0.3 sigma white.
+struct ResidualScales {
+  double per_unit_signal = 30.0;
+  double per_volt = 150.0;
+  double per_amp = 1e9;
+  double noise_sigma = 0.3;
+};
+
+obs::QcObservation observe(const fault::SensorState& state, double age_days,
+                           const ResidualScales& scales,
+                           std::mt19937_64& rng) {
+  std::normal_distribution<double> noise(0.0, scales.noise_sigma);
+  const double baseline =
+      scales.per_amp * (state.afe_offset_A + state.storm_current_A);
+  obs::QcObservation o;
+  o.age_days = age_days;
+  o.blank_residual = baseline + noise(rng);
+  o.standard_residual =
+      scales.per_unit_signal * (state.enzyme_activity *
+                                    state.membrane_transmission *
+                                    state.afe_gain -
+                                1.0) +
+      scales.per_volt * state.reference_shift_V + baseline + noise(rng);
+  return o;
+}
+
+struct DrillCause {
+  obs::RootCause truth;
+  fault::DegradationModel model;
+  obs::NetworkFeatures network;
+};
+
+std::vector<DrillCause> drill_causes() {
+  std::vector<DrillCause> causes;
+  causes.push_back({obs::RootCause::kHealthy, fault::DegradationModel{}, {}});
+
+  fault::DegradationParams decay;
+  decay.enzyme_decay_per_day = 0.02;
+  decay.sensor_variability = 0.2;
+  decay.seed = 101;
+  causes.push_back({obs::RootCause::kEnzymeDecay,
+                    fault::DegradationModel(decay), {}});
+
+  fault::DegradationParams fouling;
+  fouling.fouling_rate_per_day = 0.04;
+  fouling.sensor_variability = 0.2;
+  fouling.seed = 102;
+  causes.push_back({obs::RootCause::kFouling,
+                    fault::DegradationModel(fouling), {}});
+
+  fault::DegradationParams reference;
+  reference.reference_walk_V_per_sqrt_day = 0.02;  // 3-sigma daily steps
+  reference.seed = 103;
+  causes.push_back({obs::RootCause::kReferenceDrift,
+                    fault::DegradationModel(reference), {}});
+
+  fault::DegradationParams afe;
+  afe.afe_offset_A_per_day = 2e-10;  // 0.2 sigma/day blank ramp
+  afe.seed = 104;
+  causes.push_back({obs::RootCause::kAfeDrift,
+                    fault::DegradationModel(afe), {}});
+
+  fault::DegradationParams storm;
+  storm.storms_per_day = 0.2;
+  storm.storm_current_A = 2e-8;  // ~20-sigma blank spikes when hit
+  storm.seed = 105;
+  causes.push_back({obs::RootCause::kInterferenceStorm,
+                    fault::DegradationModel(storm), {}});
+
+  causes.push_back({obs::RootCause::kNetworkFault, fault::DegradationModel{},
+                    {.retry_rate = 1.2, .reroute_rate = 0.5,
+                     .failovers = 2.0}});
+  return causes;
+}
+
+TEST(RootCauseDrill, AttributionAccuracyIsAtLeastNinetyPercent) {
+  // 7 causes x 10 sensors, each observed daily for a 30-day deployment
+  // through the residual synthesis above; ground truth is the
+  // DegradationModel (plus injected network evidence) that generated the
+  // series. The acceptance bar is >= 90% attribution accuracy.
+  constexpr std::size_t kSensorsPerCause = 10;
+  constexpr std::size_t kDays = 30;
+  const ResidualScales scales;
+  const std::vector<DrillCause> causes = drill_causes();
+
+  obs::FleetHealthAnalyzer analyzer;
+  std::mt19937_64 rng(0xD12177u);  // one stream: fully deterministic drill
+  for (std::size_t c = 0; c < causes.size(); ++c) {
+    for (std::size_t s = 0; s < kSensorsPerCause; ++s) {
+      const serve::SessionKey session{static_cast<std::uint32_t>(c),
+                                      static_cast<std::uint64_t>(s), 0};
+      const fault::SensorSite site{.patient = s, .channel = 0};
+      for (std::size_t day = 0; day <= kDays; ++day) {
+        const double age = static_cast<double>(day);
+        const fault::SensorState state =
+            causes[c].model.state_at(age, site);
+        const obs::QcObservation o = observe(state, age, scales, rng);
+        analyzer.add_response(qc_response(session, 0, o.age_days,
+                                          o.blank_residual,
+                                          o.standard_residual));
+      }
+      if (causes[c].truth == obs::RootCause::kNetworkFault) {
+        analyzer.note_network(session, causes[c].network);
+      }
+    }
+  }
+
+  const obs::FleetHealthReport report = analyzer.report();
+  ASSERT_EQ(report.sensors.size(), causes.size() * kSensorsPerCause);
+
+  std::size_t correct = 0;
+  std::vector<std::size_t> confusion(obs::kRootCauseCount *
+                                     obs::kRootCauseCount);
+  for (const obs::SensorHealthRecord& r : report.sensors) {
+    const obs::RootCause truth = causes[r.session.tenant].truth;
+    if (r.cause == truth) ++correct;
+    confusion[static_cast<std::size_t>(truth) * obs::kRootCauseCount +
+              static_cast<std::size_t>(r.cause)] += 1;
+  }
+  const double accuracy =
+      static_cast<double>(correct) /
+      static_cast<double>(report.sensors.size());
+  EXPECT_GE(accuracy, 0.9) << [&] {
+    std::string table = "confusion (truth -> attributed):\n";
+    for (std::size_t i = 0; i < obs::kRootCauseCount; ++i) {
+      for (std::size_t j = 0; j < obs::kRootCauseCount; ++j) {
+        const std::size_t n = confusion[i * obs::kRootCauseCount + j];
+        if (n == 0) continue;
+        table += std::string("  ") +
+                 obs::to_string(static_cast<obs::RootCause>(i)) + " -> " +
+                 obs::to_string(static_cast<obs::RootCause>(j)) + ": " +
+                 std::to_string(n) + "\n";
+      }
+    }
+    return table;
+  }();
+
+  // Every degraded cohort must also rank below the healthy one: no
+  // healthy sensor may score lower than the sickest attenuating sensor.
+  double worst_healthy = 1.0;
+  double best_degraded = 1.0;
+  for (const obs::SensorHealthRecord& r : report.sensors) {
+    const obs::RootCause truth = causes[r.session.tenant].truth;
+    if (truth == obs::RootCause::kHealthy) {
+      worst_healthy = std::min(worst_healthy, r.score);
+    } else {
+      best_degraded = std::min(best_degraded, r.score);
+    }
+  }
+  EXPECT_EQ(worst_healthy, 1.0);
+  EXPECT_LT(best_degraded, 1.0);
+}
+
+}  // namespace
+}  // namespace idp
