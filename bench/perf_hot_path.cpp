@@ -1,13 +1,15 @@
 /// \file perf_hot_path.cpp
 /// Hot-path performance trajectory bench: times the tridiagonal solver
-/// kernel, a single diffusion-field step, single-channel CA/CV runs, the
-/// multiplexed panel scan at several parallelism levels and a full
-/// design-space exploration. Writes google-benchmark JSON to
+/// kernel (scalar and SoA lane-batched), a single diffusion-field step,
+/// single-channel CA/CV runs, the multiplexed panel scan at several
+/// (parallelism, lane width) points and a full design-space exploration.
+/// Writes google-benchmark JSON to
 /// BENCH_hot_path.json (override with --benchmark_out=...) so successive
 /// PRs accumulate a measurable performance history.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -52,6 +54,28 @@ void BM_TridiagSolveInplace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TridiagSolveInplace)->Arg(64)->Arg(301);
+
+/// The SoA lane-batched Thomas sweep at n=64 nodes: per-system cost should
+/// fall as the lane loop vectorizes (items_processed reports systems/sec,
+/// so lanes:1 vs lanes:8 compares like-for-like).
+void BM_TridiagSolveBatched(benchmark::State& state) {
+  const std::size_t n = 64;
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  std::vector<double> lower(n * lanes, -1.0), diag(n * lanes, 4.0),
+      upper(n * lanes, -1.0), rhs(n * lanes, 1.0);
+  std::vector<double> scratch(n * lanes), out(n * lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    lower[l] = upper[(n - 1) * lanes + l] = 0.0;
+  }
+  for (auto _ : state) {
+    chem::solve_tridiagonal_batched(n, lanes, lower, diag, upper, rhs, scratch,
+                                    out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_TridiagSolveBatched)->Arg(1)->Arg(4)->Arg(8)->ArgName("lanes");
 
 void BM_DiffusionFieldStep(benchmark::State& state) {
   chem::Grid1D grid = chem::Grid1D::membrane_bulk(50e-6, 26, 1.18, 60e-6);
@@ -105,12 +129,82 @@ BENCHMARK(BM_SingleChannelCV);
 
 // ----------------------------------------------------------- panel scan
 
-/// The Fig. 4 style panel: three oxidase CA channels + two CYP CV channels.
-/// Probes are calibrated once and shared across iterations (every run
-/// resets probe state before stepping).
-struct PanelProbes {
+/// The batched-kernel panel: eight oxidase CA channels (distinct probe
+/// instances so parallel runs never share mutable state) that the engine
+/// gathers into SoA lane groups. Probes are calibrated once and shared
+/// across iterations (every run resets probe state before stepping).
+struct OxidasePanelProbes {
   std::vector<bio::ProbePtr> probes;
-  PanelProbes() {
+  OxidasePanelProbes() {
+    const bio::TargetId ids[] = {
+        bio::TargetId::kGlucose,   bio::TargetId::kLactate,
+        bio::TargetId::kGlutamate, bio::TargetId::kGlucose,
+        bio::TargetId::kLactate,   bio::TargetId::kGlutamate,
+        bio::TargetId::kGlucose,   bio::TargetId::kLactate};
+    for (bio::TargetId id : ids) {
+      probes.push_back(bio::make_probe(id));
+    }
+    probes[0]->set_bulk_concentration("glucose", 2.0);
+    probes[1]->set_bulk_concentration("lactate", 1.0);
+    probes[2]->set_bulk_concentration("glutamate", 0.1);
+    probes[3]->set_bulk_concentration("glucose", 1.4);
+    probes[4]->set_bulk_concentration("lactate", 0.6);
+    probes[5]->set_bulk_concentration("glutamate", 0.05);
+    probes[6]->set_bulk_concentration("glucose", 0.8);
+    probes[7]->set_bulk_concentration("lactate", 1.8);
+  }
+};
+
+/// Eight-channel CA panel at (parallelism, lane width). lanes=1 is the
+/// pre-batching scalar path; lanes=4/8 step that many channels in lockstep
+/// through the SoA tridiagonal solve. The lanes:1 vs lanes:8 ratio at
+/// parallelism 1 is the headline batched-kernel speedup tracked in
+/// bench/baselines/BENCH_hot_path.json.
+void BM_PanelScan(benchmark::State& state) {
+  static OxidasePanelProbes fixture;
+  const auto parallelism = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+
+  std::vector<sim::Channel> channels;
+  std::vector<sim::ChannelProtocol> protocols;
+  std::vector<std::unique_ptr<afe::AnalogFrontEnd>> fes;
+  std::vector<afe::AnalogFrontEnd*> fe_ptrs;
+  sim::ChronoamperometryProtocol ca;
+  ca.potential = 0.55;
+  ca.duration = 20.0;
+  for (std::size_t i = 0; i < fixture.probes.size(); ++i) {
+    channels.push_back(sim::Channel{fixture.probes[i].get(), nullptr});
+    protocols.emplace_back(ca);
+    fes.push_back(std::make_unique<afe::AnalogFrontEnd>(
+        bench::lab_frontend(10 + i).config()));
+    fe_ptrs.push_back(fes.back().get());
+  }
+
+  sim::EngineConfig cfg;
+  cfg.batch_lanes = lanes;
+  sim::MeasurementEngine engine{cfg};
+  for (auto _ : state) {
+    afe::AnalogMux mux(afe::MuxSpec{});
+    benchmark::DoNotOptimize(
+        engine.run_panel(channels, protocols, fe_ptrs, mux, parallelism));
+  }
+}
+BENCHMARK(BM_PanelScan)
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({0, 1})
+    ->Args({0, 8})
+    ->ArgNames({"parallelism", "lanes"})
+    ->UseRealTime();  // wall-clock is the honest metric for parallel runs
+
+/// The Fig. 4 style mixed panel: three oxidase CA channels + two CYP/direct
+/// CV channels, at the default (auto) lane width -- the production shape,
+/// where the engine batches what it can and runs the rest scalar.
+struct MixedPanelProbes {
+  std::vector<bio::ProbePtr> probes;
+  MixedPanelProbes() {
     probes.push_back(bio::make_probe(bio::TargetId::kGlucose));
     probes.push_back(bio::make_probe(bio::TargetId::kLactate));
     probes.push_back(bio::make_probe(bio::TargetId::kGlutamate));
@@ -124,8 +218,8 @@ struct PanelProbes {
   }
 };
 
-void BM_PanelScan(benchmark::State& state) {
-  static PanelProbes fixture;
+void BM_MixedPanelScan(benchmark::State& state) {
+  static MixedPanelProbes fixture;
   const auto parallelism = static_cast<std::size_t>(state.range(0));
 
   std::vector<sim::Channel> channels;
@@ -158,13 +252,13 @@ void BM_PanelScan(benchmark::State& state) {
         engine.run_panel(channels, protocols, fe_ptrs, mux, parallelism));
   }
 }
-BENCHMARK(BM_PanelScan)
+BENCHMARK(BM_MixedPanelScan)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
     ->Arg(0)
     ->ArgName("parallelism")
-    ->UseRealTime();  // wall-clock is the honest metric for parallel runs
+    ->UseRealTime();
 
 // ------------------------------------------------------------- explorer
 

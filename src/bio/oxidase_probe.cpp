@@ -66,22 +66,23 @@ OxidaseProbe::OxidaseProbe(OxidaseProbeParams params)
                            ? *params_.peroxide_couple
                            : default_peroxide_couple(params_)),
       kinetics_{params_.loading_gain * derive_vmax(params_), params_.km},
-      substrate_(make_grid(params_),
-                 chem::layered_diffusivity(make_grid(params_),
-                                           params_.d_substrate_membrane,
-                                           params_.d_substrate_bulk),
-                 0.0),
-      peroxide_(make_grid(params_),
-                chem::layered_diffusivity(make_grid(params_),
-                                          params_.d_peroxide_membrane,
-                                          params_.d_peroxide_bulk),
-                0.0) {
+      fields_(make_grid(params_), 2) {
   util::require(params_.area > 0.0, "area must be positive");
   util::require(params_.loading_gain > 0.0, "loading gain must be positive");
-  source_substrate_.assign(substrate_.size(), 0.0);
-  source_peroxide_.assign(peroxide_.size(), 0.0);
-  substrate_.set_bulk_concentration(0.0);
-  peroxide_.set_bulk_concentration(0.0);  // H2O2 escapes to a clean bulk
+  fields_.configure_lane(kSubstrateLane,
+                         chem::layered_diffusivity(fields_.grid(),
+                                                   params_.d_substrate_membrane,
+                                                   params_.d_substrate_bulk),
+                         0.0);
+  fields_.configure_lane(kPeroxideLane,
+                         chem::layered_diffusivity(fields_.grid(),
+                                                   params_.d_peroxide_membrane,
+                                                   params_.d_peroxide_bulk),
+                         0.0);
+  // H2O2 escapes to a clean bulk; the substrate bulk tracks
+  // set_bulk_concentration.
+  fields_.set_bulk_concentration(kSubstrateLane, 0.0);
+  fields_.set_bulk_concentration(kPeroxideLane, 0.0);
   calibrate_loading();
 }
 
@@ -89,9 +90,9 @@ double OxidaseProbe::steady_current_at(double c) {
   // Mirror the standard 60 s chronoamperometric read exactly (clean start,
   // tail-window average) so the calibrated sensitivity is what the
   // measurement engine actually reports.
-  substrate_.fill(0.0);
-  substrate_.set_bulk_concentration(c);
-  peroxide_.fill(0.0);
+  fields_.fill(kSubstrateLane, 0.0);
+  fields_.set_bulk_concentration(kSubstrateLane, c);
+  fields_.fill(kPeroxideLane, 0.0);
   constexpr double kDt = 0.05;
   constexpr int kSteps = 1200;      // 60 s
   constexpr int kTailSteps = 240;   // final 12 s
@@ -101,9 +102,9 @@ double OxidaseProbe::steady_current_at(double c) {
     if (k >= kSteps - kTailSteps) tail_sum += i;
   }
   // Restore a pristine state.
-  substrate_.fill(0.0);
-  substrate_.set_bulk_concentration(bulk_concentration_);
-  peroxide_.fill(0.0);
+  fields_.fill(kSubstrateLane, 0.0);
+  fields_.set_bulk_concentration(kSubstrateLane, bulk_concentration_);
+  fields_.fill(kPeroxideLane, 0.0);
   return tail_sum / kTailSteps - params_.background_current;
 }
 
@@ -139,7 +140,7 @@ void OxidaseProbe::apply_sensor_state(const fault::SensorState& state) {
   // rate-limiting) outer membrane; H2O2 egress is left untouched -- the
   // dominant signal loss is on the supply side. (set_diffusivity_scale
   // no-ops when the scale is unchanged.)
-  substrate_.set_diffusivity_scale(state.membrane_transmission);
+  fields_.set_diffusivity_scale(kSubstrateLane, state.membrane_transmission);
 }
 
 void OxidaseProbe::set_bulk_concentration(const std::string& target, double c) {
@@ -147,7 +148,7 @@ void OxidaseProbe::set_bulk_concentration(const std::string& target, double c) {
                 "unknown target '" + target + "' for probe " + params_.name);
   util::require(c >= 0.0, "negative concentration");
   bulk_concentration_ = c;
-  substrate_.set_bulk_concentration(c);
+  fields_.set_bulk_concentration(kSubstrateLane, c);
 }
 
 double OxidaseProbe::step(double e, double dt) {
@@ -155,30 +156,35 @@ double OxidaseProbe::step(double e, double dt) {
   // the outer part is the substrate-limiting film.
   const std::size_t n_mem = static_cast<std::size_t>(
       params_.enzyme_fraction *
-      static_cast<double>(substrate_.grid().membrane_nodes()));
+      static_cast<double>(fields_.grid().membrane_nodes()));
 
   // Enzymatic conversion inside the membrane (explicit source, rate-capped
-  // so the substrate cannot be driven negative within one step).
-  for (std::size_t i = 0; i < source_substrate_.size(); ++i) {
+  // so the substrate cannot be driven negative within one step). Rates are
+  // written straight into the SoA source array: node i's substrate and
+  // peroxide slots are adjacent ([i*2], [i*2+1]).
+  const std::span<double> src = fields_.source_data();
+  const std::size_t nodes = fields_.size();
+  for (std::size_t i = 0; i < nodes; ++i) {
     double r = 0.0;
     if (i < n_mem) {
       // enzyme_activity_ folds sensor aging into the local rate; 1.0 (the
       // pristine default) multiplies out exactly.
-      r = kinetics_.rate(substrate_.at(i)) * enzyme_activity_;
-      r = std::min(r, 0.9 * substrate_.at(i) / dt);
+      r = kinetics_.rate(fields_.at(kSubstrateLane, i)) * enzyme_activity_;
+      r = std::min(r, 0.9 * fields_.at(kSubstrateLane, i) / dt);
     }
-    source_substrate_[i] = -r;
-    source_peroxide_[i] = r;
+    src[i * 2 + kSubstrateLane] = -r;
+    src[i * 2 + kPeroxideLane] = r;
   }
-  substrate_.set_source(source_substrate_);
-  peroxide_.set_source(source_peroxide_);
+  fields_.mark_sources_set();
 
   // H2O2 oxidation at the electrode: irreversible anodic Butler-Volmer.
   const chem::BvRates rates = chem::butler_volmer_rates(peroxide_couple_, e);
-  peroxide_.set_electrode_rate(rates.kf);
+  fields_.set_electrode_rate(kPeroxideLane, rates.kf);
 
-  substrate_.step(dt);  // no electrode reaction for the substrate
-  const double j_peroxide = peroxide_.step(dt);
+  // Both species advance in one lockstep batched solve (the substrate has
+  // no electrode reaction; its flux is identically zero).
+  fields_.step(dt);
+  const double j_peroxide = fields_.electrode_flux(kPeroxideLane);
 
   return static_cast<double>(peroxide_couple_.n) * util::kFaraday *
              params_.area * j_peroxide +
@@ -186,10 +192,10 @@ double OxidaseProbe::step(double e, double dt) {
 }
 
 void OxidaseProbe::reset() {
-  substrate_.fill(0.0);
-  peroxide_.fill(0.0);
-  substrate_.set_bulk_concentration(bulk_concentration_);
-  peroxide_.set_bulk_concentration(0.0);
+  fields_.fill(kSubstrateLane, 0.0);
+  fields_.fill(kPeroxideLane, 0.0);
+  fields_.set_bulk_concentration(kSubstrateLane, bulk_concentration_);
+  fields_.set_bulk_concentration(kPeroxideLane, 0.0);
 }
 
 }  // namespace idp::bio

@@ -17,7 +17,7 @@
 
 #include "bio/enzyme.hpp"
 #include "bio/probe.hpp"
-#include "chem/diffusion.hpp"
+#include "chem/batched_diffusion.hpp"
 #include "chem/redox.hpp"
 
 namespace idp::bio {
@@ -99,11 +99,31 @@ class OxidaseProbe final : public Probe {
 
   /// Table I operating potential for this oxidase.
   double applied_potential() const { return params_.applied_potential; }
-  /// Calibrated Michaelis-Menten law (for white-box tests).
+  /// Calibrated Michaelis-Menten law (for white-box tests and the
+  /// panel-level lane batcher, which replicates the probe's reaction loop).
   const MichaelisMenten& kinetics() const { return kinetics_; }
   /// Substrate / peroxide concentration at the electrode [mol/m^3].
-  double substrate_at_electrode() const { return substrate_.at_electrode(); }
-  double peroxide_at_electrode() const { return peroxide_.at_electrode(); }
+  double substrate_at_electrode() const {
+    return fields_.at_electrode(kSubstrateLane);
+  }
+  double peroxide_at_electrode() const {
+    return fields_.at_electrode(kPeroxideLane);
+  }
+
+  // --- lane-batching hooks ---------------------------------------------
+  // OxidaseLaneBatch steps W probes in lockstep through one SoA solve; it
+  // reads the calibrated state through these accessors and must reproduce
+  // step() bit-for-bit per lane.
+  const OxidaseProbeParams& params() const { return params_; }
+  const chem::RedoxCouple& peroxide_couple() const { return peroxide_couple_; }
+  const chem::Grid1D& grid() const { return fields_.grid(); }
+  double bulk_concentration() const { return bulk_concentration_; }
+  double enzyme_activity() const { return enzyme_activity_; }
+
+  /// Substrate lane index inside the internal 2-lane batch (the probe's own
+  /// step() is the 1-channel case of the batched kernel).
+  static constexpr std::size_t kSubstrateLane = 0;
+  static constexpr std::size_t kPeroxideLane = 1;
 
  private:
   /// Steady-state current at bulk concentration c with the current kinetics
@@ -116,10 +136,12 @@ class OxidaseProbe final : public Probe {
   OxidaseProbeParams params_;
   chem::RedoxCouple peroxide_couple_;
   MichaelisMenten kinetics_;
-  chem::DiffusionField substrate_;
-  chem::DiffusionField peroxide_;
-  std::vector<double> source_substrate_;
-  std::vector<double> source_peroxide_;
+  /// Substrate (lane 0) + peroxide (lane 1) stepped in lockstep through the
+  /// SoA batched solve; the two species share the grid and are
+  /// data-independent within a step (sources are computed before either
+  /// advances), so every single-probe measurement -- campaign, serve,
+  /// cohort -- exercises the batched kernel.
+  chem::BatchedDiffusionField fields_;
   double bulk_concentration_ = 0.0;
   double enzyme_activity_ = 1.0;  ///< fault-state activity fraction
 };

@@ -4,8 +4,10 @@
 
 #include "chem/tridiag.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -60,6 +62,100 @@ void solve_tridiagonal_inplace(std::span<const double> lower,
   // Backward substitution in place.
   for (std::size_t i = n - 1; i-- > 0;) {
     out[i] -= scratch[i] * out[i + 1];
+  }
+}
+
+void solve_tridiagonal_batched(std::size_t n, std::size_t lanes,
+                               std::span<const double> lower,
+                               std::span<const double> diag,
+                               std::span<const double> upper,
+                               std::span<const double> rhs,
+                               std::span<double> scratch,
+                               std::span<double> out) {
+  util::require(n >= 1, "empty system");
+  util::require(lanes >= 1, "empty lane batch");
+  const std::size_t total = n * lanes;
+  util::require(lower.size() == total && diag.size() == total &&
+                    upper.size() == total && rhs.size() == total,
+                "band size mismatch");
+  util::require(scratch.size() == total && out.size() == total,
+                "scratch/out size mismatch");
+  util::require(!overlaps(scratch, out) && !overlaps(scratch, rhs) &&
+                    !overlaps(scratch, lower) && !overlaps(scratch, diag) &&
+                    !overlaps(scratch, upper),
+                "scratch must not alias any other argument");
+  util::require(!overlaps(out, lower) && !overlaps(out, diag) &&
+                    !overlaps(out, upper),
+                "out must not alias a band");
+  util::require(rhs.data() == out.data() || !overlaps(out, rhs),
+                "rhs/out must alias exactly or not at all");
+
+  const double* const lo = lower.data();
+  const double* const di = diag.data();
+  const double* const up = upper.data();
+  const double* const rh = rhs.data();
+  double* const sc = scratch.data();
+  double* const ou = out.data();
+
+  // Forward elimination, node-major with the lane loop innermost. min_abs
+  // folds |denom| across every row of every lane so the singularity check
+  // runs once after the sweep instead of branching per element.
+  //
+  // Each row runs three lane passes instead of one: (1) compute denom,
+  // update out, park denom in scratch; (2) fold |denom| into min_abs;
+  // (3) overwrite scratch with the modified upper band. Per element the
+  // operations and their order are exactly those of the fused loop -- same
+  // divisions, same operands -- so results stay bitwise identical; the
+  // split exists because a scalar float min reduction inside the lane loop
+  // defeats autovectorization of the division-heavy passes (FP min folds
+  // are not reassociable under strict IEEE semantics, and gcc refuses the
+  // whole loop rather than peel the fold out itself).
+  //
+  // The `ivdep` pragmas assert what the overlap preconditions above already
+  // guarantee at runtime: within one row the store range [row, row+lanes)
+  // and the load range [prev, prev+lanes) are adjacent and disjoint, and
+  // scratch/out never alias the bands, so the lane loop carries no
+  // dependence the vectorizer must preserve.
+  double min_abs = std::numeric_limits<double>::infinity();
+#pragma GCC ivdep
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double denom = di[l];
+    ou[l] = rh[l] / denom;
+    sc[l] = denom;
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    min_abs = std::min(min_abs, std::fabs(sc[l]));
+  }
+#pragma GCC ivdep
+  for (std::size_t l = 0; l < lanes; ++l) {
+    sc[l] = up[l] / sc[l];
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t row = i * lanes;
+    const std::size_t prev = row - lanes;
+#pragma GCC ivdep
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const double denom = di[row + l] - lo[row + l] * sc[prev + l];
+      ou[row + l] = (rh[row + l] - lo[row + l] * ou[prev + l]) / denom;
+      sc[row + l] = denom;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      min_abs = std::min(min_abs, std::fabs(sc[row + l]));
+    }
+#pragma GCC ivdep
+    for (std::size_t l = 0; l < lanes; ++l) {
+      sc[row + l] = up[row + l] / sc[row + l];
+    }
+  }
+  util::ensure(min_abs > 0.0, "singular tridiagonal system");
+  // Backward substitution in place.
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const std::size_t row = i * lanes;
+    const std::size_t next = row + lanes;
+#pragma GCC ivdep
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ou[row + l] -= sc[row + l] * ou[next + l];
+    }
   }
 }
 

@@ -36,4 +36,31 @@ std::vector<double> solve_tridiagonal(std::span<const double> lower,
                                       std::span<const double> upper,
                                       std::span<const double> rhs);
 
+/// Lane-batched Thomas solve over `lanes` independent tridiagonal systems
+/// stored structure-of-arrays: element i of lane l lives at `[i*lanes + l]`
+/// in every span (node-major, lane-minor), so the elimination recurrence
+/// walks nodes in the outer loop while the inner lane loop touches
+/// contiguous memory -- the layout the compiler auto-vectorizes.
+///
+/// Per lane the arithmetic is the exact op-for-op sequence of
+/// solve_tridiagonal_inplace (division, multiply, subtract in the same
+/// order), so each lane's solution is bitwise identical to a scalar solve
+/// of that lane -- the kernel-equivalence property test pins this. The one
+/// structural difference: singularity is detected by folding the minimum
+/// |denom| across the forward pass and checking once at the end (IEEE
+/// division by zero yields inf, not a trap, so deferring the check changes
+/// nothing for non-singular systems and keeps the inner loop branch-free).
+///
+/// `rhs` and `out` may alias the same storage; `scratch` must not alias any
+/// other argument and `out` must not alias a band (both enforced). All
+/// spans must have size n*lanes with n >= 1 and lanes >= 1. `lanes == 1`
+/// degenerates to the scalar solve (same layout, same bits).
+void solve_tridiagonal_batched(std::size_t n, std::size_t lanes,
+                               std::span<const double> lower,
+                               std::span<const double> diag,
+                               std::span<const double> upper,
+                               std::span<const double> rhs,
+                               std::span<double> scratch,
+                               std::span<double> out);
+
 }  // namespace idp::chem

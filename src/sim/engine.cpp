@@ -9,6 +9,8 @@
 #include <cmath>
 
 #include "afe/waveform.hpp"
+#include "bio/oxidase_batch.hpp"
+#include "bio/oxidase_probe.hpp"
 #include "sim/batch.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
@@ -17,6 +19,11 @@ namespace idp::sim {
 
 namespace {
 constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+/// Default lockstep lane width when EngineConfig::batch_lanes is 0 (auto):
+/// wide enough to fill AVX registers across the 2x solver lanes per
+/// channel, narrow enough that typical panels still split into parallel
+/// jobs.
+constexpr std::size_t kDefaultPanelLanes = 8;
 }
 
 /// Per-run noise generators: independent white noise for the signal and
@@ -254,6 +261,104 @@ PanelEntryResult MeasurementEngine::run_panel_entry(
   return entry;
 }
 
+void MeasurementEngine::run_panel_lane_group(
+    std::span<const std::size_t> group, std::uint64_t base_id,
+    std::span<const Channel> channels, std::span<const ChannelProtocol> protocols,
+    std::span<afe::AnalogFrontEnd* const> frontends, const afe::AnalogMux& mux,
+    std::span<const PanelSlot> slots, std::span<PanelEntryResult> entries) const {
+  const std::size_t w = group.size();
+
+  // Per-lane preamble, mirroring run_chronoamperometry_seeded: sensor state
+  // applied to the probe, fresh probe state, front-end drift configured.
+  std::vector<bio::OxidaseProbe*> probes(w);
+  std::vector<const fault::SensorState*> sensors(w);
+  std::vector<double> potentials(w);
+  for (std::size_t l = 0; l < w; ++l) {
+    const Channel& channel = channels[group[l]];
+    const auto& protocol =
+        std::get<ChronoamperometryProtocol>(protocols[group[l]]);
+    util::require(protocol.duration > 0.0 && protocol.sample_rate > 0.0,
+                  "invalid protocol");
+    probes[l] = static_cast<bio::OxidaseProbe*>(channel.probe);
+    sensors[l] = &channel.sensor;
+    potentials[l] = protocol.potential;
+    channel.probe->apply_sensor_state(channel.sensor);
+    channel.probe->reset();
+    frontends[group[l]]->set_drift(channel.sensor.afe_gain,
+                                   channel.sensor.afe_offset_A);
+  }
+  bio::OxidaseLaneBatch batch(probes, sensors);
+
+  std::vector<NoiseState> noise;
+  noise.reserve(w);
+  for (std::size_t l = 0; l < w; ++l) {
+    noise.emplace_back(config_, *probes[l], base_id + group[l] + 1,
+                       sensors[l]->storm_noise_mult);
+  }
+  afe::Potentiostat pstat(config_.potentiostat);
+
+  // All group members share duration and sample rate (grouping key), so one
+  // sampling clock and one step count drive every lane.
+  const auto& p0 = std::get<ChronoamperometryProtocol>(protocols[group[0]]);
+  std::vector<Trace> traces(w);
+  for (Trace& trace : traces) {
+    trace.reserve(
+        static_cast<std::size_t>(std::ceil(p0.duration * p0.sample_rate)) + 1);
+  }
+  SamplingClock clock(p0.sample_rate);
+  const double dt = config_.chem_dt;
+  std::vector<double> i_prev(w, 0.0), e_applied(w), i_far(w);
+  const auto n_steps = static_cast<std::size_t>(std::ceil(p0.duration / dt));
+  for (std::size_t k = 0; k < n_steps; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    for (std::size_t l = 0; l < w; ++l) {
+      e_applied[l] = pstat.applied_potential(potentials[l], i_prev[l],
+                                             config_.cell_impedance) +
+                     sensors[l]->reference_shift_V;
+    }
+    batch.step(e_applied, dt, i_far);
+    for (std::size_t l = 0; l < w; ++l) i_prev[l] = i_far[l];
+
+    if (clock.due(t + dt)) {
+      for (std::size_t l = 0; l < w; ++l) {
+        const double drift = noise[l].step_drift(clock.period);
+        const double i_sig = i_far[l] + noise[l].signal_white() + drift +
+                             sensors[l]->storm_current_A;
+        const double i_blank = probes[l]->blank_current() +
+                               probes[l]->blank_signal_fraction() *
+                                   (i_far[l] - probes[l]->blank_current()) +
+                               noise[l].blank_white() + drift +
+                               sensors[l]->storm_current_A;
+        traces[l].push(clock.next(),
+                       frontends[group[l]]->sample(i_sig, i_blank));
+      }
+      clock.advance();
+    }
+  }
+
+  // Per-lane postprocessing, mirroring run_panel_entry's CA branch: fold the
+  // charge-injection artifact in while shifting onto the global timeline.
+  const double settle = mux.spec().settle_time;
+  for (std::size_t l = 0; l < w; ++l) {
+    const std::size_t c = group[l];
+    PanelEntryResult& entry = entries[c];
+    entry.probe_name = channels[c].probe->name();
+    entry.technique = channels[c].probe->technique();
+    entry.start_time = slots[c].t_start;
+    entry.stop_time = slots[c].t_stop;
+    Trace& raw = traces[l];
+    std::vector<double>& time = raw.time_mut();
+    std::vector<double>& value = raw.value_mut();
+    for (std::size_t i = 0; i < time.size(); ++i) {
+      const double local_t = time[i];
+      value[i] += mux.artifact_current(slots[c].t_start + local_t - settle,
+                                       slots[c].t_switch);
+      time[i] = slots[c].t_start + local_t;
+    }
+    entry.amperogram = std::move(raw);
+  }
+}
+
 PanelScanResult MeasurementEngine::run_panel(
     std::span<const Channel> channels,
     std::span<const ChannelProtocol> protocols,
@@ -289,14 +394,72 @@ PanelScanResult MeasurementEngine::run_panel(
     slots[c].t_stop = t_global;
   }
 
+  // Gather compatible chronoamperometric oxidase channels into lockstep
+  // lane groups for the batched SoA kernel. Compatibility = node-identical
+  // grids plus equal duration and sample rate (one shared step loop and
+  // sampling clock); everything else -- CV channels, direct probes, CYP
+  // panels -- keeps the scalar per-channel path. Grouping is a pure
+  // function of the inputs, and lane membership cannot leak into results
+  // (per-channel run ids seed all randomness), so every width yields
+  // bitwise-identical scans.
+  const std::size_t lane_width =
+      config_.batch_lanes == 0 ? kDefaultPanelLanes : config_.batch_lanes;
+  std::vector<std::vector<std::size_t>> jobs;
+  jobs.reserve(n);
+  if (lane_width > 1) {
+    std::vector<std::vector<std::size_t>> classes;
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto* ox = dynamic_cast<const bio::OxidaseProbe*>(channels[c].probe);
+      if (ox == nullptr ||
+          !std::holds_alternative<ChronoamperometryProtocol>(protocols[c])) {
+        jobs.push_back({c});
+        continue;
+      }
+      const auto& p = std::get<ChronoamperometryProtocol>(protocols[c]);
+      bool placed = false;
+      for (std::vector<std::size_t>& cls : classes) {
+        const auto& rep_p =
+            std::get<ChronoamperometryProtocol>(protocols[cls.front()]);
+        const auto* rep_ox =
+            static_cast<const bio::OxidaseProbe*>(channels[cls.front()].probe);
+        if (rep_p.duration == p.duration &&
+            rep_p.sample_rate == p.sample_rate &&
+            bio::OxidaseLaneBatch::compatible(*rep_ox, *ox)) {
+          cls.push_back(c);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) classes.push_back({c});
+    }
+    // Chunk each compatibility class to the lane width; ragged tails simply
+    // form a narrower batch, and singleton chunks take the scalar path.
+    for (std::vector<std::size_t>& cls : classes) {
+      for (std::size_t begin = 0; begin < cls.size(); begin += lane_width) {
+        const std::size_t end = std::min(begin + lane_width, cls.size());
+        jobs.emplace_back(cls.begin() + static_cast<std::ptrdiff_t>(begin),
+                          cls.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+    }
+  } else {
+    for (std::size_t c = 0; c < n; ++c) jobs.push_back({c});
+  }
+
   PanelScanResult result;
   result.entries.resize(n);
   result.total_time = t_global;
   const BatchRunner runner(parallelism);
-  runner.run(n, [&](std::size_t c) {
-    result.entries[c] = run_panel_entry(base_id + c + 1, channels[c],
-                                        protocols[c], *frontends[c], mux,
-                                        slots[c]);
+  runner.run(jobs.size(), [&](std::size_t j) {
+    const std::vector<std::size_t>& group = jobs[j];
+    if (group.size() == 1) {
+      const std::size_t c = group.front();
+      result.entries[c] = run_panel_entry(base_id + c + 1, channels[c],
+                                          protocols[c], *frontends[c], mux,
+                                          slots[c]);
+    } else {
+      run_panel_lane_group(group, base_id, channels, protocols, frontends,
+                           mux, slots, result.entries);
+    }
   });
   return result;
 }

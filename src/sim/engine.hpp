@@ -65,6 +65,15 @@ struct EngineConfig {
   /// Eq. 5 LODs near their Table III values.
   double drift_scale = 1.0;
   double drift_tau = 60.0;     ///< [s]
+  /// Lockstep lane width of the batched SoA panel kernel: compatible
+  /// chronoamperometric oxidase channels (node-identical grids, same
+  /// duration and sample rate) are gathered in groups of up to this many
+  /// channels and stepped through one structure-of-arrays tridiagonal
+  /// solve. 0 picks the default width (8); 1 disables cross-channel
+  /// batching (the scalar per-channel path). Results are bitwise identical
+  /// at every width -- the kernel-equivalence property test and the `simd`
+  /// determinism-sweep workload pin this.
+  std::size_t batch_lanes = 0;
   afe::PotentiostatSpec potentiostat;
   chem::CellImpedance cell_impedance;
 };
@@ -141,6 +150,19 @@ class MeasurementEngine {
                                    afe::AnalogFrontEnd& fe,
                                    const afe::AnalogMux& mux,
                                    const PanelSlot& slot) const;
+
+  /// Run one lane group of compatible chronoamperometric oxidase channels
+  /// in lockstep through the batched SoA kernel; fills entries[c] for every
+  /// c in `group`. Per channel the sampled trace is bitwise identical to
+  /// run_panel_entry with the same run id.
+  void run_panel_lane_group(std::span<const std::size_t> group,
+                            std::uint64_t base_id,
+                            std::span<const Channel> channels,
+                            std::span<const ChannelProtocol> protocols,
+                            std::span<afe::AnalogFrontEnd* const> frontends,
+                            const afe::AnalogMux& mux,
+                            std::span<const PanelSlot> slots,
+                            std::span<PanelEntryResult> entries) const;
 
   EngineConfig config_;
   std::uint64_t run_counter_ = 0;

@@ -11,10 +11,14 @@
 #include <new>
 
 #include "bio/library.hpp"
+#include "bio/oxidase_batch.hpp"
+#include "bio/oxidase_probe.hpp"
+#include "chem/batched_diffusion.hpp"
 #include "chem/diffusion.hpp"
 #include "chem/grid.hpp"
 #include "chem/redox.hpp"
 #include "chem/redox_system.hpp"
+#include "fault/sensor_state.hpp"
 
 namespace {
 std::atomic<std::size_t> g_allocations{0};
@@ -137,6 +141,57 @@ TEST(DiffusionAlloc, OxidaseProbeStepIsAllocationFree) {
 
   const std::size_t n_alloc = allocations_during([&] {
     for (int k = 0; k < 200; ++k) probe->step(0.65, 5.0e-3);
+  });
+  EXPECT_EQ(n_alloc, 0u);
+}
+
+// The batched SoA workspace inherits the zero-allocation steady-state
+// contract: every buffer is sized at construction (allocate once), then
+// step() -- assembly, batched Thomas solve, clamp, flux readout -- never
+// touches the heap, at any lane count.
+TEST(DiffusionAlloc, BatchedFieldStepIsAllocationFree) {
+  chem::Grid1D grid = chem::Grid1D::membrane_bulk(50e-6, 26, 1.18, 60e-6);
+  chem::BatchedDiffusionField batch(grid, 4);
+  std::vector<double> source(grid.size(), 2.0e-4);
+  for (std::size_t lane = 0; lane < batch.lanes(); ++lane) {
+    batch.configure_lane(lane, 1.0e-9, 1.0);
+    batch.set_bulk_concentration(lane, 1.0);
+    batch.set_electrode_rate(lane, 1.0e-5);
+  }
+  batch.set_source(1, source);
+  batch.step(5.0e-3);  // warm-up: any lazy buffers fill here
+
+  const std::size_t n_alloc = allocations_during([&] {
+    for (int k = 0; k < 200; ++k) {
+      batch.set_source(1, source);
+      batch.step(5.0e-3);
+    }
+  });
+  EXPECT_EQ(n_alloc, 0u);
+}
+
+// Same contract one layer up: the panel-level oxidase lane batch steps W
+// probes (2W solver lanes) with zero heap allocations after construction.
+TEST(DiffusionAlloc, OxidaseLaneBatchStepIsAllocationFree) {
+  bio::ProbePtr glucose = bio::make_probe(bio::TargetId::kGlucose);
+  bio::ProbePtr lactate = bio::make_probe(bio::TargetId::kLactate);
+  glucose->set_bulk_concentration("glucose", 2.0);
+  lactate->set_bulk_concentration("lactate", 1.0);
+  std::vector<bio::OxidaseProbe*> probes = {
+      dynamic_cast<bio::OxidaseProbe*>(glucose.get()),
+      dynamic_cast<bio::OxidaseProbe*>(lactate.get())};
+  ASSERT_NE(probes[0], nullptr);
+  ASSERT_NE(probes[1], nullptr);
+  const fault::SensorState pristine{};
+  std::vector<const fault::SensorState*> sensors = {&pristine, &pristine};
+  bio::OxidaseLaneBatch batch(probes, sensors);
+
+  const double e[2] = {0.65, 0.65};
+  double i_out[2] = {0.0, 0.0};
+  batch.step(e, 5.0e-3, i_out);  // warm-up
+
+  const std::size_t n_alloc = allocations_during([&] {
+    for (int k = 0; k < 200; ++k) batch.step(e, 5.0e-3, i_out);
   });
   EXPECT_EQ(n_alloc, 0u);
 }

@@ -1,14 +1,15 @@
 /// \file determinism_sweep_test.cpp
 /// The unified bitwise-determinism sweep: one parameterized test drives the
-/// eight parallel workloads -- multiplexed panel scan, design-space
+/// nine parallel workloads -- multiplexed panel scan, design-space
 /// explorer, calibration campaigns, the longitudinal cohort (with
 /// degradation + adaptive recalibration active), the diagnostics
 /// service (a replayed mixed request log with degradation + scheduled
 /// recalibration epochs), the 2-shard cluster replay merged across the
 /// fault-injecting simulated network, the fault-tolerant replay
 /// recovering from loss/crash/partition schedules via retry + failover,
-/// and the observability surfaces themselves (the canonical trace and
-/// the metrics snapshot of a replayed log)
+/// the observability surfaces themselves (the canonical trace and
+/// the metrics snapshot of a replayed log), and the batched-SoA panel
+/// scan at lane widths {1, 2, 4, auto}
 /// -- across 5 seeds at parallelism {1, 2, hardware}
 /// and asserts digest equality against the sequential run. This replaces the per-subsystem copy-pasted
 /// determinism tests; the shared scaffolding lives in
@@ -75,6 +76,79 @@ std::uint64_t panel_digest(std::uint64_t seed, std::size_t parallelism) {
   sim::MeasurementEngine engine(cfg);
   return test::digest_of(
       engine.run_panel(channels, protocols, frontends, mux, parallelism));
+}
+
+std::uint64_t simd_digest(std::uint64_t seed, std::size_t parallelism) {
+  // The batched-SoA acceptance criterion: one mixed panel -- five oxidase
+  // chronoamperometry channels the engine gathers into lockstep lane
+  // groups, plus a cholesterol CYP sweep that stays scalar -- scanned at
+  // lane widths 1 / 2 / 4 / auto(hw); all four scans must digest
+  // bitwise-identically at every seed and parallelism level. Width 1 *is*
+  // the pre-batching scalar path, so this pins the batched kernel to the
+  // legacy bit pattern -- with IDP_SIMD ON and OFF producing the same
+  // digests, because -ffp-contract=off leaves vectorized IEEE-754 division
+  // and multiply/add exactly rounded, hence bit-equal lane-wise.
+  struct Panel {
+    std::vector<bio::ProbePtr> probes;
+    Panel() {
+      const bio::TargetId ids[] = {
+          bio::TargetId::kGlucose, bio::TargetId::kLactate,
+          bio::TargetId::kGlutamate, bio::TargetId::kGlucose,
+          bio::TargetId::kLactate};
+      for (bio::TargetId id : ids) {
+        probes.push_back(bio::make_probe(id));
+        probes.back()->set_bulk_concentration(bio::to_string(id), 1.5);
+      }
+      probes.push_back(bio::make_probe(bio::TargetId::kCholesterol));
+      probes.back()->set_bulk_concentration("cholesterol", 0.045);
+    }
+  };
+  // Calibrating six probes dominates the workload's cost; they are safely
+  // shared across scans because every measurement re-applies sensor state
+  // and resets the concentration profiles.
+  static Panel panel;
+
+  const auto scan = [&](std::size_t lanes) {
+    afe::AfeConfig fe_config;
+    fe_config.tia = afe::lab_grade_tia();
+    fe_config.adc = afe::AdcSpec{.bits = 16, .v_low = -10.0, .v_high = 10.0,
+                                 .sample_rate = 10.0};
+    std::vector<std::unique_ptr<afe::AnalogFrontEnd>> fes;
+    std::vector<afe::AnalogFrontEnd*> frontends;
+    std::vector<sim::Channel> channels;
+    std::vector<sim::ChannelProtocol> protocols;
+    sim::ChronoamperometryProtocol ca;
+    ca.potential = 0.55;
+    ca.duration = 3.0;
+    sim::CyclicVoltammetryProtocol cv;
+    cv.e_start = 0.1;
+    cv.e_vertex = -0.65;
+    cv.scan_rate = 0.02;
+    for (std::size_t c = 0; c < panel.probes.size(); ++c) {
+      fe_config.seed = 20 + c;
+      fes.push_back(std::make_unique<afe::AnalogFrontEnd>(fe_config));
+      frontends.push_back(fes.back().get());
+      channels.push_back(sim::Channel{panel.probes[c].get(), nullptr});
+      if (c + 1 < panel.probes.size()) {
+        protocols.emplace_back(ca);
+      } else {
+        protocols.emplace_back(cv);
+      }
+    }
+    afe::AnalogMux mux{afe::MuxSpec{}};
+    sim::EngineConfig cfg;
+    cfg.seed = seed;
+    cfg.batch_lanes = lanes;
+    sim::MeasurementEngine engine(cfg);
+    return test::digest_of(
+        engine.run_panel(channels, protocols, frontends, mux, parallelism));
+  };
+
+  const std::uint64_t scalar = scan(1);
+  EXPECT_EQ(scan(2), scalar) << "lane width 2 diverges from the scalar path";
+  EXPECT_EQ(scan(4), scalar) << "lane width 4 diverges from the scalar path";
+  EXPECT_EQ(scan(0), scalar) << "auto lane width diverges from the scalar path";
+  return scalar;
 }
 
 std::uint64_t explorer_digest(std::uint64_t seed, std::size_t parallelism) {
@@ -396,7 +470,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Workload{"serve", serve_digest},
                       Workload{"sharded", sharded_digest},
                       Workload{"faulted", faulted_digest},
-                      Workload{"obs", obs_digest}),
+                      Workload{"obs", obs_digest},
+                      Workload{"simd", simd_digest}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 }  // namespace

@@ -100,8 +100,12 @@ TEST(MetricsRegistry, HistogramSnapshotsUseOrderIndependentStatistics) {
   for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
     reverse.histogram("lat_s").observe(*it);
   }
-  const obs::MetricSample& a = forward.snapshot().samples.front();
-  const obs::MetricSample& b = reverse.snapshot().samples.front();
+  // snapshot() returns by value; keep the snapshots alive for the whole
+  // test instead of binding references into dead temporaries.
+  const obs::MetricsSnapshot fwd_snap = forward.snapshot();
+  const obs::MetricsSnapshot rev_snap = reverse.snapshot();
+  const obs::MetricSample& a = fwd_snap.samples.front();
+  const obs::MetricSample& b = rev_snap.samples.front();
   EXPECT_EQ(a.latency.count, samples.size());
   EXPECT_EQ(a.latency.min, b.latency.min);
   EXPECT_EQ(a.latency.max, b.latency.max);
