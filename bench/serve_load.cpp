@@ -4,7 +4,8 @@
 /// thousands of sessions pushed through the live scheduler, reporting
 /// sustained throughput plus p50/p90/p99 queue-wait and service-time
 /// latency per priority class as benchmark counters, the replay path's
-/// parallel scaling, and the fault-tolerant replay's throughput under
+/// parallel scaling, the live telemetry-bus fan-out tax at 0/2/8
+/// subscribers, and the fault-tolerant replay's throughput under
 /// injected loss and a shard-crash failover. Writes google-benchmark JSON
 /// to BENCH_serve.json
 /// (override with --benchmark_out=...) so successive PRs accumulate a
@@ -14,11 +15,13 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "netsim/sim_network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/shard_coordinator.hpp"
@@ -201,6 +204,81 @@ BENCHMARK(BM_ObsOverhead)
     ->Arg(0)
     ->Arg(1)
     ->ArgName("observed")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Live-streaming tax: the 512-request deterministic replay with a
+/// TelemetryBus attached and N concurrently-draining subscribers fanned
+/// out (N = 0 measures pure framing + publish cost, nobody listening).
+/// Each subscriber is a large drop-oldest queue drained by its own
+/// thread, so the publisher never backpressures and the measured delta
+/// is the fan-out itself. Target: the 2-subscriber run stays within 5%
+/// of the 0-subscriber run's wall time -- compare the variants'
+/// real_time in BENCH_serve.json.
+void BM_TelemetryFanout(benchmark::State& state) {
+  static quant::CalibrationStore store(bench_campaign());
+  static const std::vector<serve::Request> log = [] {
+    serve::DiagnosticsService reference(store, bench_service_config());
+    serve::TrafficSpec spec = bench_traffic(512);
+    spec.sessions = 128;
+    return serve::synthesize_traffic(spec, reference);
+  }();
+
+  const auto subscribers = static_cast<std::size_t>(state.range(0));
+  serve::DiagnosticsService service(store, bench_service_config());
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  service.set_trace(&trace);
+  service.set_metrics(&metrics);
+  serve::Scheduler scheduler(service);
+
+  std::size_t responses = 0;
+  std::uint64_t frames = 0, delivered = 0, dropped = 0;
+  for (auto _ : state) {
+    trace.clear();
+    // A fresh bus per iteration: close() is permanent by design, and the
+    // setup cost (a few allocations + thread spawns) is part of what a
+    // live dashboard attachment costs.
+    obs::TelemetryBus bus;
+    std::vector<std::thread> drains;
+    for (std::size_t i = 0; i < subscribers; ++i) {
+      obs::SubscriberConfig cfg;
+      cfg.name = "drain-" + std::to_string(i);
+      cfg.capacity = 1u << 14;
+      cfg.policy = obs::OverflowPolicy::kDropOldest;
+      drains.emplace_back([sub = bus.subscribe(cfg)] {
+        obs::Frame frame;
+        while (sub->pop(frame)) benchmark::DoNotOptimize(frame.sequence);
+      });
+    }
+    scheduler.set_stream(&bus);
+    const std::vector<serve::Response> out = scheduler.replay(log, 0);
+    scheduler.set_stream(nullptr);
+    bus.close();
+    for (std::thread& t : drains) t.join();
+    responses += out.size();
+    frames = bus.frames_published();
+    delivered = dropped = 0;
+    for (const obs::SubscriberStats& s : bus.subscriber_stats()) {
+      delivered += s.delivered;
+      dropped += s.dropped;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(responses));
+  state.counters["frames_published"] = static_cast<double>(frames);
+  state.counters["frames_delivered"] = static_cast<double>(delivered);
+  state.counters["frames_dropped"] = static_cast<double>(dropped);
+  state.SetLabel("512-request log, hw parallelism, " +
+                 std::to_string(subscribers) +
+                 " draining subscriber(s)" +
+                 (subscribers == 2 ? " (<5% over 0-subscriber target)" : ""));
+}
+BENCHMARK(BM_TelemetryFanout)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(8)
+    ->ArgName("subscribers")
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -5,7 +5,7 @@
 
 #include "obs/metrics.hpp"
 
-#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "util/csv.hpp"
@@ -23,12 +23,6 @@ void append_label(std::string& out, const char* name, std::int32_t v) {
   out += std::to_string(v);
 }
 
-std::string fmt_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
 std::string label_cell(std::int32_t v) {
   return v < 0 ? std::string() : std::to_string(v);
 }
@@ -41,6 +35,7 @@ std::string to_string(const MetricLabels& labels) {
   append_label(out, "shard", labels.shard);
   append_label(out, "priority", labels.priority);
   append_label(out, "channel", labels.channel);
+  append_label(out, "subscriber", labels.subscriber);
   return out;
 }
 
@@ -86,8 +81,9 @@ bool MetricsSnapshot::has(const std::string& name) const {
 }
 
 std::vector<std::string> MetricsSnapshot::columns() {
-  std::vector<std::string> cols{"metric", "type",     "tenant", "shard",
-                                "priority", "channel", "value"};
+  std::vector<std::string> cols{"metric",  "type",    "tenant",
+                                "shard",   "priority", "channel",
+                                "subscriber", "value"};
   for (const std::string& c : util::latency_summary_columns()) {
     cols.push_back(c);
   }
@@ -98,18 +94,41 @@ void MetricsSnapshot::to_csv(const std::string& path) const {
   util::CsvWriter writer(path, columns());
   for (const MetricSample& s : samples) {
     std::vector<std::string> cells;
-    cells.reserve(13);
+    cells.reserve(14);
     cells.push_back(s.name);
     cells.push_back(to_string(s.type));
     cells.push_back(label_cell(s.labels.tenant));
     cells.push_back(label_cell(s.labels.shard));
     cells.push_back(label_cell(s.labels.priority));
     cells.push_back(label_cell(s.labels.channel));
-    cells.push_back(fmt_double(s.value));
-    for (double v : util::to_row(s.latency)) cells.push_back(fmt_double(v));
+    cells.push_back(label_cell(s.labels.subscriber));
+    cells.push_back(util::fmt_g17(s.value));
+    for (double v : util::to_row(s.latency)) cells.push_back(util::fmt_g17(v));
     writer.write_row(cells);
   }
   writer.close();
+}
+
+void MetricsSnapshot::to_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  util::require(out.good(), "cannot open metrics JSONL output");
+  for (const MetricSample& s : samples) {
+    // Metric names are dot-separated identifiers (no JSON escaping needed);
+    // label dimensions print as-is (-1 = unlabeled) so the schema is fixed.
+    out << "{\"metric\":\"" << s.name << "\",\"type\":\"" << to_string(s.type)
+        << "\",\"tenant\":" << s.labels.tenant
+        << ",\"shard\":" << s.labels.shard
+        << ",\"priority\":" << s.labels.priority
+        << ",\"channel\":" << s.labels.channel
+        << ",\"subscriber\":" << s.labels.subscriber
+        << ",\"value\":" << util::fmt_g17(s.value)
+        << ",\"count\":" << s.latency.count
+        << ",\"min\":" << util::fmt_g17(s.latency.min)
+        << ",\"max\":" << util::fmt_g17(s.latency.max)
+        << ",\"p50\":" << util::fmt_g17(s.latency.p50)
+        << ",\"p90\":" << util::fmt_g17(s.latency.p90)
+        << ",\"p99\":" << util::fmt_g17(s.latency.p99) << "}\n";
+  }
 }
 
 // --- MetricsRegistry --------------------------------------------------------
@@ -240,6 +259,15 @@ const std::vector<ConservationRule>& serve_conservation_rules() {
       {"cluster_work",
        {"serve.cluster.work_arrivals"},
        {"serve.cluster.executions", "serve.cluster.work_discarded"}},
+  };
+  return kRules;
+}
+
+const std::vector<ConservationRule>& stream_conservation_rules() {
+  static const std::vector<ConservationRule> kRules{
+      {"bus_fanout",
+       {"obs.bus.published"},
+       {"obs.bus.delivered", "obs.bus.dropped", "obs.bus.pending"}},
   };
   return kRules;
 }

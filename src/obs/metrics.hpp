@@ -40,14 +40,17 @@
 
 namespace idp::obs {
 
-/// The four fleet label dimensions; -1 means "not labeled along this
-/// axis". Ordering is lexicographic over (tenant, shard, priority,
-/// channel), which fixes the canonical snapshot order.
+/// The fleet label dimensions; -1 means "not labeled along this axis".
+/// Ordering is lexicographic over (tenant, shard, priority, channel,
+/// subscriber), which fixes the canonical snapshot order. `subscriber`
+/// is the telemetry-bus fan-out dimension (obs/stream.hpp): each
+/// TelemetryBus subscriber's queue account publishes under its index.
 struct MetricLabels {
   std::int32_t tenant = -1;
   std::int32_t shard = -1;
   std::int32_t priority = -1;
   std::int32_t channel = -1;
+  std::int32_t subscriber = -1;
 
   friend auto operator<=>(const MetricLabels&, const MetricLabels&) = default;
 };
@@ -131,10 +134,16 @@ struct MetricsSnapshot {
   bool has(const std::string& name) const;
 
   /// Canonical CSV schema: metric, type, tenant, shard, priority, channel,
-  /// value, then util::latency_summary_columns(). Byte-identical files for
-  /// bitwise-identical snapshots.
+  /// subscriber, value, then util::latency_summary_columns(). Byte-identical
+  /// files for bitwise-identical snapshots.
   static std::vector<std::string> columns();
   void to_csv(const std::string& path) const;
+
+  /// Canonical JSONL (parity with TraceRecorder::to_jsonl): one object per
+  /// sample in snapshot order, fixed key order, unset label dimensions as
+  /// -1, doubles via util::fmt_g17 -- bitwise-identical snapshots export
+  /// byte-identical files (the golden metrics fixture pins this).
+  void to_jsonl(const std::string& path) const;
 };
 
 /// The registry. get-or-create accessors return stable references, safe
@@ -215,5 +224,14 @@ ConservationReport check_conservation(const MetricsSnapshot& snapshot,
 ///            crashed shard; dispatch-side accounting cannot be exact
 ///            because the transport may both drop and duplicate in flight)
 const std::vector<ConservationRule>& serve_conservation_rules();
+
+/// The telemetry-bus rule set (obs/stream.hpp publishes the terms):
+///  - fan-out: published == delivered + dropped + pending, summed over
+///    every subscriber -- each frame offered to a subscriber lands in
+///    exactly one of consumed / evicted-or-abandoned (counted loudly,
+///    never silent) / still queued. TelemetryBus::publish_metrics also
+///    labels each term by subscriber index, so the identity holds
+///    per-subscriber, not just in aggregate (tests pin both).
+const std::vector<ConservationRule>& stream_conservation_rules();
 
 }  // namespace idp::obs

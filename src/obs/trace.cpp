@@ -5,7 +5,6 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <tuple>
 
@@ -70,24 +69,14 @@ const std::vector<std::string>& TraceRecorder::columns() {
   return kColumns;
 }
 
-namespace {
-
-std::string fmt_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-}  // namespace
-
 void TraceRecorder::to_csv(const std::string& path) const {
   util::CsvWriter writer(path, columns());
   for (const TraceEvent& e : sorted()) {
     const std::string cells[] = {
         std::to_string(e.key),      to_string(e.kind),
         std::to_string(e.entity),   std::to_string(e.sequence),
-        std::to_string(e.tick),     fmt_double(e.time_h),
-        fmt_double(e.value)};
+        std::to_string(e.tick),     util::fmt_g17(e.time_h),
+        util::fmt_g17(e.value)};
     writer.write_row(cells);
   }
   writer.close();
@@ -99,8 +88,8 @@ void TraceRecorder::to_jsonl(const std::string& path) const {
   for (const TraceEvent& e : sorted()) {
     out << "{\"key\":" << e.key << ",\"kind\":\"" << to_string(e.kind)
         << "\",\"entity\":" << e.entity << ",\"sequence\":" << e.sequence
-        << ",\"tick\":" << e.tick << ",\"time_h\":" << fmt_double(e.time_h)
-        << ",\"value\":" << fmt_double(e.value) << "}\n";
+        << ",\"tick\":" << e.tick << ",\"time_h\":" << util::fmt_g17(e.time_h)
+        << ",\"value\":" << util::fmt_g17(e.value) << "}\n";
   }
 }
 

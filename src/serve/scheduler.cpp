@@ -38,9 +38,33 @@ std::vector<Response> Scheduler::replay(std::span<const Request> log,
   // BatchRunner contract, extended to the service layer.
   std::vector<Response> responses(log.size());
   const sim::BatchRunner runner(parallelism);
-  runner.run(log.size(),
-             [&](std::size_t i) { responses[i] = service_.execute(log[i]); });
+  if (stream_ == nullptr) {
+    runner.run(log.size(),
+               [&](std::size_t i) { responses[i] = service_.execute(log[i]); });
+    return responses;
+  }
+  // Streaming replay: each request's telemetry records into a private
+  // capture while it executes, and captures publish in log order through
+  // the sequencer -- the published per-topic frame sequence is a pure
+  // function of (log, configuration), independent of parallelism.
+  obs::StreamSequencer sequencer(*stream_out_, log.size());
+  runner.run(log.size(), [&](std::size_t i) {
+    obs::TelemetryCapture capture;
+    responses[i] = service_.execute(log[i], &capture);
+    sequencer.deposit(i, std::move(capture));
+  });
   return responses;
+}
+
+void Scheduler::set_stream(obs::TelemetryBus* stream, std::int32_t shard) {
+  util::require(!running_, "attach the telemetry stream before start()");
+  stream_ = stream;
+  stream_shard_ = shard;
+  stream_out_ =
+      stream_ == nullptr
+          ? nullptr
+          : std::make_unique<obs::TelemetryStream>(
+                *stream_, service_.trace(), service_.metrics());
 }
 
 void Scheduler::start(ResultSink* sink) {
@@ -59,29 +83,39 @@ void Scheduler::start(ResultSink* sink) {
   }
 }
 
+void Scheduler::note_admission(std::uint64_t id, Priority priority,
+                               std::int32_t tenant, double time_h,
+                               Admission admission) {
+  const obs::TraceEvent event{id, obs::SpanKind::kAdmission,
+                              static_cast<std::uint64_t>(priority), 0, 0,
+                              time_h, static_cast<double>(admission)};
+  if (stream_out_ != nullptr) {
+    // Streams the span AND folds it into the service's attached recorder;
+    // a separately attached scheduler recorder still gets its copy.
+    stream_out_->publish_span(tenant, event);
+    if (trace_ != nullptr && trace_ != service_.trace()) trace_->record(event);
+    return;
+  }
+  if (trace_ != nullptr) trace_->record(event);
+}
+
 Admission Scheduler::submit(Request request) {
   const std::uint64_t id = request.id;
   const Priority priority = request.priority;
+  const auto tenant = static_cast<std::int32_t>(request.session.tenant);
   const double time_h = request.time_h;
   const Admission admission = queue_.try_push(std::move(request));
-  if (trace_ != nullptr) {
-    trace_->record(id, obs::SpanKind::kAdmission,
-                   static_cast<std::uint64_t>(priority), 0, 0, time_h,
-                   static_cast<double>(admission));
-  }
+  note_admission(id, priority, tenant, time_h, admission);
   return admission;
 }
 
 Admission Scheduler::submit_wait(Request request) {
   const std::uint64_t id = request.id;
   const Priority priority = request.priority;
+  const auto tenant = static_cast<std::int32_t>(request.session.tenant);
   const double time_h = request.time_h;
   const Admission admission = queue_.push_wait(std::move(request));
-  if (trace_ != nullptr) {
-    trace_->record(id, obs::SpanKind::kAdmission,
-                   static_cast<std::uint64_t>(priority), 0, 0, time_h,
-                   static_cast<double>(admission));
-  }
+  note_admission(id, priority, tenant, time_h, admission);
   return admission;
 }
 
@@ -89,14 +123,11 @@ Admission Scheduler::submit_wait_for(Request request,
                                      std::chrono::nanoseconds timeout) {
   const std::uint64_t id = request.id;
   const Priority priority = request.priority;
+  const auto tenant = static_cast<std::int32_t>(request.session.tenant);
   const double time_h = request.time_h;
   const Admission admission =
       queue_.push_wait_for(std::move(request), timeout);
-  if (trace_ != nullptr) {
-    trace_->record(id, obs::SpanKind::kAdmission,
-                   static_cast<std::uint64_t>(priority), 0, 0, time_h,
-                   static_cast<double>(admission));
-  }
+  note_admission(id, priority, tenant, time_h, admission);
   return admission;
 }
 
@@ -174,7 +205,10 @@ void Scheduler::worker_loop() {
     const auto dispatched = std::chrono::steady_clock::now();
     const double queue_wait = seconds_between(item.enqueued_at, dispatched);
 
-    const Response response = service_.execute(item.request);
+    obs::TelemetryCapture capture;
+    const bool streaming = stream_out_ != nullptr;
+    const Response response =
+        service_.execute(item.request, streaming ? &capture : nullptr);
 
     const double service_time =
         seconds_between(dispatched, std::chrono::steady_clock::now());
@@ -202,11 +236,32 @@ void Scheduler::worker_loop() {
       queue_wait_metric_[lane]->observe(queue_wait);
       service_time_metric_[lane]->observe(service_time);
     }
-    if (trace_ != nullptr) {
-      // Observational span: `value` is wall seconds, the one deliberate
-      // exception to the pure-function field contract (live mode only).
-      trace_->record(response.request_id, obs::SpanKind::kQueueWait, lane, 0,
-                     0, response.time_h, queue_wait);
+    // Observational span: `value` is wall seconds, the one deliberate
+    // exception to the pure-function field contract (live mode only).
+    const obs::TraceEvent queue_wait_span{
+        response.request_id, obs::SpanKind::kQueueWait, lane, 0, 0,
+        response.time_h, queue_wait};
+    if (streaming) {
+      // Stream the request's capture at completion, with the scheduler's
+      // wall-clock account riding along as non-fold deltas (the direct
+      // writes above already applied them; the stream only publishes).
+      obs::MetricLabels labels;
+      labels.shard = stream_shard_;
+      labels.priority = static_cast<std::int32_t>(lane);
+      capture.ops.push_back({obs::MetricType::kCounter,
+                             "serve.scheduler.completed", labels, 1.0,
+                             false});
+      capture.observe("serve.scheduler.queue_wait_s", labels, queue_wait,
+                      false);
+      capture.observe("serve.scheduler.service_time_s", labels, service_time,
+                      false);
+      capture.span(queue_wait_span);
+      stream_out_->publish(capture);
+      if (trace_ != nullptr && trace_ != service_.trace()) {
+        trace_->record(queue_wait_span);
+      }
+    } else if (trace_ != nullptr) {
+      trace_->record(queue_wait_span);
     }
     if (sink_ != nullptr) {
       sink_->on_response(response);

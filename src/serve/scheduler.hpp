@@ -19,12 +19,14 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/result_sink.hpp"
@@ -132,8 +134,26 @@ class Scheduler {
   void publish_metrics(obs::MetricsRegistry& registry,
                        std::int32_t shard = -1) const;
 
+  /// Attach a telemetry bus (nullptr = off). replay() then captures each
+  /// request's telemetry privately and publishes it in log order through
+  /// an obs::StreamSequencer -- per-topic frame sequences are bitwise
+  /// identical at any parallelism (the `stream` determinism workload).
+  /// Live workers publish each request's capture at completion, plus the
+  /// wall-clock scheduler account (completed / queue_wait_s /
+  /// service_time_s deltas) and the admission spans from submit().
+  /// Captures fold into the service's attached trace/metrics on publish,
+  /// so every batch-era export is unchanged by streaming. `shard` labels
+  /// the live-mode scheduler deltas (like set_metrics).
+  void set_stream(obs::TelemetryBus* stream, std::int32_t shard = -1);
+
  private:
   void worker_loop();
+
+  /// Admission-span tap shared by the submit paths (streams and/or
+  /// records, per what is attached).
+  void note_admission(std::uint64_t id, Priority priority,
+                      std::int32_t tenant, double time_h,
+                      Admission admission);
 
   DiagnosticsService& service_;
   SchedulerConfig config_;
@@ -144,6 +164,11 @@ class Scheduler {
 
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TelemetryBus* stream_ = nullptr;
+  /// Publisher over stream_ folding into the service's attached surfaces;
+  /// rebuilt whenever set_stream is called.
+  std::unique_ptr<obs::TelemetryStream> stream_out_;
+  std::int32_t stream_shard_ = -1;  ///< shard label of live-mode stream ops
   /// Cached stable registry handles (one per priority) so the worker hot
   /// path pays no registry lookup.
   std::array<obs::Counter*, kPriorityCount> completed_metric_{};

@@ -82,10 +82,21 @@ std::uint32_t DiagnosticsService::epoch_for(double sensor_age_days) const {
 }
 
 const quant::Quantifier& DiagnosticsService::quantifier_for(
-    Session& session, std::uint32_t channel, std::uint32_t epoch) {
+    Session& session, std::uint32_t channel, std::uint32_t epoch,
+    obs::TelemetryCapture* capture) {
   if (epoch == 0) return *factory_[channel];
   const double boundary_age =
       static_cast<double>(epoch) * config_.recalibration_interval_days;
+  // The campaign block is a pure function of (session, channel, epoch) --
+  // computed here (not in the builder) so the kRecalibration span can emit
+  // for every request on the epoch, not just the cache-building winner.
+  const std::uint64_t block =
+      kServeRecalDomain +
+      (((session.site_id() % kServeSessionSlots) * kMaxServeChannels +
+        channel) *
+           kServeEpochSlots +
+       epoch) *
+          quant::CalibrationStore::kRunsPerCampaignBlock;
   const quant::Quantifier& quantifier =
       session
           .epoch_calibration(
@@ -98,34 +109,24 @@ const quant::Quantifier& DiagnosticsService::quantifier_for(
                 const fault::SensorState sensor = config_.degradation.state_at(
                     boundary_age,
                     fault::SensorSite{session.site_id(), channel});
-                const std::uint64_t block =
-                    kServeRecalDomain +
-                    (((session.site_id() % kServeSessionSlots) *
-                          kMaxServeChannels +
-                      channel) *
-                         kServeEpochSlots +
-                     epoch) *
-                        quant::CalibrationStore::kRunsPerCampaignBlock;
-                if (trace_ != nullptr) {
-                  // Campaign-build span. Every field is a pure function of
-                  // (session, channel, epoch), so a racing second build
-                  // (first-insert-wins cache) emits the identical event
-                  // and collapses in sorted(). No metrics counter here
-                  // for the same reason: a build *count* would depend on
-                  // the race, the span set does not.
-                  trace_->record(session.site_id(),
-                                 obs::SpanKind::kRecalibration, channel,
-                                 epoch, 0, boundary_age * 24.0,
-                                 static_cast<double>(block));
-                }
                 return store_.recalibrate(config_.panel[channel],
                                           protocols_[channel], sensor, block);
               })
           .quantifier;
-  if (trace_ != nullptr) {
-    // One logical swap per (session, channel, epoch): re-emissions from
-    // every later request on the warm epoch are exact duplicates and
-    // collapse in sorted().
+  // Campaign-active + epoch-swap spans, emitted by EVERY request that uses
+  // the epoch: each field is a pure function of (session, channel, epoch),
+  // so re-emissions are exact duplicates that collapse in sorted() -- and
+  // under streaming, each request's capture carries them regardless of
+  // which request's builder won the warm-cache race (no metrics counter
+  // for builds for the same reason: a *count* would depend on the race).
+  if (capture != nullptr) {
+    capture->span(session.site_id(), obs::SpanKind::kRecalibration, channel,
+                  epoch, 0, boundary_age * 24.0, static_cast<double>(block));
+    capture->span(session.site_id(), obs::SpanKind::kEpochSwap, channel,
+                  epoch, 0, boundary_age * 24.0, static_cast<double>(epoch));
+  } else if (trace_ != nullptr) {
+    trace_->record(session.site_id(), obs::SpanKind::kRecalibration, channel,
+                   epoch, 0, boundary_age * 24.0, static_cast<double>(block));
     trace_->record(session.site_id(), obs::SpanKind::kEpochSwap, channel,
                    epoch, 0, boundary_age * 24.0,
                    static_cast<double>(epoch));
@@ -169,14 +170,15 @@ ChannelResult DiagnosticsService::run_channel(Session& session,
                                               std::uint32_t epoch,
                                               double age_days,
                                               double concentration_mM,
-                                              std::uint64_t run_id) {
+                                              std::uint64_t run_id,
+                                              obs::TelemetryCapture* capture) {
   ChannelResult result;
   result.channel = channel;
   result.target = config_.panel[channel];
   result.truth_mM = concentration_mM;
   result.response =
       measure(session, channel, age_days, concentration_mM, run_id);
-  result.estimate = quantifier_for(session, channel, epoch)
+  result.estimate = quantifier_for(session, channel, epoch, capture)
                         .quantify(result.response);
   return result;
 }
@@ -184,26 +186,50 @@ ChannelResult DiagnosticsService::run_channel(Session& session,
 void DiagnosticsService::note_run(const Request& request,
                                   std::uint32_t channel,
                                   std::uint64_t sequence,
-                                  std::uint64_t run_id) {
+                                  std::uint64_t run_id,
+                                  obs::TelemetryCapture* capture) {
+  const char* counter = request.kind == RequestKind::kQcCheck
+                            ? "serve.service.qc_runs"
+                            : "serve.service.channel_reads";
+  obs::MetricLabels labels;
+  labels.tenant = static_cast<std::int32_t>(request.session.tenant);
+  labels.channel = static_cast<std::int32_t>(channel);
+  if (capture != nullptr) {
+    capture->span(request.id, obs::SpanKind::kExecution, channel, sequence,
+                  0, request.time_h, static_cast<double>(run_id));
+    capture->count(counter, labels);
+    return;
+  }
   if (trace_ != nullptr) {
     trace_->record(request.id, obs::SpanKind::kExecution, channel, sequence,
                    0, request.time_h, static_cast<double>(run_id));
   }
   if (metrics_ != nullptr) {
-    obs::MetricLabels labels;
-    labels.tenant = static_cast<std::int32_t>(request.session.tenant);
-    labels.channel = static_cast<std::int32_t>(channel);
-    metrics_
-        ->counter(request.kind == RequestKind::kQcCheck
-                      ? "serve.service.qc_runs"
-                      : "serve.service.channel_reads",
-                  labels)
-        .add(1);
+    metrics_->counter(counter, labels).add(1);
   }
 }
 
-Response DiagnosticsService::execute(const Request& request) {
+void DiagnosticsService::note_estimate(const Request& request,
+                                       std::uint32_t channel,
+                                       double estimate_mM,
+                                       obs::TelemetryCapture* capture) {
+  obs::MetricLabels labels;
+  labels.tenant = static_cast<std::int32_t>(request.session.tenant);
+  labels.channel = static_cast<std::int32_t>(channel);
+  if (capture != nullptr) {
+    capture->observe("serve.service.estimate_mM", labels, estimate_mM);
+  } else if (metrics_ != nullptr) {
+    metrics_->histogram("serve.service.estimate_mM", labels)
+        .observe(estimate_mM);
+  }
+}
+
+Response DiagnosticsService::execute(const Request& request,
+                                     obs::TelemetryCapture* capture) {
   const std::size_t n_channels = config_.panel.size();
+  if (capture != nullptr) {
+    capture->tenant = static_cast<std::int32_t>(request.session.tenant);
+  }
   switch (request.kind) {
     case RequestKind::kPanelScan:
       util::require(request.concentrations_mM.size() == n_channels,
@@ -229,15 +255,23 @@ Response DiagnosticsService::execute(const Request& request) {
   const std::uint32_t epoch = epoch_for(age_days);
   const std::uint64_t lease = lease_base(request.id);
 
-  if (trace_ != nullptr) {
-    trace_->record(request.id, obs::SpanKind::kLeaseGrant, lease, 0, 0,
-                   request.time_h, static_cast<double>(epoch));
-  }
-  if (metrics_ != nullptr) {
+  {
     obs::MetricLabels labels;
     labels.tenant = static_cast<std::int32_t>(request.session.tenant);
     labels.priority = static_cast<std::int32_t>(request.priority);
-    metrics_->counter("serve.service.requests", labels).add(1);
+    if (capture != nullptr) {
+      capture->span(request.id, obs::SpanKind::kLeaseGrant, lease, 0, 0,
+                    request.time_h, static_cast<double>(epoch));
+      capture->count("serve.service.requests", labels);
+    } else {
+      if (trace_ != nullptr) {
+        trace_->record(request.id, obs::SpanKind::kLeaseGrant, lease, 0, 0,
+                       request.time_h, static_cast<double>(epoch));
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("serve.service.requests", labels).add(1);
+      }
+    }
   }
 
   Response response;
@@ -255,8 +289,10 @@ Response DiagnosticsService::execute(const Request& request) {
       for (std::uint32_t c = 0; c < n_channels; ++c) {
         response.channels.push_back(run_channel(
             session, c, epoch, age_days, request.concentrations_mM[c],
-            lease + c));
-        note_run(request, c, c, lease + c);
+            lease + c, capture));
+        note_run(request, c, c, lease + c, capture);
+        note_estimate(request, c, response.channels.back().estimate.value,
+                      capture);
       }
       break;
     }
@@ -264,8 +300,10 @@ Response DiagnosticsService::execute(const Request& request) {
       response.channels.push_back(run_channel(session, request.channel, epoch,
                                               age_days,
                                               request.concentrations_mM[0],
-                                              lease));
-      note_run(request, request.channel, 0, lease);
+                                              lease, capture));
+      note_run(request, request.channel, 0, lease, capture);
+      note_estimate(request, request.channel,
+                    response.channels.back().estimate.value, capture);
       break;
     }
     case RequestKind::kQcCheck: {
@@ -273,7 +311,7 @@ Response DiagnosticsService::execute(const Request& request) {
       // standardised against the active calibration's prediction -- the
       // service-layer counterpart of the scenario QC loop.
       const quant::Quantifier& quantifier =
-          quantifier_for(session, request.channel, epoch);
+          quantifier_for(session, request.channel, epoch, capture);
       const double qc_mM =
           quantifier.c_low() +
           config_.qc_fraction * (quantifier.c_high() - quantifier.c_low());
@@ -285,14 +323,17 @@ Response DiagnosticsService::execute(const Request& request) {
           (r_blank - quantifier.blank_mean()) / sigma;
 
       ChannelResult standard = run_channel(session, request.channel, epoch,
-                                           age_days, qc_mM, lease + 1);
+                                           age_days, qc_mM, lease + 1,
+                                           capture);
       response.qc_standard_residual =
           (standard.response -
            util::evaluate(quantifier.fit(), qc_mM)) /
           sigma;
+      const double standard_estimate = standard.estimate.value;
       response.channels.push_back(std::move(standard));
-      note_run(request, request.channel, 0, lease);      // blank
-      note_run(request, request.channel, 1, lease + 1);  // standard
+      note_run(request, request.channel, 0, lease, capture);      // blank
+      note_run(request, request.channel, 1, lease + 1, capture);  // standard
+      note_estimate(request, request.channel, standard_estimate, capture);
       break;
     }
   }

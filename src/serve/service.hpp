@@ -33,6 +33,7 @@
 
 #include "fault/degradation.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "quant/calibration_store.hpp"
 #include "serve/request.hpp"
@@ -126,7 +127,19 @@ class DiagnosticsService {
   /// Execute one request. Pure in the determinism sense (see file
   /// comment); mutates only the session registry's warm caches and
   /// counters, which are order-insensitive.
-  Response execute(const Request& request);
+  Response execute(const Request& request) { return execute(request, nullptr); }
+
+  /// Streaming-mode execute: with a capture, every span and metric update
+  /// of this request records into `capture` INSTEAD of the attached
+  /// recorder/registry -- the telemetry stream publishes the capture in
+  /// log order and folds it back (obs::TelemetryStream), so the batch
+  /// surfaces end identical while the published frame sequence stays a
+  /// pure function of the request. Captured spans are themselves pure
+  /// functions of (request, configuration): epoch spans (kEpochSwap,
+  /// kRecalibration) emit for *every* request on the epoch, not just the
+  /// cache-building winner, so which request carries them never depends
+  /// on the thread schedule (they collapse as exact duplicates on fold).
+  Response execute(const Request& request, obs::TelemetryCapture* capture);
 
   SessionRegistry& sessions() { return registry_; }
   const SessionRegistry& sessions() const { return registry_; }
@@ -146,17 +159,24 @@ class DiagnosticsService {
   /// priority, channel). Thread-safe alongside concurrent execute().
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// The attached surfaces (nullptr = off) -- what a TelemetryStream
+  /// folds captures into.
+  obs::TraceRecorder* trace() const { return trace_; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   /// The active quantifier of (session, channel) at an epoch: the factory
   /// curve for epoch 0, the session's warm recalibration otherwise.
   const quant::Quantifier& quantifier_for(Session& session,
                                           std::uint32_t channel,
-                                          std::uint32_t epoch);
+                                          std::uint32_t epoch,
+                                          obs::TelemetryCapture* capture);
 
   /// One measured + quantified channel read.
   ChannelResult run_channel(Session& session, std::uint32_t channel,
                             std::uint32_t epoch, double age_days,
-                            double concentration_mM, std::uint64_t run_id);
+                            double concentration_mM, std::uint64_t run_id,
+                            obs::TelemetryCapture* capture);
 
   /// Raw scalar response of one measurement (no quantification).
   double measure(Session& session, std::uint32_t channel, double age_days,
@@ -165,7 +185,14 @@ class DiagnosticsService {
   /// Observability tap of one measured run: kExecution span plus the
   /// per-channel read counter. No-op when neither surface is attached.
   void note_run(const Request& request, std::uint32_t channel,
-                std::uint64_t sequence, std::uint64_t run_id);
+                std::uint64_t sequence, std::uint64_t run_id,
+                obs::TelemetryCapture* capture);
+
+  /// Quantified-estimate tap: one serve.service.estimate_mM histogram
+  /// observation per produced ChannelResult (labels: tenant, channel) --
+  /// the distribution behind the live p50/p90/p99 concentration tiles.
+  void note_estimate(const Request& request, std::uint32_t channel,
+                     double estimate_mM, obs::TelemetryCapture* capture);
 
   quant::CalibrationStore& store_;
   ServiceConfig config_;

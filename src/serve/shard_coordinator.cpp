@@ -6,6 +6,7 @@
 #include "serve/shard_coordinator.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -205,13 +206,16 @@ ShardedReplayResult ShardCluster::replay(std::span<const Request> log,
   if (transport == nullptr) transport = &direct;
 
   // Route up front: shard assignment and per-shard send sequences are
-  // fixed before anything executes, exactly like run-id leases.
+  // fixed before anything executes, exactly like run-id leases. Under
+  // streaming, the route span travels in each request's capture instead
+  // of recording here (the fold reproduces it bit for bit).
+  const bool streaming = stream_ != nullptr;
   std::vector<std::size_t> shard_of(log.size());
   std::vector<std::vector<std::size_t>> routed(shard_count());
   for (std::size_t i = 0; i < log.size(); ++i) {
     shard_of[i] = router_.route(log[i].session);
     routed[shard_of[i]].push_back(i);
-    if (trace_ != nullptr) {
+    if (!streaming && trace_ != nullptr) {
       trace_->record(log[i].id, obs::SpanKind::kShardRoute, shard_of[i], 0, 0,
                      log[i].time_h);
     }
@@ -219,11 +223,27 @@ ShardedReplayResult ShardCluster::replay(std::span<const Request> log,
 
   // Execute everything through one BatchRunner (each request on its own
   // shard's service) so parallelism semantics match Scheduler::replay and
-  // shards genuinely run concurrently.
+  // shards genuinely run concurrently. Streaming captures publish in log
+  // order during THIS phase -- before transport and merge -- so the frame
+  // sequence never depends on the transport's delivery schedule.
   std::vector<Response> responses(log.size());
   const sim::BatchRunner runner(parallelism);
+  std::optional<obs::TelemetryStream> stream_out;
+  std::optional<obs::StreamSequencer> sequencer;
+  if (streaming) {
+    stream_out.emplace(*stream_, trace_, metrics_);
+    sequencer.emplace(*stream_out, log.size());
+  }
   runner.run(log.size(), [&](std::size_t i) {
-    responses[i] = services_[shard_of[i]]->execute(log[i]);
+    if (streaming) {
+      obs::TelemetryCapture capture;
+      capture.span(log[i].id, obs::SpanKind::kShardRoute, shard_of[i], 0, 0,
+                   log[i].time_h);
+      responses[i] = services_[shard_of[i]]->execute(log[i], &capture);
+      sequencer->deposit(i, std::move(capture));
+    } else {
+      responses[i] = services_[shard_of[i]]->execute(log[i]);
+    }
   });
 
   // Stream shard result streams into the transport round-robin, so
@@ -300,10 +320,27 @@ FaultTolerantReplayResult ShardCluster::replay_fault_tolerant(
   // function of (log, config, fault schedule) at any parallelism. A real
   // shard computes a response on first execution and caches it for
   // retransmits; precomputing expresses the identical purity statement.
+  // Streaming: the fault-tolerant path streams each request's capture
+  // once, here, in log order. Recovery telemetry (kRetry / kReroute /
+  // kFailover / kMerge, and failover re-executions) depends on the fault
+  // schedule and records into the batch recorder only -- the stream's
+  // determinism contract is over (log, seed, config) alone.
   std::vector<Response> primary_responses(log.size());
   const sim::BatchRunner runner(parallelism);
+  std::optional<obs::TelemetryStream> stream_out;
+  std::optional<obs::StreamSequencer> sequencer;
+  if (stream_ != nullptr) {
+    stream_out.emplace(*stream_, trace_, metrics_);
+    sequencer.emplace(*stream_out, log.size());
+  }
   runner.run(log.size(), [&](std::size_t i) {
-    primary_responses[i] = services_[shard_of[i]]->execute(log[i]);
+    if (stream_ != nullptr) {
+      obs::TelemetryCapture capture;
+      primary_responses[i] = services_[shard_of[i]]->execute(log[i], &capture);
+      sequencer->deposit(i, std::move(capture));
+    } else {
+      primary_responses[i] = services_[shard_of[i]]->execute(log[i]);
+    }
   });
 
   RetryTracker tracker(fault_config.retry);
@@ -475,6 +512,9 @@ void ShardCluster::start(ResultSink* sink) {
     if (metrics_ != nullptr) {
       scheduler.set_metrics(metrics_, static_cast<std::int32_t>(s));
     }
+    if (stream_ != nullptr) {
+      scheduler.set_stream(stream_, static_cast<std::int32_t>(s));
+    }
     scheduler.start(fan_in_.get());
   }
   running_ = true;
@@ -544,6 +584,8 @@ void ShardCluster::set_metrics(obs::MetricsRegistry* metrics) {
     service->set_metrics(metrics);
   }
 }
+
+void ShardCluster::set_stream(obs::TelemetryBus* stream) { stream_ = stream; }
 
 void ShardCluster::publish_metrics(obs::MetricsRegistry& registry) const {
   for (std::size_t s = 0; s < schedulers_.size(); ++s) {

@@ -339,6 +339,17 @@ class ShardCluster {
   /// `registry` (per-shard labels), live mode only; no-op before start().
   void publish_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Attach a telemetry bus (nullptr = off). Replay paths then stream
+  /// each request's capture (kShardRoute + the service's spans + metric
+  /// deltas) in log order during the execution phase -- BEFORE transport
+  /// and merge -- so the published frame sequence is a pure function of
+  /// (log, configuration): independent of parallelism AND of the
+  /// transport's fault schedule (coordinator-side kMerge / kRetry /
+  /// kFailover spans are batch metadata of the recovery schedule and
+  /// deliberately do not stream). Live mode forwards the bus to every
+  /// shard scheduler at start(). Attach before replaying or start().
+  void set_stream(obs::TelemetryBus* stream);
+
  private:
   /// Shared census core: attribute each request's lease block to
   /// owner_of[i], with `primary` used to flag failover attributions.
@@ -355,6 +366,7 @@ class ShardCluster {
   bool live_used_ = false;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TelemetryBus* stream_ = nullptr;
 };
 
 }  // namespace idp::serve

@@ -4,12 +4,19 @@
 
 #include "util/csv.hpp"
 
+#include <cstdio>
 #include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
 
 namespace idp::util {
+
+std::string fmt_g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
 
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;

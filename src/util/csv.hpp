@@ -16,6 +16,12 @@ namespace idp::util {
 /// Quote one cell per RFC 4180 when (and only when) it needs quoting.
 std::string csv_escape(const std::string& cell);
 
+/// One double as "%.17g": round-trip precision with a stable spelling, so
+/// bitwise-equal values always format to identical bytes. The shared
+/// formatter of every byte-deterministic export (trace CSV/JSONL, metrics
+/// CSV/JSONL).
+std::string fmt_g17(double v);
+
 /// Streams rows of doubles or strings to a CSV file. Throws
 /// idp::util::Error if the file cannot be opened. Doubles are written with
 /// round-trip (max_digits10) precision so written values parse back bitwise.

@@ -60,6 +60,9 @@ struct LatencySummary {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+
+  friend bool operator==(const LatencySummary&,
+                         const LatencySummary&) = default;
 };
 
 /// Column names of LatencySummary, in to_row() order:

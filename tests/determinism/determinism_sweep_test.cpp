@@ -1,6 +1,6 @@
 /// \file determinism_sweep_test.cpp
 /// The unified bitwise-determinism sweep: one parameterized test drives the
-/// nine parallel workloads -- multiplexed panel scan, design-space
+/// ten parallel workloads -- multiplexed panel scan, design-space
 /// explorer, calibration campaigns, the longitudinal cohort (with
 /// degradation + adaptive recalibration active), the diagnostics
 /// service (a replayed mixed request log with degradation + scheduled
@@ -8,8 +8,10 @@
 /// fault-injecting simulated network, the fault-tolerant replay
 /// recovering from loss/crash/partition schedules via retry + failover,
 /// the observability surfaces themselves (the canonical trace and
-/// the metrics snapshot of a replayed log), and the batched-SoA panel
-/// scan at lane widths {1, 2, 4, auto}
+/// the metrics snapshot of a replayed log), the batched-SoA panel
+/// scan at lane widths {1, 2, 4, auto}, and the live telemetry stream
+/// (the encoded frame bytes a complete TelemetryBus subscriber receives
+/// during a replay, plus live-aggregator exactness and bus conservation)
 /// -- across 5 seeds at parallelism {1, 2, hardware}
 /// and asserts digest equality against the sequential run. This replaces the per-subsystem copy-pasted
 /// determinism tests; the shared scaffolding lives in
@@ -24,7 +26,9 @@
 #include "common/determinism.hpp"
 #include "core/explorer.hpp"
 #include "netsim/sim_network.hpp"
+#include "obs/frame.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "quant/calibration_store.hpp"
 #include "scenario/longitudinal.hpp"
@@ -429,10 +433,118 @@ std::uint64_t obs_digest(std::uint64_t seed, std::size_t parallelism) {
     d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.shard)));
     d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.priority)));
     d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.channel)));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.subscriber)));
     d.add_u64(static_cast<std::uint64_t>(s.type));
     d.add(s.value);
     for (const double v : util::to_row(s.latency)) d.add(v);
   }
+  return d.value();
+}
+
+std::uint64_t snapshot_digest(const obs::MetricsSnapshot& snapshot) {
+  test::BitDigest d;
+  for (const obs::MetricSample& s : snapshot.samples) {
+    for (const char c : s.name) {
+      d.add_u64(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.tenant)));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.shard)));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.priority)));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.channel)));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.labels.subscriber)));
+    d.add_u64(static_cast<std::uint64_t>(s.type));
+    d.add(s.value);
+    for (const double v : util::to_row(s.latency)) d.add(v);
+  }
+  d.add_u64(snapshot.samples.size());
+  return d.value();
+}
+
+std::uint64_t stream_digest(std::uint64_t seed, std::size_t parallelism) {
+  // The live-streaming acceptance criterion: the obs workload replayed
+  // with a TelemetryBus attached, digesting the concatenated *encoded
+  // frame bytes* a complete subscriber received -- the per-topic published
+  // frame sequences must be pure functions of (log, seed, config), bitwise
+  // identical at any parallelism. Riding along: an aggregation subscriber
+  // (snapshot-then-delta from the start) must rebuild the end-of-run
+  // MetricsSnapshot exactly, and a tight drop-oldest subscriber's overflow
+  // must be fully accounted (published == delivered + dropped + pending).
+  quant::CampaignConfig campaign;
+  campaign.seed = 626262;
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = seed;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.05;
+  aging.enzyme_decay_per_day = 0.02;
+  aging.seed = seed ^ 0x5e47e;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration_interval_days = 4.0;
+  serve::DiagnosticsService service(store, config);
+
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  service.set_trace(&trace);
+  service.set_metrics(&metrics);
+
+  serve::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.sessions = 6;
+  traffic.seed = seed;  // the log IS the seed-sensitive input here
+  traffic.duration_h = 9.0 * 24.0;  // crosses two epoch boundaries
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(traffic, service);
+
+  obs::TelemetryBus bus;
+  obs::SubscriberConfig recorder_config;
+  recorder_config.name = "recorder";
+  recorder_config.capacity = 1u << 15;
+  const auto recorder = bus.subscribe(recorder_config);
+  obs::SubscriberConfig tiles_config;
+  tiles_config.name = "tiles";
+  tiles_config.capacity = 1u << 15;
+  tiles_config.topic_prefix = "metrics/";
+  const auto tiles = bus.subscribe(tiles_config, metrics.snapshot());
+  obs::SubscriberConfig lossy_config;
+  lossy_config.name = "lossy";
+  lossy_config.capacity = 8;
+  lossy_config.policy = obs::OverflowPolicy::kDropOldest;
+  const auto lossy = bus.subscribe(lossy_config);
+
+  serve::Scheduler scheduler(service);
+  scheduler.set_stream(&bus);
+  (void)scheduler.replay(log, parallelism);
+  bus.close();
+
+  // The live p50/p90/p99 tiles, rebuilt delta by delta, equal the
+  // end-of-run snapshot exactly (the subscription predates all traffic).
+  obs::LiveAggregator aggregator;
+  aggregator.run(*tiles);
+  EXPECT_TRUE(aggregator.exact());
+  EXPECT_EQ(snapshot_digest(aggregator.snapshot()),
+            snapshot_digest(metrics.snapshot()))
+      << "live aggregation diverged from the end-of-run snapshot";
+
+  // Drop-oldest overflow is fully accounted, never silent.
+  obs::Frame frame;
+  while (lossy->try_pop(frame)) {}
+  for (const obs::SubscriberStats& stats : bus.subscriber_stats()) {
+    EXPECT_EQ(stats.published,
+              stats.delivered + stats.dropped + stats.pending);
+  }
+  EXPECT_GT(lossy->stats().dropped, 0u) << "the tight subscriber never spilled";
+
+  // The digest: the complete subscriber's concatenated frame bytes.
+  std::vector<std::uint8_t> bytes;
+  while (recorder->pop(frame)) obs::encode_frame(frame, bytes);
+  test::BitDigest d;
+  for (const std::uint8_t b : bytes) d.add_u64(b);
+  d.add_u64(bytes.size());
   return d.value();
 }
 
@@ -471,7 +583,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Workload{"sharded", sharded_digest},
                       Workload{"faulted", faulted_digest},
                       Workload{"obs", obs_digest},
-                      Workload{"simd", simd_digest}),
+                      Workload{"simd", simd_digest},
+                      Workload{"stream", stream_digest}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 }  // namespace

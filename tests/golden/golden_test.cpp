@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "bio/library.hpp"
 #include "netsim/sim_network.hpp"
 #include "obs/health.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "quant/calibration_store.hpp"
 #include "scenario/longitudinal.hpp"
@@ -479,6 +481,83 @@ TEST(Golden, ObsTraceK2MatchesFixture) {
   const util::CsvTable table = util::read_csv(tmp);
   std::remove(tmp.c_str());
   check_golden("obs_trace_k2", table, 0.0, 0.0);  // exact: no noise anywhere
+}
+
+TEST(Golden, ObsMetricsJsonlK2MatchesFixture) {
+  // The canonical metrics export of the ShardedReplayK2 scenario, pinned
+  // BYTE for byte: the same fixed log through the same 2-shard cluster and
+  // seeded network, with a MetricsRegistry attached, exported as JSONL.
+  // Unlike the CSV goldens this diff is on the raw file bytes (%.17g
+  // doubles, sorted sample order, fixed key order), so it pins the export
+  // format itself alongside the values -- the JSONL counterpart of the
+  // zero-tolerance obs_trace_k2 fixture.
+  quant::CampaignConfig campaign = golden_campaign();
+  campaign.calibration_points = 4;
+  campaign.blank_measurements = 4;
+  campaign.ca_duration_s = 6.0;
+  quant::CalibrationStore store(campaign);
+
+  serve::ServiceConfig config;
+  config.panel = {bio::TargetId::kGlucose, bio::TargetId::kLactate};
+  config.engine_seed = 0x601d;
+  fault::DegradationParams aging;
+  aging.fouling_rate_per_day = 0.05;
+  aging.enzyme_decay_per_day = 0.02;
+  aging.seed = 0x601d ^ 0x5e47e;
+  config.degradation = fault::DegradationModel(aging);
+  config.recalibration_interval_days = 4.0;
+
+  serve::ShardClusterConfig cluster_config;
+  cluster_config.router.shards = 2;
+  serve::ShardCluster cluster(store, config, cluster_config);
+  obs::MetricsRegistry metrics;
+  cluster.set_metrics(&metrics);
+
+  serve::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.sessions = 6;
+  traffic.seed = 0x601d;
+  traffic.duration_h = 9.0 * 24.0;
+  const std::vector<serve::Request> log =
+      serve::synthesize_traffic(traffic, cluster.shard(0));
+
+  test::SimNetConfig net;
+  net.seed = 0x601d;
+  net.max_delay_ticks = 32;
+  net.duplicate_prob = 0.15;
+  test::SimNetTransport transport(net);
+
+  (void)cluster.replay(log, 1, &transport);
+  const std::string tmp = ::testing::TempDir() + "/idp_golden_obs_metrics.jsonl";
+  metrics.snapshot().to_jsonl(tmp);
+  std::ifstream current_in(tmp, std::ios::binary);
+  ASSERT_TRUE(current_in.good());
+  const std::string current((std::istreambuf_iterator<char>(current_in)),
+                            std::istreambuf_iterator<char>());
+  std::remove(tmp.c_str());
+  ASSERT_FALSE(current.empty());
+
+  const std::string path =
+      std::string(kFixtureDir) + "/obs_metrics_k2.jsonl";
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write fixture " << path;
+    out << current;
+    std::printf("[golden] updated %s (%zu bytes)\n", path.c_str(),
+                current.size());
+    return;
+  }
+  std::ifstream fixture_in(path, std::ios::binary);
+  if (!fixture_in.good()) {
+    ADD_FAILURE() << "missing golden fixture " << path
+                  << " -- run with IDP_UPDATE_GOLDEN=1 to create it";
+    return;
+  }
+  const std::string fixture((std::istreambuf_iterator<char>(fixture_in)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(fixture, current)
+      << "obs_metrics_k2.jsonl is byte-exact: any diff means the JSONL "
+         "schema, the sample order or a metric value changed";
 }
 
 TEST(Golden, FleetHealthReportMatchesFixture) {

@@ -137,10 +137,44 @@ TEST(MetricsRegistry, CsvExportIsByteIdenticalForEqualContent) {
   EXPECT_EQ(text, slurp(dir + "/metrics_b.csv"));
   // Canonical header: identification, labels, value, latency summary.
   EXPECT_EQ(text.substr(0, text.find('\n')),
-            "metric,type,tenant,shard,priority,channel,value,count,min,max,"
-            "p50,p90,p99");
+            "metric,type,tenant,shard,priority,channel,subscriber,value,"
+            "count,min,max,p50,p90,p99");
   std::remove((dir + "/metrics_a.csv").c_str());
   std::remove((dir + "/metrics_b.csv").c_str());
+}
+
+TEST(MetricsRegistry, JsonlExportIsByteIdenticalAndCanonicallyShaped) {
+  // JSONL parity with TraceRecorder::to_jsonl: one object per sample in
+  // snapshot order, fixed key order, G17 doubles -- equal registries
+  // export byte-identical files (the golden metrics fixture pins the
+  // exact bytes end-to-end).
+  const auto build = [](obs::MetricsRegistry& registry, bool reversed) {
+    obs::MetricLabels t1, sub0;
+    t1.tenant = 1;
+    sub0.subscriber = 0;
+    if (reversed) {
+      registry.histogram("q.wait_s", t1).observe(0.5);
+      registry.counter("obs.bus.published", sub0).set(3);
+    } else {
+      registry.counter("obs.bus.published", sub0).set(3);
+      registry.histogram("q.wait_s", t1).observe(0.5);
+    }
+  };
+  obs::MetricsRegistry a, b;
+  build(a, false);
+  build(b, true);
+  const std::string dir = ::testing::TempDir();
+  a.snapshot().to_jsonl(dir + "/metrics_a.jsonl");
+  b.snapshot().to_jsonl(dir + "/metrics_b.jsonl");
+  const std::string text = slurp(dir + "/metrics_a.jsonl");
+  EXPECT_EQ(text, slurp(dir + "/metrics_b.jsonl"));
+  EXPECT_EQ(text.substr(0, text.find('\n')),
+            "{\"metric\":\"obs.bus.published\",\"type\":\"counter\","
+            "\"tenant\":-1,\"shard\":-1,\"priority\":-1,\"channel\":-1,"
+            "\"subscriber\":0,\"value\":3,\"count\":0,\"min\":0,\"max\":0,"
+            "\"p50\":0,\"p90\":0,\"p99\":0}");
+  std::remove((dir + "/metrics_a.jsonl").c_str());
+  std::remove((dir + "/metrics_b.jsonl").c_str());
 }
 
 TEST(MetricsRegistry, ConcurrentPublicationIsExact) {
